@@ -1,0 +1,108 @@
+// Benchmarks regenerating each table and figure of the paper (driving
+// the simulation stack in quick mode), plus native-lock microbenchmarks.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// For full-resolution experiment output use cmd/hbobench instead; these
+// benches exist so `go test -bench` exercises every experiment path and
+// reports its cost.
+package hbo_test
+
+import (
+	"sync"
+	"testing"
+
+	hbo "repro"
+	"repro/internal/experiments"
+)
+
+// benchOptions keeps each benchmark iteration affordable.
+func benchOptions() experiments.Options {
+	return experiments.Options{Seeds: 1, Scale: 400, Quick: true}
+}
+
+// runExperiment is the shared driver for the per-table/figure benches.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	o := benchOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(o)
+		if len(tables) == 0 || tables[0].NumRows() == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+func BenchmarkTable1Uncontested(b *testing.B)     { runExperiment(b, "table1") }
+func BenchmarkFig3Traditional(b *testing.B)       { runExperiment(b, "fig3") }
+func BenchmarkFig5NewMicro(b *testing.B)          { runExperiment(b, "fig5") }
+func BenchmarkTable2Traffic(b *testing.B)         { runExperiment(b, "table2") }
+func BenchmarkTable3LockStats(b *testing.B)       { runExperiment(b, "table3") }
+func BenchmarkTable4Raytrace(b *testing.B)        { runExperiment(b, "table4") }
+func BenchmarkTable5Apps(b *testing.B)            { runExperiment(b, "table5") }
+func BenchmarkTable6AppTraffic(b *testing.B)      { runExperiment(b, "table6") }
+func BenchmarkFig6NormalizedSpeedup(b *testing.B) { runExperiment(b, "fig6") }
+func BenchmarkFig7RaytraceSpeedup(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8Fairness(b *testing.B)          { runExperiment(b, "fig8") }
+func BenchmarkFig9Sensitivity(b *testing.B)       { runExperiment(b, "fig9") }
+func BenchmarkFig10Sensitivity(b *testing.B)      { runExperiment(b, "fig10") }
+
+// BenchmarkNativeUncontested measures a single goroutine's
+// acquire-release pair for every native lock (the real-hardware analog
+// of Table 1's "Same Processor" column).
+func BenchmarkNativeUncontested(b *testing.B) {
+	for _, a := range hbo.AlgorithmNames() {
+		a := a
+		b.Run(string(a), func(b *testing.B) {
+			rt := hbo.NewRuntime(2, 1)
+			l := hbo.NewLock(a, rt)
+			t := rt.RegisterThread(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Acquire(t)
+				l.Release(t)
+			}
+		})
+	}
+}
+
+// BenchmarkNativeContended measures throughput with every processor
+// contending (the real-hardware analog of the traditional
+// microbenchmark).
+func BenchmarkNativeContended(b *testing.B) {
+	for _, a := range hbo.AlgorithmNames() {
+		a := a
+		b.Run(string(a), func(b *testing.B) {
+			rt := hbo.NewRuntime(2, 64)
+			l := hbo.NewLock(a, rt)
+			var mu sync.Mutex
+			var registered []*hbo.Thread
+			nextNode := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				t := rt.RegisterThread(nextNode % 2)
+				nextNode++
+				registered = append(registered, t)
+				mu.Unlock()
+				for pb.Next() {
+					l.Acquire(t)
+					l.Release(t)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkExt1AllAlgorithms(b *testing.B)   { runExperiment(b, "ext1") }
+func BenchmarkExt2HierarchicalCMP(b *testing.B) { runExperiment(b, "ext2") }

@@ -1,0 +1,96 @@
+// Command hbobench regenerates the tables and figures of "Hierarchical
+// Backoff Locks for Nonuniform Communication Architectures" (HPCA 2003)
+// from the simulation stack.
+//
+// Usage:
+//
+//	hbobench -experiment table1            # one experiment
+//	hbobench -experiment all               # everything, paper order
+//	hbobench -experiment fig5 -csv         # CSV series for plotting
+//	hbobench -experiment cmp1              # measured vs paper, side by side
+//	hbobench -experiment ext2              # beyond-the-paper studies
+//	hbobench -experiment all -out results  # also write per-table files
+//	hbobench -list                         # show available experiments
+//
+// Flags -seeds, -scale, -threads and -quick trade fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "experiment id or 'all'")
+		outDir  = flag.String("out", "", "also write each table to <dir>/<id>-<n>.{txt,csv}")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		quick   = flag.Bool("quick", false, "reduced sweeps/iterations")
+		seeds   = flag.Int("seeds", 3, "repetitions where variance is reported")
+		scale   = flag.Int("scale", 100, "application work divisor (1 = paper scale)")
+		threads = flag.Int("threads", 0, "override thread count (0 = paper default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Seeds:   *seeds,
+		Scale:   *scale,
+		Quick:   *quick,
+		Threads: *threads,
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hbobench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(opts)
+		for i, tb := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			} else {
+				fmt.Printf("%s\n", tb.String())
+			}
+			if *outDir != "" {
+				base := filepath.Join(*outDir, fmt.Sprintf("%s-%d", e.ID, i+1))
+				if err := os.WriteFile(base+".txt", []byte(tb.String()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := os.WriteFile(base+".csv", []byte(tb.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

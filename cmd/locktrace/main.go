@@ -1,0 +1,93 @@
+// Command locktrace runs a small contended scenario on the simulated
+// NUCA machine and prints a per-thread timeline plus handover
+// statistics — a magnifying glass for how each algorithm schedules its
+// critical section.
+//
+// Usage:
+//
+//	locktrace -lock HBO_GT_SD -threads 8 -iters 20
+//	locktrace -lock MCS -csv > events.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		lockName = flag.String("lock", "HBO_GT_SD", "lock algorithm (see -list)")
+		threads  = flag.Int("threads", 8, "contending threads")
+		iters    = flag.Int("iters", 20, "acquisitions per thread")
+		cs       = flag.Int("cs", 1000, "critical-section work, ns")
+		think    = flag.Int("think", 2000, "max random think time, ns")
+		width    = flag.Int("width", 100, "timeline width, characters")
+		csv      = flag.Bool("csv", false, "dump raw events as CSV instead")
+		list     = flag.Bool("list", false, "list lock algorithms and exit")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range simlock.AllNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := machine.WildFire()
+	cfg.Seed = *seed
+	if *threads > cfg.TotalCPUs() {
+		fmt.Fprintf(os.Stderr, "locktrace: at most %d threads\n", cfg.TotalCPUs())
+		os.Exit(2)
+	}
+	m := machine.New(cfg)
+	cpus := make([]int, *threads)
+	next := make([]int, cfg.Nodes)
+	for i := range cpus {
+		n := i % cfg.Nodes
+		cpus[i] = n*cfg.CPUsPerNode + next[n]
+		next[n]++
+	}
+
+	rec := trace.NewRecorder()
+	l := trace.Wrap(simlock.New(*lockName, m, 0, cpus, simlock.DefaultTuning()), rec)
+	for tid := 0; tid < *threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(*seed*31 + uint64(tid))
+			for i := 0; i < *iters; i++ {
+				l.Acquire(p, tid)
+				p.Work(sim.Time(*cs))
+				l.Release(p, tid)
+				p.Work(rng.Timen(sim.Time(*think)) + 100)
+			}
+		})
+	}
+	m.Run()
+
+	if *csv {
+		fmt.Print(rec.CSV())
+		return
+	}
+	s := rec.Analyze()
+	fmt.Printf("lock: %s   threads: %d x %d acquisitions\n\n", *lockName, *threads, *iters)
+	fmt.Print(rec.Timeline(*width))
+	fmt.Printf("\nacquisitions:  %d\n", s.Acquisitions)
+	fmt.Printf("mean wait:     %v\n", s.MeanWait())
+	fmt.Printf("mean hold:     %v\n", s.MeanHold())
+	fmt.Printf("node handoffs: %.2f of handovers\n", s.HandoffRatio())
+	fmt.Printf("total time:    %v\n", m.Now())
+	fmt.Printf("global txns:   %d\n", m.Stats().Global)
+	perThread := make([]int, 0, len(s.PerThread))
+	for tid := 0; tid < *threads; tid++ {
+		perThread = append(perThread, s.PerThread[tid])
+	}
+	fmt.Printf("per-thread:    %v\n", perThread)
+}

@@ -1,0 +1,144 @@
+// Command nucaexplore studies how the benefit of NUCA-aware locking
+// depends on the machine, extending the paper's section 2 discussion:
+//
+//   - NUCA-ratio sweep: scale the remote/local latency gap from 1x (a
+//     uniform SMP like the SunFire 15k) up to 10x (NUMA-Q territory) and
+//     report where HBO's advantage over TATAS_EXP and MCS appears.
+//   - Node-count sweep: hierarchical NUCAs built from more, smaller
+//     nodes (the CMP future the paper predicts).
+//   - Throttle ablation: HBO vs HBO_GT vs HBO_GT_SD global traffic as
+//     remote contention grows.
+//
+// Usage:
+//
+//	nucaexplore -study ratio|nodes|throttle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+)
+
+func main() {
+	study := flag.String("study", "ratio", "ratio | nodes | throttle")
+	threads := flag.Int("threads", 16, "contending threads")
+	iters := flag.Int("iters", 200, "lock acquisitions per thread")
+	flag.Parse()
+
+	switch *study {
+	case "ratio":
+		ratioStudy(*threads, *iters)
+	case "nodes":
+		nodeStudy(*threads, *iters)
+	case "throttle":
+		throttleStudy(*threads, *iters)
+	default:
+		fmt.Fprintf(os.Stderr, "nucaexplore: unknown study %q\n", *study)
+		os.Exit(2)
+	}
+}
+
+// contend runs a contended acquire/work/release loop and returns the
+// time per acquisition and the global transaction count.
+func contend(cfg machine.Config, lockName string, threads, iters int) (sim.Time, uint64) {
+	m := machine.New(cfg)
+	cpus := make([]int, threads)
+	perNode := make([]int, cfg.Nodes)
+	for t := 0; t < threads; t++ {
+		n := t % cfg.Nodes
+		for perNode[n] >= cfg.CPUsPerNode {
+			n = (n + 1) % cfg.Nodes
+		}
+		cpus[t] = n*cfg.CPUsPerNode + perNode[n]
+		perNode[n]++
+	}
+	l := simlock.New(lockName, m, 0, cpus, simlock.DefaultTuning())
+	data := m.Alloc(0, 2)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(uint64(tid) + 1)
+			for i := 0; i < iters; i++ {
+				l.Acquire(p, tid)
+				p.Store(data, p.Load(data)+1)
+				p.Store(data+1, p.Load(data+1)+1)
+				l.Release(p, tid)
+				p.Work(1500 + rng.Timen(1500))
+			}
+		})
+	}
+	m.Run()
+	return m.Now() / sim.Time(threads*iters), m.Stats().Global
+}
+
+// withRatio scales the remote latencies so remote/local cache-to-cache
+// equals the requested NUCA ratio.
+func withRatio(ratio float64) machine.Config {
+	cfg := machine.WildFire()
+	cfg.CPUsPerNode = 16
+	cfg.Seed = 9
+	lat := cfg.Lat
+	lat.C2CRemote = sim.Time(float64(lat.C2CLocal) * ratio)
+	lat.MemRemote = sim.Time(float64(lat.MemLocal) * ratio)
+	cfg.Lat = lat
+	return cfg
+}
+
+func ratioStudy(threads, iters int) {
+	t := stats.NewTable(
+		"NUCA-ratio sweep: time per acquisition (µs); NUCA-aware locking pays off once the ratio is substantial",
+		"NUCA ratio", "TATAS_EXP", "MCS", "HBO_GT_SD", "HBO_GT_SD/MCS")
+	for _, ratio := range []float64{1, 2, 3.5, 6, 10} {
+		cfg := withRatio(ratio)
+		te, _ := contend(cfg, "TATAS_EXP", threads, iters)
+		mc, _ := contend(cfg, "MCS", threads, iters)
+		hb, _ := contend(cfg, "HBO_GT_SD", threads, iters)
+		t.AddRow(stats.F(ratio, 1),
+			stats.F(float64(te)/1000, 2),
+			stats.F(float64(mc)/1000, 2),
+			stats.F(float64(hb)/1000, 2),
+			stats.F(float64(hb)/float64(mc), 2))
+	}
+	fmt.Print(t.String())
+}
+
+func nodeStudy(threads, iters int) {
+	t := stats.NewTable(
+		"Node-count sweep (fixed 32 CPUs): hierarchical NUCA from CMP-like nodes",
+		"Nodes x CPUs", "TATAS_EXP", "MCS", "HBO_GT_SD")
+	for _, nodes := range []int{2, 4, 8} {
+		cfg := machine.WildFire()
+		cfg.Nodes = nodes
+		cfg.CPUsPerNode = 32 / nodes
+		cfg.Seed = 9
+		te, _ := contend(cfg, "TATAS_EXP", threads, iters)
+		mc, _ := contend(cfg, "MCS", threads, iters)
+		hb, _ := contend(cfg, "HBO_GT_SD", threads, iters)
+		t.AddRow(fmt.Sprintf("%dx%d", nodes, 32/nodes),
+			stats.F(float64(te)/1000, 2),
+			stats.F(float64(mc)/1000, 2),
+			stats.F(float64(hb)/1000, 2))
+	}
+	fmt.Print(t.String())
+}
+
+func throttleStudy(threads, iters int) {
+	t := stats.NewTable(
+		"Throttle ablation: global transactions per acquisition",
+		"Lock", "Global/acq", "Time/acq (µs)")
+	for _, name := range []string{"TATAS", "TATAS_EXP", "HBO", "HBO_GT", "HBO_GT_SD"} {
+		cfg := machine.WildFire()
+		cfg.Seed = 9
+		per, glob := contend(cfg, name, threads, iters)
+		t.AddRow(name,
+			stats.F(float64(glob)/float64(threads*iters), 2),
+			stats.F(float64(per)/1000, 2))
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,45 @@
+// Package hbo provides hierarchical backoff locks (HBO) and the other
+// lock algorithms studied in Radović & Hagersten, "Hierarchical Backoff
+// Locks for Nonuniform Communication Architectures" (HPCA 2003), as a
+// native Go library, together with a NUCA machine simulator that
+// reproduces the paper's evaluation.
+//
+// # Native locks
+//
+// The native locks live behind this package's facade and run on real
+// goroutines using sync/atomic. A Runtime describes the logical NUCA
+// topology; worker goroutines register with the node they run in and
+// pass the resulting *Thread to Acquire/Release:
+//
+//	rt := hbo.NewRuntime(2, 32)            // 2 nodes, up to 32 workers
+//	lock := hbo.NewLock(hbo.HBOGTSD, rt)   // the paper's best general lock
+//
+//	go func() {
+//	    t := rt.RegisterThread(0)          // this worker runs in node 0
+//	    lock.Acquire(t)
+//	    // critical section
+//	    lock.Release(t)
+//	}()
+//
+// Available algorithms: TATAS, TATASExp, MCS, CLH, RH, HBO, HBOGT and
+// HBOGTSD (see AlgorithmNames). The HBO family biases lock handover
+// toward threads in the owner's node, which shortens handover latency
+// and keeps the data a lock guards in-node; HBO_GT throttles the global
+// traffic of remote spinners; HBO_GT_SD adds starvation detection.
+//
+// Go cannot discover NUMA placement from inside the runtime, so node
+// ids are logical: callers that pin OS threads externally get real NUCA
+// affinity, while unpinned callers still benefit from reduced lock-line
+// bouncing under contention.
+//
+// # Reproduction stack
+//
+// The simulator and experiment drivers live in internal packages and
+// are exposed through cmd/hbobench, which regenerates every table and
+// figure of the paper:
+//
+//	go run repro/cmd/hbobench -experiment all
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// measured-vs-paper results.
+package hbo

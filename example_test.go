@@ -1,0 +1,66 @@
+package hbo_test
+
+import (
+	"fmt"
+	"sync"
+
+	hbo "repro"
+)
+
+// ExampleNewLock shows the basic acquire/release pattern: register each
+// worker with its logical NUCA node and pass the Thread handle to the
+// lock operations.
+func ExampleNewLock() {
+	rt := hbo.NewRuntime(2, 4) // 2 nodes, up to 4 workers
+	lock := hbo.NewLock(hbo.HBOGTSD, rt)
+
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			t := rt.RegisterThread(node)
+			for i := 0; i < 1000; i++ {
+				lock.Acquire(t)
+				counter++
+				lock.Release(t)
+			}
+		}(w % 2)
+	}
+	wg.Wait()
+	fmt.Println(counter)
+	// Output: 4000
+}
+
+// ExampleLocker adapts a lock to sync.Locker for APIs that expect the
+// standard interface.
+func ExampleLocker() {
+	rt := hbo.NewRuntime(1, 1)
+	lock := hbo.NewLock(hbo.HBO, rt)
+	var mu sync.Locker = hbo.Locker{L: lock, T: rt.RegisterThread(0)}
+	mu.Lock()
+	fmt.Println("held")
+	mu.Unlock()
+	// Output: held
+}
+
+// ExampleNewRuntimeHierarchical builds a clustered topology for the
+// hierarchical HBO variant.
+func ExampleNewRuntimeHierarchical() {
+	// Eight nodes grouped in clusters of two — e.g. a NUMA box built
+	// from dual-CMP packages.
+	rt := hbo.NewRuntimeHierarchical(8, 2, 16)
+	lock := hbo.NewLock(hbo.HBOHier, rt)
+	t := rt.RegisterThread(5)
+	lock.Acquire(t)
+	lock.Release(t)
+	fmt.Println(lock.Name())
+	// Output: HBO_HIER
+}
+
+// ExampleAlgorithm_NUCAAware distinguishes the node-affine algorithms.
+func ExampleAlgorithm_NUCAAware() {
+	fmt.Println(hbo.MCS.NUCAAware(), hbo.HBOGTSD.NUCAAware())
+	// Output: false true
+}

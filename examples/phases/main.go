@@ -1,0 +1,77 @@
+// Phases: a barrier-synchronized, phase-structured computation — the
+// shape of a SPLASH-2 program — on the simulated NUCA machine, showing
+// how lock choice changes phase times and how the tree barrier keeps
+// the barrier itself off the interconnect.
+//
+// Run with:
+//
+//	go run repro/examples/phases
+//
+// Each phase does parallel work with occasional critical sections, then
+// everyone meets at a barrier (the paper's section 6 setting: unfair
+// locks make threads arrive unevenly, so the phase ends late).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+	"repro/internal/simsync"
+)
+
+const (
+	threads = 16
+	phases  = 4
+	updates = 40 // critical-section entries per thread per phase
+)
+
+func run(lockName string) (total sim.Time, global uint64) {
+	cfg := machine.WildFire()
+	cfg.Seed = 77
+	m := machine.New(cfg)
+
+	cpus := make([]int, threads)
+	next := make([]int, cfg.Nodes)
+	for i := range cpus {
+		n := i % cfg.Nodes
+		cpus[i] = n*cfg.CPUsPerNode + next[n]
+		next[n]++
+	}
+
+	lock := simlock.New(lockName, m, 0, cpus, simlock.DefaultTuning())
+	barrier := simsync.NewTreeBarrier(m, cpus)
+	shared := m.Alloc(0, 2)
+
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(uint64(tid) + 1)
+			for ph := 0; ph < phases; ph++ {
+				for u := 0; u < updates; u++ {
+					p.Work(rng.Timen(3000) + 500) // parallel compute
+					lock.Acquire(p, tid)
+					p.Store(shared, p.Load(shared)+1)
+					p.Store(shared+1, p.Load(shared+1)+1)
+					lock.Release(p, tid)
+				}
+				barrier.Wait(p, tid)
+			}
+		})
+	}
+	m.Run()
+	return m.Now(), m.Stats().Global
+}
+
+func main() {
+	fmt.Printf("%d threads, %d phases, %d lock entries each, tree barrier\n\n",
+		threads, phases, updates)
+	fmt.Printf("%-10s %12s %10s\n", "lock", "total", "global txns")
+	for _, name := range []string{"TATAS", "TATAS_EXP", "MCS", "CLH", "HBO_GT_SD", "COHORT"} {
+		total, global := run(name)
+		fmt.Printf("%-10s %12v %10d\n", name, total, global)
+	}
+	fmt.Println("\nUnfair locks delay the last arrival at each barrier; the")
+	fmt.Println("phase cannot end before it.")
+}

@@ -1,0 +1,77 @@
+// Simulate: build a custom NUCA machine, run a contended workload on it,
+// and inspect the coherence traffic — the reproduction stack as a
+// library.
+//
+// Run with:
+//
+//	go run repro/examples/simulate
+//
+// The example builds a 4-node machine (a hierarchical NUCA like the
+// CMP-based servers the paper's section 2 predicts), runs the same
+// critical-section loop under TATAS and HBO_GT_SD, and prints time,
+// node-handoff ratio, and local/global transaction counts.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+func main() {
+	const (
+		threads = 16
+		iters   = 300
+	)
+
+	fmt.Println("4-node NUCA, 4 CPUs/node, 16 threads hammering one lock")
+	fmt.Printf("%-10s %10s %10s %8s %8s\n", "lock", "time", "per-iter", "handoff", "global")
+
+	for _, name := range []string{"TATAS", "TATAS_EXP", "MCS", "HBO", "HBO_GT_SD"} {
+		cfg := machine.WildFire()
+		cfg.Nodes = 4
+		cfg.CPUsPerNode = 4
+		cfg.Seed = 42
+		m := machine.New(cfg)
+
+		cpus := make([]int, threads)
+		for i := range cpus {
+			cpus[i] = i
+		}
+		lock := simlock.New(name, m, 0, cpus, simlock.DefaultTuning())
+		shared := m.Alloc(0, 4) // data guarded by the lock
+
+		lastNode, handoffs, switches := -1, 0, 0
+		for tid := 0; tid < threads; tid++ {
+			tid := tid
+			m.Spawn(cpus[tid], func(p *machine.Proc) {
+				rng := sim.NewRNG(uint64(tid) + 1)
+				for i := 0; i < iters; i++ {
+					lock.Acquire(p, tid)
+					if lastNode >= 0 {
+						handoffs++
+						if lastNode != p.Node() {
+							switches++
+						}
+					}
+					lastNode = p.Node()
+					for w := 0; w < 4; w++ {
+						a := shared + machine.Addr(w)
+						p.Store(a, p.Load(a)+1)
+					}
+					lock.Release(p, tid)
+					p.Work(2000 + rng.Timen(2000))
+				}
+			})
+		}
+		m.Run()
+
+		total := m.Now()
+		fmt.Printf("%-10s %10v %10v %8.2f %8d\n",
+			name, total, total/sim.Time(threads*iters),
+			float64(switches)/float64(handoffs), m.Stats().Global)
+	}
+	fmt.Println("\nhandoff = fraction of acquisitions that crossed nodes")
+}

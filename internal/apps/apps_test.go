@@ -1,0 +1,306 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+func appMachine(seed uint64) machine.Config {
+	cfg := machine.WildFire()
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestSpecsMatchTable3(t *testing.T) {
+	want := map[string]struct{ locks, calls int }{
+		"Barnes":    {130, 69193},
+		"Cholesky":  {67, 74284},
+		"FMM":       {2052, 80528},
+		"Radiosity": {3975, 295627},
+		"Raytrace":  {35, 366450},
+		"Volrend":   {67, 38456},
+		"Water-Nsq": {2206, 112415},
+	}
+	specs := Specs()
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected app %q", s.Name)
+			continue
+		}
+		if s.TotalLocks != w.locks || s.LockCalls != w.calls {
+			t.Errorf("%s: locks/calls = %d/%d, want %d/%d",
+				s.Name, s.TotalLocks, s.LockCalls, w.locks, w.calls)
+		}
+		if !s.Studied {
+			t.Errorf("%s should be marked studied", s.Name)
+		}
+		if s.LockCalls <= 10000 {
+			t.Errorf("%s: the paper only studies apps with >10k lock calls", s.Name)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if SpecByName("Raytrace").TotalLocks != 35 {
+		t.Fatal("SpecByName returned wrong spec")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unknown app")
+		}
+	}()
+	SpecByName("Doom")
+}
+
+func TestHotSpotProbabilitiesValid(t *testing.T) {
+	for _, s := range Specs() {
+		sum := 0.0
+		for _, h := range s.Hot {
+			if h.Lock < 0 || h.Lock >= s.TotalLocks {
+				t.Errorf("%s: hotspot lock %d out of range", s.Name, h.Lock)
+			}
+			if h.P <= 0 || h.P >= 1 {
+				t.Errorf("%s: hotspot p=%v out of range", s.Name, h.P)
+			}
+			sum += h.P
+		}
+		if sum >= 1 {
+			t.Errorf("%s: hotspot mass %v >= 1", s.Name, sum)
+		}
+	}
+}
+
+func TestRunCompletesAllApps(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res := Run(spec, Config{
+				Machine: appMachine(1),
+				Lock:    "HBO_GT_SD",
+				Threads: 8,
+				Tuning:  simlock.DefaultTuning(),
+				Scale:   400,
+			})
+			if res.Seconds <= 0 || res.Aborted {
+				t.Fatalf("%s: seconds=%v aborted=%v", spec.Name, res.Seconds, res.Aborted)
+			}
+			if res.LockCalls == 0 {
+				t.Fatalf("%s: no lock calls recorded", spec.Name)
+			}
+		})
+	}
+}
+
+func TestRunAllLocksOnRaytrace(t *testing.T) {
+	spec := SpecByName("Raytrace")
+	for _, name := range simlock.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := Run(spec, Config{
+				Machine: appMachine(2),
+				Lock:    name,
+				Threads: 8,
+				Tuning:  simlock.DefaultTuning(),
+				Scale:   400,
+			})
+			if res.Seconds <= 0 {
+				t.Fatalf("seconds = %v", res.Seconds)
+			}
+		})
+	}
+}
+
+// TestRaytraceContentionOrdering: the headline application result — on
+// high-contention Raytrace, NUCA-aware locks beat TATAS clearly.
+func TestRaytraceContentionOrdering(t *testing.T) {
+	spec := SpecByName("Raytrace")
+	run := func(name string) float64 {
+		return Run(spec, Config{
+			Machine: appMachine(3),
+			Lock:    name,
+			Threads: 16,
+			Tuning:  simlock.DefaultTuning(),
+			Scale:   100,
+		}).Seconds
+	}
+	tatas := run("TATAS")
+	hbogt := run("HBO_GT")
+	if hbogt >= tatas {
+		t.Fatalf("HBO_GT %.2fs not faster than TATAS %.2fs on Raytrace", hbogt, tatas)
+	}
+}
+
+// TestSerialCalibration: a 1-thread Raytrace run should land near the
+// paper's 5.0 s (the lock path adds a little on top of the pure work).
+func TestSerialCalibration(t *testing.T) {
+	spec := SpecByName("Raytrace")
+	res := Run(spec, Config{
+		Machine: appMachine(4),
+		Lock:    "TATAS",
+		Threads: 1,
+		Tuning:  simlock.DefaultTuning(),
+		Scale:   100,
+	})
+	if res.Seconds < 4.5 || res.Seconds > 6.5 {
+		t.Fatalf("1-CPU Raytrace = %.2fs, want ~5s", res.Seconds)
+	}
+}
+
+// TestTimeLimitReproducesTable4Abort: queue locks at full subscription
+// with preemption must blow through the time limit.
+func TestTimeLimitReproducesTable4Abort(t *testing.T) {
+	spec := SpecByName("Raytrace")
+	cfg := Config{
+		Machine:          appMachine(5),
+		Lock:             "MCS",
+		Threads:          30,
+		Tuning:           simlock.DefaultTuning(),
+		Scale:            200,
+		TimeLimitSeconds: 200,
+	}
+	cfg.Machine.Preempt = Preemption(cfg.Scale)
+	res := Run(spec, cfg)
+	if !res.Aborted {
+		t.Fatalf("MCS at 30 threads with preemption finished in %.2fs; expected abort >200s", res.Seconds)
+	}
+	if res.Seconds != 200 {
+		t.Fatalf("aborted Seconds = %v, want the limit", res.Seconds)
+	}
+}
+
+// TestBackoffLocksSurvivePreemption: HBO_GT_SD under the same
+// interference finishes in the same ballpark as without it.
+func TestBackoffLocksSurvivePreemption(t *testing.T) {
+	spec := SpecByName("Raytrace")
+	base := Config{
+		Machine:          appMachine(6),
+		Lock:             "HBO_GT_SD",
+		Threads:          30,
+		Tuning:           simlock.DefaultTuning(),
+		Scale:            200,
+		TimeLimitSeconds: 200,
+	}
+	quiet := Run(spec, base)
+	noisy := base
+	noisy.Machine.Preempt = Preemption(base.Scale)
+	loud := Run(spec, noisy)
+	if loud.Aborted {
+		t.Fatalf("HBO_GT_SD aborted under preemption")
+	}
+	// The hard assertion is liveness (queue locks abort at >200 s under
+	// the same interference); the soft one bounds the degradation to a
+	// modest factor, two orders of magnitude from the queue locks'
+	// collapse. (A preempted node winner holds is_spinning and blocks
+	// its node for the stolen window — a real sensitivity of HBO_GT
+	// that the paper's measured runs did not surface; EXPERIMENTS.md
+	// discusses the deviation.)
+	if loud.Seconds > 8*quiet.Seconds {
+		t.Fatalf("HBO_GT_SD degraded %.2fs -> %.2fs under preemption", quiet.Seconds, loud.Seconds)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := sim.NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		v := jitter(rng, 1000, 0.5)
+		if v < 500 || v > 1500 {
+			t.Fatalf("jitter out of bounds: %v", v)
+		}
+	}
+	if jitter(rng, 0, 0.5) != 0 {
+		t.Fatal("jitter of zero base")
+	}
+}
+
+func TestPickLockDistribution(t *testing.T) {
+	spec := SpecByName("Raytrace") // lock0 45%, lock1 35%
+	rng := sim.NewRNG(23)
+	counts := make([]int, spec.TotalLocks)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[pickLock(spec, rng)]++
+	}
+	f0 := float64(counts[0]) / n
+	f1 := float64(counts[1]) / n
+	if f0 < 0.42 || f0 > 0.50 {
+		t.Fatalf("hot lock 0 frequency %.3f, want ~0.46", f0)
+	}
+	if f1 < 0.32 || f1 > 0.40 {
+		t.Fatalf("hot lock 1 frequency %.3f, want ~0.36", f1)
+	}
+}
+
+func TestScaleClampAndDeterminism(t *testing.T) {
+	spec := SpecByName("Volrend")
+	cfg := Config{
+		Machine: appMachine(9),
+		Lock:    "CLH",
+		Threads: 4,
+		Tuning:  simlock.DefaultTuning(),
+		Scale:   400,
+	}
+	a, b := Run(spec, cfg), Run(spec, cfg)
+	if a.Seconds != b.Seconds || a.Traffic.Global != b.Traffic.Global {
+		t.Fatalf("nondeterministic app run: %v/%d vs %v/%d",
+			a.Seconds, a.Traffic.Global, b.Seconds, b.Traffic.Global)
+	}
+}
+
+func TestAllSpecsCompleteTable3(t *testing.T) {
+	all := AllSpecs()
+	if len(all) != 14 {
+		t.Fatalf("Table 3 has 14 programs, got %d", len(all))
+	}
+	studied, rest := 0, 0
+	for _, s := range all {
+		if s.Studied {
+			studied++
+			if s.LockCalls <= 10000 {
+				t.Errorf("%s studied with only %d calls", s.Name, s.LockCalls)
+			}
+		} else {
+			rest++
+			if s.LockCalls > 10000 {
+				t.Errorf("%s not studied despite %d calls", s.Name, s.LockCalls)
+			}
+		}
+	}
+	if studied != 7 || rest != 7 {
+		t.Fatalf("studied/rest = %d/%d, want 7/7", studied, rest)
+	}
+	// Spot-check paper values.
+	for _, s := range all {
+		switch s.Name {
+		case "FFT":
+			if s.TotalLocks != 1 || s.LockCalls != 32 {
+				t.Errorf("FFT stats wrong: %+v", s)
+			}
+		case "Water-Sp":
+			if s.TotalLocks != 222 || s.LockCalls != 510 {
+				t.Errorf("Water-Sp stats wrong: %+v", s)
+			}
+		}
+	}
+}
+
+func TestNonStudiedSpecsRunnable(t *testing.T) {
+	// Even the tiny-lock-count programs must execute as workloads.
+	spec := SpecByNameAll("Ocean-c")
+	res := Run(spec, Config{
+		Machine: appMachine(3),
+		Lock:    "TATAS_EXP",
+		Threads: 8,
+		Tuning:  simlock.DefaultTuning(),
+		Scale:   50,
+	})
+	if res.Seconds <= 0 || res.LockCalls == 0 {
+		t.Fatalf("Ocean-c run = %+v", res)
+	}
+}

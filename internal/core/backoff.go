@@ -1,0 +1,72 @@
+package core
+
+import "runtime"
+
+// Tuning holds the backoff constants for the native locks. Units are
+// iterations of the busy-wait loop in spinDelay; the effective duration
+// depends on the host CPU, exactly as the paper notes ("backoff
+// parameters must be tuned by trial and error for each individual
+// architecture").
+type Tuning struct {
+	BackoffBase       int
+	BackoffFactor     int
+	BackoffCap        int
+	RemoteBackoffBase int
+	RemoteBackoffCap  int
+	GetAngryLimit     int
+	// RH-specific knobs (see internal/simlock for their meaning).
+	RHRemoteBase  int
+	RHRemoteCap   int
+	RHFairTries   int
+	RHGlobalEvery int
+	// YieldThreshold: spinDelay calls runtime.Gosched once per this many
+	// loop iterations so oversubscribed GOMAXPROCS configurations make
+	// progress. 0 selects the default.
+	YieldThreshold int
+}
+
+// DefaultTuning returns constants that behave reasonably on commodity
+// hardware.
+func DefaultTuning() Tuning {
+	return Tuning{
+		BackoffBase:       64,
+		BackoffFactor:     2,
+		BackoffCap:        4096,
+		RemoteBackoffBase: 1024,
+		RemoteBackoffCap:  16384,
+		GetAngryLimit:     32,
+		RHRemoteBase:      1024,
+		RHRemoteCap:       16384,
+		RHFairTries:       4,
+		RHGlobalEvery:     64,
+		YieldThreshold:    1024,
+	}
+}
+
+func (t Tuning) yieldThreshold() int {
+	if t.YieldThreshold <= 0 {
+		return 1024
+	}
+	return t.YieldThreshold
+}
+
+// spinDelay busy-waits for roughly n loop iterations, yielding the
+// processor periodically so spinners cannot starve the goroutine holding
+// the lock when GOMAXPROCS is smaller than the number of contenders.
+func spinDelay(n, yieldEvery int) {
+	for i := 0; i < n; i++ {
+		if i%yieldEvery == yieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// backoff delays for *b iterations and doubles *b up to cap (the paper's
+// backoff helper, Figure 1 lines 11–16).
+func backoff(b *int, factor, cap, yieldEvery int) {
+	spinDelay(*b, yieldEvery)
+	*b *= factor
+	if *b > cap {
+		*b = cap
+	}
+}

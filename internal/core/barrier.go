@@ -1,0 +1,41 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a sense-reversing centralized barrier for registered
+// threads — the primitive SPLASH-2 style programs pair with these locks
+// between phases. Reusable across episodes.
+type Barrier struct {
+	parties int64
+	count   atomic.Int64
+	sense   atomic.Uint64
+	// local sense per thread.
+	local []uint64
+}
+
+// NewBarrier builds a barrier for parties threads on runtime r.
+func NewBarrier(r *Runtime, parties int) *Barrier {
+	if parties < 1 || parties > r.maxThreads {
+		panic("core: barrier parties out of range")
+	}
+	b := &Barrier{parties: int64(parties), local: make([]uint64, r.maxThreads)}
+	b.count.Store(int64(parties))
+	return b
+}
+
+// Wait blocks thread t until all parties have arrived at this episode.
+func (b *Barrier) Wait(t *Thread) {
+	b.local[t.id] ^= 1
+	want := b.local[t.id]
+	if b.count.Add(-1) == 0 {
+		b.count.Store(b.parties)
+		b.sense.Store(want)
+		return
+	}
+	for b.sense.Load() != want {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import "runtime"
+
+// Cohort implements ticket-ticket lock cohorting (after Dice, Marathe &
+// Shavit): a global ticket lock arbitrates between nodes, a per-node
+// ticket lock within a node, and a releaser with a local successor hands
+// the global lock along the cohort — the deterministic way to get the
+// node affinity HBO gets with backoff races. See internal/simlock for
+// the simulated twin and design notes.
+type Cohort struct {
+	globalNext  paddedUint64
+	globalOwner paddedUint64
+	local       []cohortNode
+	myTicket    []uint64
+	cohortLimit uint64
+}
+
+type cohortNode struct {
+	next      paddedUint64
+	owner     paddedUint64
+	ownGlobal paddedUint64
+	streak    paddedUint64
+}
+
+// NewCohort returns an unlocked cohort lock for r's topology.
+func NewCohort(r *Runtime) *Cohort {
+	return &Cohort{
+		local:       make([]cohortNode, r.nodes),
+		myTicket:    make([]uint64, r.maxThreads),
+		cohortLimit: 64,
+	}
+}
+
+// Name returns "COHORT".
+func (l *Cohort) Name() string { return "COHORT" }
+
+// Acquire takes the node-local ticket lock, then the global lock unless
+// the node already owns it.
+func (l *Cohort) Acquire(t *Thread) {
+	n := &l.local[t.node]
+	my := n.next.v.Add(1) - 1
+	l.myTicket[t.id] = my
+	for n.owner.v.Load() != my {
+		runtime.Gosched()
+	}
+	if n.ownGlobal.v.Load() != 0 {
+		return
+	}
+	g := l.globalNext.v.Add(1) - 1
+	for l.globalOwner.v.Load() != g {
+		runtime.Gosched()
+	}
+	n.ownGlobal.v.Store(1)
+}
+
+// Release hands over in-node when a local successor exists and the
+// cohort limit allows; otherwise it releases the global lock.
+func (l *Cohort) Release(t *Thread) {
+	n := &l.local[t.node]
+	my := l.myTicket[t.id]
+	succ := n.next.v.Load() > my+1
+	streak := n.streak.v.Load()
+	if succ && streak < l.cohortLimit {
+		n.streak.v.Store(streak + 1)
+		n.owner.v.Store(my + 1)
+		return
+	}
+	n.streak.v.Store(0)
+	n.ownGlobal.v.Store(0)
+	l.globalOwner.v.Add(1)
+	n.owner.v.Store(my + 1)
+}

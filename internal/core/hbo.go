@@ -1,0 +1,200 @@
+package core
+
+// HBO-family lock-word values: 0 is free, otherwise node id + 1.
+const hboFree uint64 = 0
+
+func hboNodeVal(node int) uint64 { return uint64(node) + 1 }
+
+// isSpinning sentinel: 0 means no neighbor is remote-spinning; the word
+// otherwise holds an opaque non-zero tag identifying the lock.
+const hboDummy uint64 = 0
+
+type hboMode int
+
+const (
+	modeHBO hboMode = iota
+	modeGT
+	modeGTSD
+)
+
+// HBO is the paper's hierarchical backoff lock (Figure 1): the acquiring
+// thread cas-es its node id into the lock word; contenders in the
+// owner's node back off gently, contenders in other nodes back off hard,
+// so the lock (and the data it guards) tends to stay within a node.
+//
+// The GT variant adds per-node traffic throttling (one word per node
+// that a remote-spinning "node winner" uses to hold its neighbors back),
+// and GT_SD adds the node-centric starvation detection of Figure 2.
+type HBO struct {
+	name string
+	mode hboMode
+	word paddedUint64
+	tag  uint64 // non-zero identity stored in is_spinning words
+	// isSpinning[n] is node n's throttle word (GT modes).
+	isSpinning []paddedUint64
+	tun        Tuning
+}
+
+func newHBOVariant(name string, mode hboMode, r *Runtime, tun Tuning) *HBO {
+	l := &HBO{name: name, mode: mode, tun: tun, tag: lockIDs.Add(1)}
+	if mode != modeHBO {
+		l.isSpinning = make([]paddedUint64, r.nodes)
+	}
+	return l
+}
+
+// NewHBO returns an unlocked HBO lock.
+func NewHBO(r *Runtime, tun Tuning) *HBO { return newHBOVariant("HBO", modeHBO, r, tun) }
+
+// NewHBOGT returns an unlocked HBO lock with global-traffic throttling.
+func NewHBOGT(r *Runtime, tun Tuning) *HBO { return newHBOVariant("HBO_GT", modeGT, r, tun) }
+
+// NewHBOGTSD returns an unlocked HBO_GT lock with starvation detection.
+func NewHBOGTSD(r *Runtime, tun Tuning) *HBO {
+	return newHBOVariant("HBO_GT_SD", modeGTSD, r, tun)
+}
+
+// Name returns the variant name.
+func (l *HBO) Name() string { return l.name }
+
+// Acquire implements hbo_acquire (Figure 1, lines 1–10). The fast path
+// is a single CAS, so an uncontested HBO acquire costs the same as
+// TATAS — the paper's low-latency design goal.
+func (l *HBO) Acquire(t *Thread) {
+	my := hboNodeVal(t.node)
+	if l.mode != modeHBO {
+		l.spinWhileThrottled(t)
+	}
+	tmp := l.cas(my)
+	if tmp == hboFree {
+		return
+	}
+	l.acquireSlowpath(t, tmp)
+}
+
+// spinWhileThrottled waits while this node's throttle word names us.
+func (l *HBO) spinWhileThrottled(t *Thread) {
+	y := l.tun.yieldThreshold()
+	spins := 0
+	for l.isSpinning[t.node].v.Load() == l.tag {
+		spins++
+		spinDelay(l.tun.BackoffBase, y)
+	}
+}
+
+// cas mirrors the paper's cas(L, FREE, my): it returns FREE exactly when
+// the lock was obtained, else the observed owner value. A failed
+// CompareAndSwap that then observes FREE (the owner released in between)
+// retries, because returning FREE without owning would be a false
+// acquisition.
+func (l *HBO) cas(my uint64) uint64 {
+	for {
+		if l.word.v.CompareAndSwap(hboFree, my) {
+			return hboFree
+		}
+		if v := l.word.v.Load(); v != hboFree {
+			return v
+		}
+	}
+}
+
+// acquireSlowpath implements Figure 1 lines 17–61 (with the Figure 2
+// replacement in GT_SD mode).
+func (l *HBO) acquireSlowpath(t *Thread, tmp uint64) {
+	my := hboNodeVal(t.node)
+	gt := l.mode != modeHBO
+	y := l.tun.yieldThreshold()
+
+	getAngry := 0
+	angry := false
+	var stopped []int
+	releaseStopped := func() {
+		for _, n := range stopped {
+			l.isSpinning[n].v.Store(hboDummy)
+		}
+		stopped = stopped[:0]
+	}
+
+start:
+	if tmp == my { // lock held in our node: gentle backoff
+		b := l.tun.BackoffBase
+		for {
+			backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
+			tmp = l.cas(my)
+			if tmp == hboFree {
+				return
+			}
+			if tmp != my {
+				backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
+				goto restart
+			}
+		}
+	}
+
+	// Lock held in a remote node: hard backoff; in GT modes, throttle
+	// our neighbors while we are the node winner.
+	{
+		b := l.tun.RemoteBackoffBase
+		bcap := l.tun.RemoteBackoffCap
+		if gt {
+			l.isSpinning[t.node].v.Store(l.tag)
+		}
+		for {
+			backoff(&b, l.tun.BackoffFactor, bcap, y)
+			tmp = l.cas(my)
+			if tmp == hboFree {
+				if gt {
+					l.isSpinning[t.node].v.Store(hboDummy)
+					releaseStopped()
+				}
+				return
+			}
+			if tmp == my {
+				if gt {
+					l.isSpinning[t.node].v.Store(hboDummy)
+					releaseStopped()
+				}
+				goto restart
+			}
+			if l.mode == modeGTSD {
+				getAngry++
+				if getAngry >= l.tun.GetAngryLimit {
+					getAngry = 0
+					owner := int(tmp) - 1
+					if owner >= 0 && owner < len(l.isSpinning) &&
+						owner != t.node && !containsInt(stopped, owner) {
+						stopped = append(stopped, owner)
+						l.isSpinning[owner].v.Store(l.tag)
+					}
+					if !angry {
+						angry = true
+						b = l.tun.BackoffBase
+						bcap = l.tun.BackoffCap
+					}
+				}
+			}
+		}
+	}
+
+restart:
+	if gt {
+		l.spinWhileThrottled(t)
+	}
+	tmp = l.cas(my)
+	if tmp == hboFree {
+		return
+	}
+	goto start
+}
+
+// Release implements hbo_release: a single store.
+func (l *HBO) Release(t *Thread) { l.word.v.Store(hboFree) }
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

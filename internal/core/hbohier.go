@@ -1,0 +1,76 @@
+package core
+
+// HBOHier is the hierarchical HBO generalization (paper section 4.1):
+// the backoff schedule is chosen by the contender's *distance* to the
+// lock owner — same node, same cluster, or across clusters. It requires
+// a runtime built with NewRuntimeHierarchical (flat runtimes degrade to
+// two distance classes, i.e. plain HBO behaviour).
+type HBOHier struct {
+	word paddedUint64
+	tun  Tuning
+	rt   *Runtime
+}
+
+// NewHBOHier returns an unlocked hierarchical HBO lock.
+func NewHBOHier(r *Runtime, tun Tuning) *HBOHier {
+	return &HBOHier{tun: tun, rt: r}
+}
+
+// Name returns "HBO_HIER".
+func (l *HBOHier) Name() string { return "HBO_HIER" }
+
+// schedule maps a distance class to backoff constants.
+func (l *HBOHier) schedule(distance int) (base, cap int) {
+	switch distance {
+	case 0:
+		return l.tun.BackoffBase, l.tun.BackoffCap
+	case 1:
+		return l.tun.RemoteBackoffBase, l.tun.RemoteBackoffCap
+	default:
+		return 4 * l.tun.RemoteBackoffBase, 4 * l.tun.RemoteBackoffCap
+	}
+}
+
+// cas mirrors the HBO helper: FREE return means acquired.
+func (l *HBOHier) cas(my uint64) uint64 {
+	for {
+		if l.word.v.CompareAndSwap(hboFree, my) {
+			return hboFree
+		}
+		if v := l.word.v.Load(); v != hboFree {
+			return v
+		}
+	}
+}
+
+// Acquire obtains the lock with distance-dependent backoff.
+func (l *HBOHier) Acquire(t *Thread) {
+	my := hboNodeVal(t.node)
+	tmp := l.cas(my)
+	if tmp == hboFree {
+		return
+	}
+	l.acquireSlowpath(t, tmp)
+}
+
+func (l *HBOHier) acquireSlowpath(t *Thread, tmp uint64) {
+	my := hboNodeVal(t.node)
+	y := l.tun.yieldThreshold()
+	for {
+		dist := l.rt.Distance(t.node, int(tmp)-1)
+		b, bcap := l.schedule(dist)
+		for {
+			backoff(&b, l.tun.BackoffFactor, bcap, y)
+			tmp = l.cas(my)
+			if tmp == hboFree {
+				return
+			}
+			if l.rt.Distance(t.node, int(tmp)-1) != dist {
+				break // owner moved to a different distance class
+			}
+		}
+	}
+}
+
+// Release unlocks.
+func (l *HBOHier) Release(t *Thread) { l.word.v.Store(hboFree) }

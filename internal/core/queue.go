@@ -1,0 +1,133 @@
+package core
+
+import "runtime"
+
+// mcsQnode is one thread's queue entry, padded onto its own line.
+type mcsQnode struct {
+	next   paddedInt64  // successor thread id, -1 = none
+	locked paddedUint64 // 1 while waiting
+}
+
+// MCS is the queue lock of Mellor-Crummey and Scott: threads enqueue and
+// each spins on its own flag, so a release disturbs only the successor.
+type MCS struct {
+	tail   paddedInt64 // thread id of the last waiter, -1 = free
+	qnodes []mcsQnode
+}
+
+// NewMCS returns an unlocked MCS lock sized for r's thread capacity.
+func NewMCS(r *Runtime) *MCS {
+	l := &MCS{qnodes: make([]mcsQnode, r.maxThreads)}
+	l.tail.v.Store(-1)
+	for i := range l.qnodes {
+		l.qnodes[i].next.v.Store(-1)
+	}
+	return l
+}
+
+// Name returns "MCS".
+func (l *MCS) Name() string { return "MCS" }
+
+// Acquire enqueues the thread and waits for its predecessor's grant.
+func (l *MCS) Acquire(t *Thread) {
+	me := int64(t.id)
+	q := &l.qnodes[t.id]
+	q.next.v.Store(-1)
+	prev := l.tail.v.Swap(me)
+	if prev < 0 {
+		return
+	}
+	q.locked.v.Store(1)
+	l.qnodes[prev].next.v.Store(me)
+	for q.locked.v.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// Release grants the lock to the successor, if any.
+func (l *MCS) Release(t *Thread) {
+	me := int64(t.id)
+	q := &l.qnodes[t.id]
+	next := q.next.v.Load()
+	if next < 0 {
+		if l.tail.v.CompareAndSwap(me, -1) {
+			return
+		}
+		// A successor is mid-enqueue; wait for the link.
+		for {
+			next = q.next.v.Load()
+			if next >= 0 {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	l.qnodes[next].locked.v.Store(0)
+}
+
+// clhNode is a CLH request flag on its own cache line.
+type clhNode struct {
+	flag paddedUint64 // 1 = pending, 0 = granted
+}
+
+// clhSlot is a thread's private rotating-node state for one CLH lock.
+type clhSlot struct {
+	mine int32 // node to use for the next acquire
+	held int32 // node enqueued by the current/last acquire
+}
+
+// CLH is the queue lock of Craig and of Magnusson, Landin and Hagersten.
+// Each thread spins on its predecessor's flag and recycles that node for
+// its next acquire, so the lock needs maxThreads+1 nodes in total.
+type CLH struct {
+	id    uint64
+	tail  paddedInt64 // index of the current tail node
+	nodes []clhNode   // maxThreads+1 entries
+}
+
+// NewCLH returns an unlocked CLH lock sized for r's thread capacity.
+func NewCLH(r *Runtime) *CLH {
+	l := &CLH{
+		id:    lockIDs.Add(1),
+		nodes: make([]clhNode, r.maxThreads+1),
+	}
+	// Node index maxThreads is the initial granted dummy; thread t
+	// starts owning node t.
+	l.tail.v.Store(int64(r.maxThreads))
+	return l
+}
+
+// Name returns "CLH".
+func (l *CLH) Name() string { return "CLH" }
+
+// slot returns thread t's rotating node state for this lock, creating it
+// on first use (thread t starts owning node index t.id).
+func (l *CLH) slot(t *Thread) *clhSlot {
+	s, ok := t.clhSlots[l.id]
+	if !ok {
+		s = &clhSlot{mine: int32(t.id)}
+		t.clhSlots[l.id] = s
+	}
+	return s
+}
+
+// Acquire enqueues a pending flag and waits on the predecessor's.
+func (l *CLH) Acquire(t *Thread) {
+	s := l.slot(t)
+	me := s.mine
+	l.nodes[me].flag.v.Store(1)
+	prev := int32(l.tail.v.Swap(int64(me)))
+	for l.nodes[prev].flag.v.Load() != 0 {
+		runtime.Gosched()
+	}
+	// Adopt the predecessor's node for the next acquire; ours stays
+	// live (the successor spins on it) until Release clears it.
+	s.held = me
+	s.mine = prev
+}
+
+// Release clears the thread's pending flag, granting the successor.
+func (l *CLH) Release(t *Thread) {
+	s := l.slot(t)
+	l.nodes[s.held].flag.v.Store(0)
+}

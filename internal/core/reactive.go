@@ -1,0 +1,76 @@
+package core
+
+// Reactive is the simplified Lim & Agarwal reactive lock, twin of the
+// simulator version in internal/simlock: the TATAS word always provides
+// mutual exclusion; queue mode routes contenders through an MCS queue
+// in front of it, and the holder flips modes with hysteresis.
+type Reactive struct {
+	mode    paddedUint64 // 0 = spin, 1 = queue in front of the word
+	counter paddedUint64 // hysteresis, written only while holding
+	tatas   *TATASExp
+	mcs     *MCS
+	queued  []bool
+}
+
+// Hysteresis thresholds (see internal/simlock/reactive.go).
+const (
+	reactToQueue = 8
+	reactToSpin  = 16
+)
+
+// NewReactive returns an unlocked reactive lock.
+func NewReactive(r *Runtime, tun Tuning) *Reactive {
+	return &Reactive{
+		tatas:  NewTATASExp(tun),
+		mcs:    NewMCS(r),
+		queued: make([]bool, r.maxThreads),
+	}
+}
+
+// Name returns "REACTIVE".
+func (l *Reactive) Name() string { return "REACTIVE" }
+
+// Acquire obtains the lock through the current mode's protocol.
+func (l *Reactive) Acquire(t *Thread) {
+	viaQueue := l.mode.v.Load() == 1
+	l.queued[t.id] = viaQueue
+	if viaQueue {
+		l.mcs.Acquire(t)
+	}
+	contended := l.tatas.word.v.Swap(1) != 0
+	if contended {
+		l.tatas.acquireSlowpath()
+	}
+	// Bookkeeping while holding the lock.
+	c := l.counter.v.Load()
+	if viaQueue {
+		if l.mcs.qnodes[t.id].next.v.Load() < 0 {
+			c++
+			if c >= reactToSpin {
+				l.mode.v.Store(0)
+				c = 0
+			}
+		} else {
+			c = 0
+		}
+	} else {
+		if contended {
+			c++
+			if c >= reactToQueue {
+				l.mode.v.Store(1)
+				c = 0
+			}
+		} else if c > 0 {
+			c--
+		}
+	}
+	l.counter.v.Store(c)
+}
+
+// Release unlocks through the protocol the caller acquired with.
+func (l *Reactive) Release(t *Thread) {
+	l.tatas.word.v.Store(0)
+	if l.queued[t.id] {
+		l.mcs.Release(t)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// RH lock-word values; thread values start at rhTaken+1.
+const (
+	rhFree   uint64 = 0
+	rhLFree  uint64 = 1
+	rhRemote uint64 = 2
+	rhTaken  uint64 = 3
+)
+
+func rhThreadVal(tid int) uint64 { return rhTaken + 1 + uint64(tid) }
+
+// RH is the authors' earlier two-node NUCA-aware lock (SC 2002), ported
+// from the simulator implementation in internal/simlock; see the design
+// notes there for the two documented implementation choices (per-node
+// waiter counts and the be-fair steal threshold).
+type RH struct {
+	copies  [2]paddedUint64
+	waiters [2]paddedUint64
+	streak  [2]paddedUint64 // consecutive local handovers per node
+	tun     Tuning
+	nodes   int
+}
+
+// NewRH returns an unlocked RH lock. The runtime must have at most two
+// nodes (the RH algorithm does not generalize; that limitation is what
+// HBO removes).
+func NewRH(r *Runtime, tun Tuning) *RH {
+	if r.nodes > 2 {
+		panic("core: the RH lock supports at most two nodes")
+	}
+	l := &RH{tun: tun, nodes: r.nodes}
+	if r.nodes == 2 {
+		l.copies[1].v.Store(rhRemote)
+	}
+	return l
+}
+
+// Name returns "RH".
+func (l *RH) Name() string { return "RH" }
+
+// casWord performs a cas returning the pre-CAS observed value, retrying
+// the observation when it is stale the way l.cas does for HBO.
+func casWord(w *atomic.Uint64, expect, new uint64) uint64 {
+	for {
+		if w.CompareAndSwap(expect, new) {
+			return expect
+		}
+		if v := w.Load(); v != expect {
+			return v
+		}
+	}
+}
+
+// Acquire obtains the lock for thread t.
+func (l *RH) Acquire(t *Thread) {
+	my := &l.copies[t.node].v
+	val := rhThreadVal(t.id)
+	tmp := casWord(my, rhFree, val)
+	if tmp == rhFree {
+		return
+	}
+	if tmp == rhLFree && casWord(my, rhLFree, val) == rhLFree {
+		return
+	}
+	l.acquireSlowpath(t)
+}
+
+func (l *RH) acquireSlowpath(t *Thread) {
+	node := t.node
+	my := &l.copies[node].v
+	val := rhThreadVal(t.id)
+	y := l.tun.yieldThreshold()
+	l.waiters[node].v.Add(1)
+	defer l.waiters[node].v.Add(^uint64(0))
+
+	b := l.tun.BackoffBase
+	for {
+		tmp := casWord(my, rhFree, val)
+		if tmp == rhFree {
+			return
+		}
+		if tmp == rhLFree {
+			if casWord(my, rhLFree, val) == rhLFree {
+				return
+			}
+			continue
+		}
+		if tmp == rhRemote && l.nodes == 2 {
+			if casWord(my, rhRemote, rhTaken) == rhRemote {
+				l.remoteSpin(t)
+				return
+			}
+		}
+		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
+	}
+}
+
+// remoteSpin migrates the lock from the other node (node-winner role).
+func (l *RH) remoteSpin(t *Thread) {
+	node := t.node
+	other := &l.copies[1-node].v
+	my := &l.copies[node].v
+	val := rhThreadVal(t.id)
+	y := l.tun.yieldThreshold()
+	b := l.tun.RHRemoteBase
+	tries := 0
+	for {
+		v := other.Load()
+		if v == rhFree || (v == rhLFree && tries >= l.tun.RHFairTries) {
+			if other.CompareAndSwap(v, rhRemote) {
+				if !my.CompareAndSwap(rhTaken, val) {
+					panic("core: RH node-winner copy stolen")
+				}
+				return
+			}
+		}
+		tries++
+		backoff(&b, l.tun.BackoffFactor, l.tun.RHRemoteCap, y)
+	}
+}
+
+// Release unlocks, preferring a local handover when neighbors wait.
+func (l *RH) Release(t *Thread) {
+	node := t.node
+	my := &l.copies[node].v
+	if l.nodes == 2 {
+		if l.waiters[node].v.Load() > 0 &&
+			l.streak[node].v.Load() < uint64(l.tun.RHGlobalEvery) {
+			l.streak[node].v.Add(1)
+			my.Store(rhLFree)
+			return
+		}
+	}
+	l.streak[node].v.Store(0)
+	my.Store(rhFree)
+}

@@ -1,0 +1,71 @@
+package core
+
+import "runtime"
+
+// TATAS is the traditional test-and-test&set lock. Storage is one word;
+// cost does not grow with the number of threads.
+type TATAS struct {
+	_    cacheLinePad
+	word paddedUint64
+}
+
+// NewTATAS returns an unlocked TATAS lock.
+func NewTATAS() *TATAS { return &TATAS{} }
+
+// Name returns "TATAS".
+func (l *TATAS) Name() string { return "TATAS" }
+
+// Acquire spins until the lock is obtained.
+func (l *TATAS) Acquire(t *Thread) {
+	for {
+		if l.word.v.Swap(1) == 0 {
+			return
+		}
+		// Test phase: read until the lock looks free.
+		for l.word.v.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Release unlocks.
+func (l *TATAS) Release(t *Thread) { l.word.v.Store(0) }
+
+// TATASExp is TATAS with Ethernet-style exponential backoff between
+// test&set attempts.
+type TATASExp struct {
+	_    cacheLinePad
+	word paddedUint64
+	tun  Tuning
+}
+
+// NewTATASExp returns an unlocked TATAS_EXP lock.
+func NewTATASExp(tun Tuning) *TATASExp { return &TATASExp{tun: tun} }
+
+// Name returns "TATAS_EXP".
+func (l *TATASExp) Name() string { return "TATAS_EXP" }
+
+// Acquire obtains the lock, backing off exponentially under contention.
+func (l *TATASExp) Acquire(t *Thread) {
+	if l.word.v.Swap(1) == 0 {
+		return
+	}
+	l.acquireSlowpath()
+}
+
+func (l *TATASExp) acquireSlowpath() {
+	b := l.tun.BackoffBase
+	y := l.tun.yieldThreshold()
+	for {
+		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
+		if l.word.v.Load() != 0 {
+			continue
+		}
+		if l.word.v.Swap(1) == 0 {
+			return
+		}
+	}
+}
+
+// Release unlocks.
+func (l *TATASExp) Release(t *Thread) { l.word.v.Store(0) }

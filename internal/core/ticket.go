@@ -1,0 +1,77 @@
+package core
+
+import "runtime"
+
+// Ticket is the classic ticket lock: fetch-and-increment takes a ticket;
+// the release publishes the next number. FIFO-fair and two words of
+// storage, but every waiter re-reads the grant word on each handover.
+type Ticket struct {
+	next  paddedUint64
+	owner paddedUint64
+}
+
+// NewTicket returns an unlocked ticket lock.
+func NewTicket() *Ticket { return &Ticket{} }
+
+// Name returns "TICKET".
+func (l *Ticket) Name() string { return "TICKET" }
+
+// Acquire takes a ticket and waits for its turn, spinning proportionally
+// to the number of waiters ahead.
+func (l *Ticket) Acquire(t *Thread) {
+	my := l.next.v.Add(1) - 1
+	for {
+		cur := l.owner.v.Load()
+		if cur == my {
+			return
+		}
+		ahead := int(my - cur)
+		if ahead < 1 {
+			ahead = 1
+		}
+		spinDelay(ahead*16, 1024)
+	}
+}
+
+// Release grants the next ticket.
+func (l *Ticket) Release(t *Thread) { l.owner.v.Add(1) }
+
+// Anderson is Anderson's array-based queue lock: contenders claim slots
+// in a circular flag array and spin each on their own slot.
+type Anderson struct {
+	tail  paddedUint64
+	slots []paddedUint64
+	// mySlot is each thread's current slot position.
+	mySlot []uint64
+	size   uint64
+}
+
+// NewAnderson returns an unlocked Anderson lock sized for r's capacity.
+func NewAnderson(r *Runtime) *Anderson {
+	l := &Anderson{
+		slots:  make([]paddedUint64, r.maxThreads+1),
+		mySlot: make([]uint64, r.maxThreads),
+		size:   uint64(r.maxThreads + 1),
+	}
+	l.slots[0].v.Store(1)
+	return l
+}
+
+// Name returns "ANDERSON".
+func (l *Anderson) Name() string { return "ANDERSON" }
+
+// Acquire claims the next slot and waits for its grant flag.
+func (l *Anderson) Acquire(t *Thread) {
+	pos := l.tail.v.Add(1) - 1
+	l.mySlot[t.id] = pos
+	s := &l.slots[pos%l.size].v
+	for s.Load() == 0 {
+		runtime.Gosched()
+	}
+	s.Store(0) // reset for the next lap
+}
+
+// Release grants the successor slot.
+func (l *Anderson) Release(t *Thread) {
+	l.slots[(l.mySlot[t.id]+1)%l.size].v.Store(1)
+}

@@ -1,0 +1,118 @@
+package core
+
+import "time"
+
+// TryLocker is implemented by algorithms that support a non-blocking
+// acquisition attempt. Queue locks whose enqueue commits the thread
+// (CLH, TICKET, ANDERSON, COHORT) cannot offer it without the timeout
+// protocols of Scott & Scherer (PPoPP 2001) — cited by the paper — and
+// are deliberately left out.
+type TryLocker interface {
+	Lock
+	// TryAcquire attempts one acquisition without waiting and reports
+	// whether the lock was obtained.
+	TryAcquire(t *Thread) bool
+}
+
+// TryAcquire attempts a single test&set.
+func (l *TATAS) TryAcquire(t *Thread) bool {
+	return l.word.v.Load() == 0 && l.word.v.Swap(1) == 0
+}
+
+// TryAcquire attempts a single test&set.
+func (l *TATASExp) TryAcquire(t *Thread) bool {
+	return l.word.v.Load() == 0 && l.word.v.Swap(1) == 0
+}
+
+// TryAcquire attempts a single cas of the caller's node id.
+func (l *HBO) TryAcquire(t *Thread) bool {
+	if l.mode != modeHBO && l.isSpinning[t.node].v.Load() == l.tag {
+		return false // a neighbor holds the node back; don't barge
+	}
+	return l.word.v.CompareAndSwap(hboFree, hboNodeVal(t.node))
+}
+
+// TryAcquire attempts a single cas of the caller's node id.
+func (l *HBOHier) TryAcquire(t *Thread) bool {
+	return l.word.v.CompareAndSwap(hboFree, hboNodeVal(t.node))
+}
+
+// TryAcquire attempts to take the caller's node copy when it is free or
+// locally free. When the lock lives in the other node, it makes one
+// non-blocking steal attempt (claiming and, on failure, releasing the
+// node-winner role).
+func (l *RH) TryAcquire(t *Thread) bool {
+	my := &l.copies[t.node].v
+	val := rhThreadVal(t.id)
+	if my.CompareAndSwap(rhFree, val) || my.CompareAndSwap(rhLFree, val) {
+		return true
+	}
+	if l.nodes != 2 || !my.CompareAndSwap(rhRemote, rhTaken) {
+		return false
+	}
+	// One shot at the other node's copy.
+	other := &l.copies[1-t.node].v
+	if v := other.Load(); v == rhFree || v == rhLFree {
+		if other.CompareAndSwap(v, rhRemote) {
+			if !my.CompareAndSwap(rhTaken, val) {
+				panic("core: RH node-winner copy stolen")
+			}
+			return true
+		}
+	}
+	// Steal failed; give the winner role back.
+	if !my.CompareAndSwap(rhTaken, rhRemote) {
+		panic("core: RH node-winner copy stolen")
+	}
+	return false
+}
+
+// TryAcquire succeeds only when the queue is empty: it swings the tail
+// from nil to this thread's node in one step, so no waiting can occur.
+func (l *MCS) TryAcquire(t *Thread) bool {
+	q := &l.qnodes[t.id]
+	q.next.v.Store(-1)
+	return l.tail.v.CompareAndSwap(-1, int64(t.id))
+}
+
+// Interface checks for the TryLocker implementations.
+var (
+	_ TryLocker = (*TATAS)(nil)
+	_ TryLocker = (*TATASExp)(nil)
+	_ TryLocker = (*HBO)(nil)
+	_ TryLocker = (*HBOHier)(nil)
+	_ TryLocker = (*RH)(nil)
+	_ TryLocker = (*MCS)(nil)
+)
+
+// AcquireTimeout repeatedly attempts TryAcquire with exponential backoff
+// until it succeeds or the deadline passes, reporting success. Polling a
+// try-lock forfeits queue-lock ordering guarantees, which is why only
+// algorithms whose blocking path is itself a polling loop offer
+// TryAcquire; for those, this helper is the natural timed acquire.
+// (True timeout-capable queue locks are a research topic of their own —
+// Scott & Scherer PPoPP 2001, Scott PODC 2002, both cited by the paper.)
+func AcquireTimeout(l TryLocker, t *Thread, d time.Duration, tun Tuning) bool {
+	deadline := time.Now().Add(d)
+	b := tun.BackoffBase
+	if b < 1 {
+		b = 64
+	}
+	y := tun.yieldThreshold()
+	for {
+		if l.TryAcquire(t) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		backoff(&b, max(tun.BackoffFactor, 2), max(tun.BackoffCap, b), y)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

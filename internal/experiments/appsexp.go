@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+)
+
+// appRun executes one application/lock configuration for one seed.
+func appRun(spec apps.Spec, lock string, threads, scale int, seed uint64, preempt bool, limitSec float64) apps.Result {
+	cfg := apps.Config{
+		Machine:          wildfire(seed),
+		Lock:             lock,
+		Threads:          threads,
+		Tuning:           simlock.DefaultTuning(),
+		Scale:            scale,
+		TimeLimitSeconds: limitSec,
+	}
+	if preempt {
+		cfg.Machine.Preempt = apps.Preemption(scale)
+	}
+	return apps.Run(spec, cfg)
+}
+
+// Table3 reports each program's lock statistics (Table 3 is measured at
+// 32-processor runs; the WildFire model has exactly 32 CPUs).
+func Table3(o Options) []*stats.Table {
+	scale := o.scale()
+	t := stats.NewTable(
+		"Table 3: SPLASH-2 programs and lock statistics (32-thread runs; ▶ = studied further)",
+		"Program", "Problem Size", "Total Locks", "Lock Calls", "Modeled Calls (scaled)")
+	for _, spec := range apps.AllSpecs() {
+		name := spec.Name
+		if spec.Studied {
+			name = "▶ " + name
+		}
+		modeled := "-"
+		if spec.Studied {
+			res := appRun(spec, "TATAS_EXP", 32, scale, 3, false, 0)
+			modeled = fmt.Sprint(res.LockCalls * scale)
+		}
+		t.AddRow(name, spec.Problem,
+			fmt.Sprint(spec.TotalLocks),
+			fmt.Sprint(spec.LockCalls),
+			modeled)
+	}
+	return []*stats.Table{t}
+}
+
+// Table4 reports Raytrace execution time for 1, 28 and 30 CPUs. The
+// 30-CPU runs enable the preemption injector (fully subscribed machine)
+// and a 200-second limit, reproducing the paper's "> 200 s" entries.
+func Table4(o Options) []*stats.Table {
+	scale := o.scale()
+	seeds := o.seeds()
+	spec := apps.SpecByName("Raytrace")
+	t := stats.NewTable(
+		"Table 4: Raytrace performance, seconds (variance)",
+		"Lock Type", "1 CPU", "28 CPUs", "30 CPUs")
+	for _, name := range lockNames() {
+		one := appRun(spec, name, 1, scale, 1, false, 0)
+
+		var t28, t30 []float64
+		aborted30 := false
+		for s := 0; s < seeds; s++ {
+			t28 = append(t28, appRun(spec, name, 28, scale, uint64(s+1), false, 0).Seconds)
+			r30 := appRun(spec, name, 30, scale, uint64(s+1), true, 200)
+			if r30.Aborted {
+				aborted30 = true
+			}
+			t30 = append(t30, r30.Seconds)
+		}
+		cell30 := meanVar(t30)
+		if aborted30 {
+			cell30 = "> 200 s"
+		}
+		t.AddRow(name, stats.F(one.Seconds, 2), meanVar(t28), cell30)
+	}
+	return []*stats.Table{t}
+}
+
+// table5Data runs all apps × locks at 28 threads, returning exec-time
+// samples and the traffic of the first seed.
+func table5Data(o Options) (times map[string]map[string][]float64, traffic map[string]map[string][2]float64) {
+	scale := o.scale()
+	seeds := o.seeds()
+	threads := o.threads(28)
+	times = map[string]map[string][]float64{}
+	traffic = map[string]map[string][2]float64{}
+	for _, spec := range apps.Specs() {
+		times[spec.Name] = map[string][]float64{}
+		traffic[spec.Name] = map[string][2]float64{}
+		for _, name := range lockNames() {
+			for s := 0; s < seeds; s++ {
+				r := appRun(spec, name, threads, scale, uint64(s+1), false, 0)
+				times[spec.Name][name] = append(times[spec.Name][name], r.Seconds)
+				if s == 0 {
+					traffic[spec.Name][name] = [2]float64{
+						float64(r.Traffic.TotalLocal()) * float64(scale),
+						float64(r.Traffic.Global) * float64(scale),
+					}
+				}
+			}
+		}
+	}
+	return times, traffic
+}
+
+// Table5 reports application execution times for all eight algorithms.
+func Table5(o Options) []*stats.Table {
+	times, _ := table5Data(o)
+	cols := append([]string{"Program"}, lockNames()...)
+	t := stats.NewTable("Table 5: application performance, 28-processor runs, seconds (variance)", cols...)
+	var averages []float64
+	avgRow := []string{"Average"}
+	perLockAll := map[string][]float64{}
+	for _, spec := range apps.Specs() {
+		row := []string{spec.Name}
+		for _, name := range lockNames() {
+			xs := times[spec.Name][name]
+			row = append(row, meanVar(xs))
+			perLockAll[name] = append(perLockAll[name], stats.Summarize(xs).Mean)
+		}
+		t.AddRow(row...)
+	}
+	for _, name := range lockNames() {
+		m := stats.Summarize(perLockAll[name]).Mean
+		averages = append(averages, m)
+		avgRow = append(avgRow, stats.F(m, 2))
+	}
+	_ = averages
+	t.AddRow(avgRow...)
+	return []*stats.Table{t}
+}
+
+// Table6 reports per-application local/global traffic normalized to
+// TATAS_EXP, with TATAS_EXP's absolute transaction count (millions) in
+// parentheses.
+func Table6(o Options) []*stats.Table {
+	_, traffic := table5Data(o)
+	cols := append([]string{"Program"}, lockNames()...)
+	t := stats.NewTable("Table 6: normalized traffic (local/global); TATAS_EXP absolute in millions", cols...)
+	for _, spec := range apps.Specs() {
+		base := traffic[spec.Name]["TATAS_EXP"]
+		row := []string{spec.Name}
+		for _, name := range lockNames() {
+			v := traffic[spec.Name][name]
+			cell := fmt.Sprintf("%s / %s",
+				stats.F(v[0]/base[0], 2), stats.F(v[1]/base[1], 2))
+			if name == "TATAS_EXP" {
+				cell += fmt.Sprintf(" (%.1fM/%.1fM)", base[0]/1e6, base[1]/1e6)
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}
+
+// Fig6 reports speedup normalized to TATAS_EXP for the five algorithms
+// the paper plots.
+func Fig6(o Options) []*stats.Table {
+	times, _ := table5Data(o)
+	plotted := []string{"TATAS", "TATAS_EXP", "MCS", "CLH", "HBO_GT_SD"}
+	cols := append([]string{"Program"}, plotted...)
+	t := stats.NewTable("Figure 6: speedup normalized to TATAS_EXP, 28-processor runs", cols...)
+	for _, spec := range apps.Specs() {
+		base := stats.Summarize(times[spec.Name]["TATAS_EXP"]).Mean
+		row := []string{spec.Name}
+		for _, name := range plotted {
+			m := stats.Summarize(times[spec.Name][name]).Mean
+			row = append(row, stats.F(base/m, 2))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}
+
+// fig7Procs returns the processor counts swept for Raytrace speedup.
+func fig7Procs(o Options) []int {
+	if o.Quick {
+		return []int{1, 8, 28}
+	}
+	return []int{1, 2, 4, 8, 12, 16, 20, 24, 28}
+}
+
+// Fig7 reports Raytrace speedup (T1/Tp) against processor count.
+func Fig7(o Options) []*stats.Table {
+	scale := o.scale()
+	spec := apps.SpecByName("Raytrace")
+	cols := append([]string{"Processors"}, lockNames()...)
+	t := stats.NewTable("Figure 7: speedup for Raytrace", cols...)
+	base := map[string]float64{}
+	for _, name := range lockNames() {
+		base[name] = appRun(spec, name, 1, scale, 1, false, 0).Seconds
+	}
+	for _, p := range fig7Procs(o) {
+		row := []string{fmt.Sprint(p)}
+		for _, name := range lockNames() {
+			r := appRun(spec, name, p, scale, uint64(p), false, 0)
+			row = append(row, stats.F(base[name]/r.Seconds, 2))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}

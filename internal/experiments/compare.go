@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/microbench"
+	"repro/internal/paper"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+)
+
+// Cmp1 prints Table 1 measured next to the paper's published numbers,
+// with the relative error per scenario.
+func Cmp1(o Options) []*stats.Table {
+	rounds := 5
+	if o.Quick {
+		rounds = 2
+	}
+	t := stats.NewTable(
+		"Table 1 comparison: measured vs paper, ns (delta %)",
+		"Lock", "Same Proc", "paper", "Same Node", "paper", "Remote Node", "paper")
+	for _, name := range paper.LockOrder {
+		ref := paper.Table1[name]
+		row := []string{name}
+		for i, sc := range microbench.Scenarios() {
+			ns := float64(microbench.Uncontested(wildfire(1), name, sc, rounds))
+			row = append(row,
+				fmt.Sprintf("%.0f (%+.0f%%)", ns, 100*(ns-ref[i])/ref[i]),
+				stats.F(ref[i], 0))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}
+
+// Cmp2 prints the Table 2 normalized-traffic comparison.
+func Cmp2(o Options) []*stats.Table {
+	threads, iters, private := newBenchDefaults(o)
+	type traffic struct{ local, global float64 }
+	res := map[string]traffic{}
+	for _, name := range paper.LockOrder {
+		r := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      wildfire(11),
+			Lock:         name,
+			Threads:      threads,
+			Iterations:   iters,
+			CriticalWork: 1500,
+			PrivateWork:  private,
+			Tuning:       simlock.DefaultTuning(),
+		})
+		res[name] = traffic{float64(r.Traffic.TotalLocal()), float64(r.Traffic.Global)}
+	}
+	base := res["TATAS_EXP"]
+	t := stats.NewTable(
+		"Table 2 comparison: normalized traffic, measured vs paper",
+		"Lock", "Local", "paper", "Global", "paper")
+	for _, name := range paper.LockOrder {
+		ref := paper.Table2[name]
+		t.AddRow(name,
+			stats.F(res[name].local/base.local, 2), stats.F(ref[0], 2),
+			stats.F(res[name].global/base.global, 2), stats.F(ref[1], 2))
+	}
+	return []*stats.Table{t}
+}
+
+// Cmp4 prints the Table 4 Raytrace comparison.
+func Cmp4(o Options) []*stats.Table {
+	scale := o.scale()
+	seeds := o.seeds()
+	spec := apps.SpecByName("Raytrace")
+	t := stats.NewTable(
+		"Table 4 comparison: Raytrace seconds, measured vs paper",
+		"Lock", "1 CPU", "paper", "28 CPUs", "paper", "30 CPUs", "paper")
+	fmtRef := func(v float64) string {
+		if v < 0 {
+			return "> 200 s"
+		}
+		return stats.F(v, 2)
+	}
+	for _, name := range paper.LockOrder {
+		ref := paper.Table4[name]
+		one := appRun(spec, name, 1, scale, 1, false, 0)
+		var s28 []float64
+		cell30 := ""
+		aborted := false
+		var s30 []float64
+		for s := 0; s < seeds; s++ {
+			s28 = append(s28, appRun(spec, name, 28, scale, uint64(s+1), false, 0).Seconds)
+			r30 := appRun(spec, name, 30, scale, uint64(s+1), true, 200)
+			if r30.Aborted {
+				aborted = true
+			}
+			s30 = append(s30, r30.Seconds)
+		}
+		if aborted {
+			cell30 = "> 200 s"
+		} else {
+			cell30 = stats.F(stats.Summarize(s30).Mean, 2)
+		}
+		t.AddRow(name,
+			stats.F(one.Seconds, 2), fmtRef(ref[0]),
+			stats.F(stats.Summarize(s28).Mean, 2), fmtRef(ref[1]),
+			cell30, fmtRef(ref[2]))
+	}
+	return []*stats.Table{t}
+}
+
+// Cmp5 prints the Table 5 application-time comparison (means only).
+func Cmp5(o Options) []*stats.Table {
+	times, _ := table5Data(o)
+	cols := []string{"Program"}
+	for _, l := range []string{"TATAS", "TATAS_EXP", "MCS", "CLH", "HBO_GT_SD"} {
+		cols = append(cols, l, "paper")
+	}
+	t := stats.NewTable("Table 5 comparison: seconds, measured vs paper (subset of locks)", cols...)
+	for _, app := range paper.Apps {
+		row := []string{app}
+		for _, l := range []string{"TATAS", "TATAS_EXP", "MCS", "CLH", "HBO_GT_SD"} {
+			m := stats.Summarize(times[app][l]).Mean
+			ref := paper.Table5[app][l]
+			refCell := stats.F(ref, 2)
+			if ref < 0 {
+				refCell = "N/A"
+			}
+			row = append(row, stats.F(m, 2), refCell)
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}

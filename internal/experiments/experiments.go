@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section 5 and 6) from the simulation stack. Each driver
+// returns stats.Tables whose rows/series match what the paper reports;
+// EXPERIMENTS.md records measured-vs-paper for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+)
+
+// Options tune how much work the drivers do.
+type Options struct {
+	// Seeds is the number of repetitions used where the paper reports
+	// variance (Tables 4 and 5). Minimum 1.
+	Seeds int
+	// Scale divides application work (see apps.Config.Scale).
+	Scale int
+	// Quick shrinks sweeps and iteration counts for tests and smoke
+	// runs; shapes survive, absolute noise grows.
+	Quick bool
+	// Threads overrides the default 28-thread runs when positive.
+	Threads int
+}
+
+// DefaultOptions returns the settings used for the recorded results.
+func DefaultOptions() Options {
+	return Options{Seeds: 3, Scale: 100}
+}
+
+func (o Options) seeds() int {
+	if o.Seeds < 1 {
+		return 1
+	}
+	return o.Seeds
+}
+
+func (o Options) scale() int {
+	if o.Scale < 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) threads(def int) int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return def
+}
+
+// wildfire returns the standard experiment machine, seeded.
+func wildfire(seed uint64) machine.Config {
+	cfg := machine.WildFire()
+	cfg.Seed = seed
+	return cfg
+}
+
+// Experiment pairs an id with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) []*stats.Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Uncontested performance for a single acquire-release operation", Table1},
+		{"fig3", "Traditional microbenchmark on a 2-node NUCA", Fig3},
+		{"fig5", "New microbenchmark, 28-processor runs", Fig5},
+		{"table2", "Normalized local and global traffic (new microbenchmark)", Table2},
+		{"table3", "SPLASH-2 programs and lock statistics", Table3},
+		{"table4", "Raytrace performance (1, 28, 30 CPUs)", Table4},
+		{"table5", "Application performance, 28-processor runs", Table5},
+		{"table6", "Normalized traffic for all locking algorithms", Table6},
+		{"fig6", "Normalized speedup for 28-processor runs", Fig6},
+		{"fig7", "Speedup for Raytrace", Fig7},
+		{"fig8", "Fairness study", Fig8},
+		{"fig9", "Sensitivity: REMOTE_BACKOFF_CAP", Fig9},
+		{"fig10", "Sensitivity: GET_ANGRY_LIMIT", Fig10},
+		{"ext1", "Extension: all thirteen algorithms on the new microbenchmark", Ext1},
+		{"ext2", "Extension: hierarchical CMP-server machine", Ext2},
+		{"ext3", "Extension: compacting guarded data onto one cache line", Ext3},
+		{"cmp1", "Comparison: Table 1 measured vs paper", Cmp1},
+		{"cmp2", "Comparison: Table 2 measured vs paper", Cmp2},
+		{"cmp4", "Comparison: Table 4 measured vs paper", Cmp4},
+		{"cmp5", "Comparison: Table 5 measured vs paper", Cmp5},
+	}
+}
+
+// IDs lists the experiment ids in order.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ByID returns the named experiment and whether it exists.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// lockNames is the paper's algorithm order.
+func lockNames() []string { return simlock.Names() }
+
+// fmtTime renders nanoseconds the way Table 1 does.
+func fmtNS(ns float64) string { return fmt.Sprintf("%.0f ns", ns) }
+
+// meanVar renders "mean (variance)" the way Tables 4 and 5 do.
+func meanVar(xs []float64) string {
+	s := stats.Summarize(xs)
+	return fmt.Sprintf("%.2f (%.2f)", s.Mean, s.Variance)
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map (stable table
+// rendering for map-accumulated results).
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

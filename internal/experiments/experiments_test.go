@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Seeds: 1, Scale: 800, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig3", "fig5", "table2", "table3", "table4",
+		"table5", "table6", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"ext1", "ext2", "ext3", "cmp1", "cmp2", "cmp4", "cmp5"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	if _, ok := ByID("table1"); !ok {
+		t.Fatal("ByID(table1) missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) should not exist")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seeds() != 1 || o.scale() != 1 || o.threads(28) != 28 {
+		t.Fatal("zero Options defaults wrong")
+	}
+	o = Options{Seeds: 5, Scale: 10, Threads: 4}
+	if o.seeds() != 5 || o.scale() != 10 || o.threads(28) != 4 {
+		t.Fatal("explicit Options ignored")
+	}
+}
+
+// TestAllExperimentsProduceTables smoke-runs every driver in quick mode
+// and checks the output shape.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(quick())
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				out := tb.String()
+				if !strings.Contains(out, "-") {
+					t.Fatalf("table %q did not render:\n%s", tb.Title, out)
+				}
+			}
+		})
+	}
+}
+
+// TestTable1Shape checks the uncontested table reproduces the paper's
+// ordering: HBO's remote cost below the queue locks', RH's remote cost
+// the highest.
+func TestTable1Shape(t *testing.T) {
+	tb := Table1(quick())[0]
+	csv := tb.CSV()
+	remote := map[string]float64{}
+	for _, line := range strings.Split(csv, "\n")[1:] {
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		v, err := strconv.ParseFloat(strings.TrimSuffix(f[3], " ns"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", f[3], err)
+		}
+		remote[f[0]] = v
+	}
+	if !(remote["HBO"] < remote["CLH"]) {
+		t.Errorf("HBO remote %.0f not below CLH %.0f", remote["HBO"], remote["CLH"])
+	}
+	for _, name := range []string{"TATAS", "MCS", "CLH", "HBO", "HBO_GT", "HBO_GT_SD"} {
+		if remote["RH"] <= remote[name] {
+			t.Errorf("RH remote %.0f not the highest (vs %s %.0f)", remote["RH"], name, remote[name])
+		}
+	}
+}
+
+// TestFig9ShowsSensitivity: iteration time must vary across the cap
+// sweep (a flat line would mean the knob is disconnected).
+func TestFig9ShowsSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	tb := Fig9(quick())[0]
+	vals := map[string]bool{}
+	for _, line := range strings.Split(tb.CSV(), "\n")[1:] {
+		if line == "" {
+			continue
+		}
+		vals[strings.Split(line, ",")[1]] = true
+	}
+	if len(vals) < 2 {
+		t.Fatalf("REMOTE_BACKOFF_CAP sweep produced constant results: %v", vals)
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+)
+
+// Ext1 runs the new microbenchmark over all thirteen algorithms — the
+// paper's eight plus this library's extensions — at three contention
+// levels, extending Figure 5 with the baselines and follow-on designs.
+func Ext1(o Options) []*stats.Table {
+	threads, iters, private := newBenchDefaults(o)
+	works := []int{250, 1000, 2000}
+	if o.Quick {
+		works = []int{1000}
+	}
+	cols := []string{"Lock"}
+	for _, cw := range works {
+		cols = append(cols, fmt.Sprintf("cw=%d µs/iter", cw), fmt.Sprintf("cw=%d handoff", cw))
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Extension 1: all algorithms on the new microbenchmark (%d processors)", threads),
+		cols...)
+	for _, name := range simlock.AllNames() {
+		row := []string{name}
+		for _, cw := range works {
+			r := microbench.NewBench(microbench.NewBenchConfig{
+				Machine:      wildfire(uint64(cw) + 23),
+				Lock:         name,
+				Threads:      threads,
+				Iterations:   iters,
+				CriticalWork: cw,
+				PrivateWork:  private,
+				Tuning:       simlock.DefaultTuning(),
+			})
+			row = append(row,
+				stats.F(float64(r.IterationTime)/1000, 2),
+				stats.F(r.HandoffRatio, 3))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}
+
+// Ext2 contends a lock on the hierarchical CMP-server machine (8 nodes
+// in clusters of 2, three latency levels) and reports time and
+// cross-cluster handoffs — the hierarchical NUCA future of the paper's
+// section 2, with HBO_HIER realizing section 4.1's sketch.
+func Ext2(o Options) []*stats.Table {
+	iters := 150
+	if o.Quick {
+		iters = 40
+	}
+	locks := []string{"TATAS_EXP", "MCS", "TICKET", "HBO", "HBO_GT_SD", "HBO_HIER", "COHORT"}
+	t := stats.NewTable(
+		"Extension 2: hierarchical CMP server (8 nodes x 4 CPUs, clusters of 2)",
+		"Lock", "µs/acquisition", "Node handoff", "Cluster handoff", "Global txns")
+	for _, name := range locks {
+		cfg := machine.CMPServer()
+		cfg.Seed = 29
+		m := machine.New(cfg)
+		threads := 16
+		cpus := make([]int, threads)
+		for i := range cpus {
+			cpus[i] = (i * 2) % cfg.TotalCPUs()
+		}
+		l := simlock.New(name, m, 0, cpus, simlock.DefaultTuning())
+		shared := m.Alloc(0, 2)
+		last, hand, nodeSw, clusterSw := -1, 0, 0, 0
+		for tid := 0; tid < threads; tid++ {
+			tid := tid
+			m.Spawn(cpus[tid], func(p *machine.Proc) {
+				rng := sim.NewRNG(uint64(tid) + 41)
+				for i := 0; i < iters; i++ {
+					l.Acquire(p, tid)
+					if last >= 0 {
+						hand++
+						if last != p.Node() {
+							nodeSw++
+						}
+						if m.ClusterOf(last) != m.ClusterOf(p.Node()) {
+							clusterSw++
+						}
+					}
+					last = p.Node()
+					p.Store(shared, p.Load(shared)+1)
+					p.Store(shared+1, p.Load(shared+1)+1)
+					l.Release(p, tid)
+					p.Work(rng.Timen(3000) + 1000)
+				}
+			})
+		}
+		m.Run()
+		t.AddRow(name,
+			stats.F(float64(m.Now())/float64(threads*iters)/1000, 2),
+			stats.F(float64(nodeSw)/float64(hand), 3),
+			stats.F(float64(clusterSw)/float64(hand), 3),
+			fmt.Sprint(m.Stats().Global))
+	}
+	return []*stats.Table{t}
+}
+
+// Ext3 studies data layout: compacting the guarded data onto a single
+// cache line (Config.WordsPerLine) instead of spreading it over one
+// line per word — the software-feasible half of QOLB's collocation
+// story (paper section 3; full lock+data collocation needs control of
+// the lock's own line, demonstrated with a raw TAS lock in
+// internal/machine's TestCollocatedLockHandover).
+func Ext3(o Options) []*stats.Table {
+	iters := 120
+	if o.Quick {
+		iters = 40
+	}
+	const dataWords = 3
+	run := func(name string, collocate bool) sim.Time {
+		cfg := wildfire(31)
+		if collocate {
+			cfg.WordsPerLine = 1 + dataWords
+		}
+		m := machine.New(cfg)
+		threads := o.threads(16)
+		cpus := make([]int, threads)
+		next := make([]int, cfg.Nodes)
+		for i := range cpus {
+			n := i % cfg.Nodes
+			cpus[i] = n*cfg.CPUsPerNode + next[n]
+			next[n]++
+		}
+		// Allocations are line-aligned, so with WordsPerLine = 1+dataWords
+		// the guarded words share one line; with the default they spread
+		// over dataWords lines.
+		l := simlock.New(name, m, 0, cpus, simlock.DefaultTuning())
+		data := m.Alloc(0, dataWords)
+		for tid := 0; tid < threads; tid++ {
+			tid := tid
+			m.Spawn(cpus[tid], func(p *machine.Proc) {
+				rng := sim.NewRNG(uint64(tid) + 61)
+				for i := 0; i < iters; i++ {
+					l.Acquire(p, tid)
+					for w := 0; w < dataWords; w++ {
+						a := data + machine.Addr(w)
+						p.Store(a, p.Load(a)+1)
+					}
+					l.Release(p, tid)
+					p.Work(rng.Timen(4000) + 1000)
+				}
+			})
+		}
+		m.Run()
+		return m.Now() / sim.Time(threads*iters)
+	}
+	t := stats.NewTable(
+		"Extension 3: compacting guarded data onto one line (µs/acquisition)",
+		"Lock", "Spread", "Compacted", "Speedup")
+	for _, name := range []string{"TATAS", "TATAS_EXP", "MCS", "HBO", "HBO_GT_SD"} {
+		apart := run(name, false)
+		together := run(name, true)
+		t.AddRow(name,
+			stats.F(float64(apart)/1000, 2),
+			stats.F(float64(together)/1000, 2),
+			stats.F(float64(apart)/float64(together), 2))
+	}
+	return []*stats.Table{t}
+}

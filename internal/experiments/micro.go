@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/microbench"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+)
+
+// Table1 measures uncontested acquire-release latency for the three
+// previous-owner scenarios.
+func Table1(o Options) []*stats.Table {
+	rounds := 5
+	if o.Quick {
+		rounds = 2
+	}
+	t := stats.NewTable(
+		"Table 1: uncontested acquire-release latency",
+		"Lock Type", "Same Processor", "Same Node", "Remote Node")
+	for _, name := range lockNames() {
+		var cells []string
+		for _, sc := range microbench.Scenarios() {
+			ns := microbench.Uncontested(wildfire(1), name, sc, rounds)
+			cells = append(cells, fmtNS(float64(ns)))
+		}
+		t.AddRow(append([]string{name}, cells...)...)
+	}
+	return []*stats.Table{t}
+}
+
+// fig3Procs returns the processor counts swept in Figure 3.
+func fig3Procs(o Options) []int {
+	if o.Quick {
+		return []int{4, 12, 20, 28}
+	}
+	ps := []int{2}
+	for p := 4; p <= 28; p += 4 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// Fig3 runs the traditional microbenchmark across processor counts,
+// reporting iteration time (left diagram) and node-handoff ratio (right
+// diagram).
+func Fig3(o Options) []*stats.Table {
+	iters := 150
+	if o.Quick {
+		iters = 40
+	}
+	procs := fig3Procs(o)
+	cols := append([]string{"Processors"}, lockNames()...)
+	tTime := stats.NewTable("Figure 3 (left): iteration time, µs", cols...)
+	tHand := stats.NewTable("Figure 3 (right): node handoff ratio", cols...)
+	for _, p := range procs {
+		timeRow := []string{fmt.Sprint(p)}
+		handRow := []string{fmt.Sprint(p)}
+		for _, name := range lockNames() {
+			res := microbench.Traditional(microbench.TraditionalConfig{
+				Machine:    wildfire(uint64(p)),
+				Lock:       name,
+				Threads:    p,
+				Iterations: iters,
+				Tuning:     simlock.DefaultTuning(),
+			})
+			timeRow = append(timeRow, stats.F(float64(res.IterationTime)/1000, 2))
+			handRow = append(handRow, stats.F(res.HandoffRatio, 3))
+		}
+		tTime.AddRow(timeRow...)
+		tHand.AddRow(handRow...)
+	}
+	return []*stats.Table{tTime, tHand}
+}
+
+// newBenchDefaults returns the new microbenchmark's fixed parameters.
+func newBenchDefaults(o Options) (threads, iters, private int) {
+	threads = o.threads(28)
+	iters = 30
+	if o.Quick {
+		iters = 10
+	}
+	private = 4000
+	return
+}
+
+// fig5Work returns the critical-work sweep of Figure 5.
+func fig5Work(o Options) []int {
+	if o.Quick {
+		return []int{0, 1000, 2000}
+	}
+	return []int{0, 250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2250, 2500}
+}
+
+// Fig5 runs the new microbenchmark against critical-work size.
+func Fig5(o Options) []*stats.Table {
+	threads, iters, private := newBenchDefaults(o)
+	cols := append([]string{"CriticalWork"}, lockNames()...)
+	tTime := stats.NewTable(
+		fmt.Sprintf("Figure 5 (left): iteration time, µs (%d processors)", threads), cols...)
+	tHand := stats.NewTable("Figure 5 (right): node handoff ratio", cols...)
+	for _, cw := range fig5Work(o) {
+		timeRow := []string{fmt.Sprint(cw)}
+		handRow := []string{fmt.Sprint(cw)}
+		for _, name := range lockNames() {
+			res := microbench.NewBench(microbench.NewBenchConfig{
+				Machine:      wildfire(uint64(cw) + 7),
+				Lock:         name,
+				Threads:      threads,
+				Iterations:   iters,
+				CriticalWork: cw,
+				PrivateWork:  private,
+				Tuning:       simlock.DefaultTuning(),
+			})
+			timeRow = append(timeRow, stats.F(float64(res.IterationTime)/1000, 2))
+			handRow = append(handRow, stats.F(res.HandoffRatio, 3))
+		}
+		tTime.AddRow(timeRow...)
+		tHand.AddRow(handRow...)
+	}
+	return []*stats.Table{tTime, tHand}
+}
+
+// Table2 reports local/global traffic for the new microbenchmark at
+// critical work 1500, normalized to TATAS_EXP.
+func Table2(o Options) []*stats.Table {
+	threads, iters, private := newBenchDefaults(o)
+	type traffic struct{ local, global float64 }
+	res := map[string]traffic{}
+	for _, name := range lockNames() {
+		r := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      wildfire(11),
+			Lock:         name,
+			Threads:      threads,
+			Iterations:   iters,
+			CriticalWork: 1500,
+			PrivateWork:  private,
+			Tuning:       simlock.DefaultTuning(),
+		})
+		res[name] = traffic{
+			local:  float64(r.Traffic.TotalLocal()),
+			global: float64(r.Traffic.Global),
+		}
+	}
+	base := res["TATAS_EXP"]
+	t := stats.NewTable(
+		fmt.Sprintf("Table 2: normalized traffic, critical work 1500, %d processors "+
+			"(TATAS_EXP absolute: %.2fM local, %.2fM global)",
+			threads, base.local/1e6, base.global/1e6),
+		"Lock Type", "Local Transactions", "Global Transactions")
+	for _, name := range lockNames() {
+		r := res[name]
+		t.AddRow(name,
+			stats.F(r.local/base.local, 2),
+			stats.F(r.global/base.global, 2))
+	}
+	return []*stats.Table{t}
+}
+
+// Fig8 measures per-thread completion-time spread on the new
+// microbenchmark (the paper's fairness study).
+func Fig8(o Options) []*stats.Table {
+	threads, iters, private := newBenchDefaults(o)
+	if !o.Quick {
+		iters *= 2 // fairness needs enough acquisitions per thread
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 8: fairness — completion-time spread, %%, %d processors", threads),
+		"Lock Type", "First-to-last spread %")
+	for _, name := range lockNames() {
+		r := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      wildfire(13),
+			Lock:         name,
+			Threads:      threads,
+			Iterations:   iters,
+			CriticalWork: 1500,
+			PrivateWork:  private,
+			Tuning:       simlock.DefaultTuning(),
+		})
+		t.AddRow(name, stats.F(r.FinishSpreadPercent(), 1))
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/microbench"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+)
+
+// sensBench runs the new microbenchmark at 26 processors (the paper's
+// sensitivity-study configuration) with the given tuning.
+func sensBench(o Options, lock string, tun simlock.Tuning, seed uint64) float64 {
+	iters := 30
+	if o.Quick {
+		iters = 10
+	}
+	r := microbench.NewBench(microbench.NewBenchConfig{
+		Machine:      wildfire(seed),
+		Lock:         lock,
+		Threads:      o.threads(26),
+		Iterations:   iters,
+		CriticalWork: 1500,
+		PrivateWork:  4000,
+		Tuning:       tun,
+	})
+	return float64(r.TotalTime)
+}
+
+// fig9Caps returns the REMOTE_BACKOFF_CAP sweep (delay-loop iterations).
+func fig9Caps(o Options) []int {
+	if o.Quick {
+		return []int{512, 4096, 32768}
+	}
+	return []int{256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+}
+
+// Fig9 varies HBO_GT_SD's REMOTE_BACKOFF_CAP, normalizing against MCS
+// (values < 1 mean faster than MCS).
+func Fig9(o Options) []*stats.Table {
+	mcs := sensBench(o, "MCS", simlock.DefaultTuning(), 17)
+	t := stats.NewTable(
+		"Figure 9: HBO_GT_SD sensitivity to REMOTE_BACKOFF_CAP (time normalized to MCS)",
+		"RemoteBackoffCap", "HBO_GT_SD / MCS")
+	for _, cap := range fig9Caps(o) {
+		tun := simlock.DefaultTuning()
+		tun.RemoteBackoffCap = cap
+		if tun.RemoteBackoffBase > cap {
+			tun.RemoteBackoffBase = cap
+		}
+		v := sensBench(o, "HBO_GT_SD", tun, 17)
+		t.AddRow(fmt.Sprint(cap), stats.F(v/mcs, 2))
+	}
+	return []*stats.Table{t}
+}
+
+// fig10Limits returns the GET_ANGRY_LIMIT sweep.
+func fig10Limits(o Options) []int {
+	if o.Quick {
+		return []int{2, 32, 512}
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+}
+
+// Fig10 varies HBO_GT_SD's GET_ANGRY_LIMIT, normalizing against HBO_GT
+// (the same lock without starvation detection).
+func Fig10(o Options) []*stats.Table {
+	gt := sensBench(o, "HBO_GT", simlock.DefaultTuning(), 19)
+	t := stats.NewTable(
+		"Figure 10: HBO_GT_SD sensitivity to GET_ANGRY_LIMIT (time normalized to HBO_GT)",
+		"GetAngryLimit", "HBO_GT_SD / HBO_GT", "Fairness spread %")
+	iters := 30
+	if o.Quick {
+		iters = 10
+	}
+	for _, lim := range fig10Limits(o) {
+		tun := simlock.DefaultTuning()
+		tun.GetAngryLimit = lim
+		r := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      wildfire(19),
+			Lock:         "HBO_GT_SD",
+			Threads:      o.threads(26),
+			Iterations:   iters,
+			CriticalWork: 1500,
+			PrivateWork:  4000,
+			Tuning:       tun,
+		})
+		t.AddRow(fmt.Sprint(lim),
+			stats.F(float64(r.TotalTime)/gt, 2),
+			stats.F(r.FinishSpreadPercent(), 1))
+	}
+	return []*stats.Table{t}
+}

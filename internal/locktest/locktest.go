@@ -1,0 +1,196 @@
+// Package locktest is a conformance harness for lock implementations on
+// the simulated NUCA machine: it drives a configurable contention
+// scenario against any registered algorithm and verifies mutual
+// exclusion, progress and accounting invariants, reporting the
+// behavioural metrics (handoffs, fairness, traffic) alongside. New lock
+// implementations get a full shakedown from one call.
+package locktest
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+// Config describes one conformance scenario.
+type Config struct {
+	Machine    machine.Config
+	Threads    int
+	Iterations int      // per thread
+	CSWork     sim.Time // critical-section compute
+	MaxThink   sim.Time // uniform random think time bound (0 = none)
+	// CSLines of shared data are mutated inside the critical section
+	// and verified afterwards (defaults to 2).
+	CSLines int
+	// LockHome is the node holding the lock variable (default 0).
+	LockHome int
+}
+
+// DefaultConfig returns a moderately contended 8-thread scenario.
+func DefaultConfig(seed uint64) Config {
+	m := machine.WildFire()
+	m.CPUsPerNode = 4
+	m.Seed = seed
+	return Config{
+		Machine:    m,
+		Threads:    8,
+		Iterations: 100,
+		CSWork:     300,
+		MaxThink:   2000,
+		CSLines:    2,
+	}
+}
+
+// Report is the outcome of one conformance run.
+type Report struct {
+	Lock         string
+	Acquisitions int
+	// Violations counts overlapping critical sections (must be 0).
+	Violations int
+	// LostUpdates is the difference between expected and observed
+	// increments of the guarded data (must be 0).
+	LostUpdates  int
+	Elapsed      sim.Time
+	HandoffRatio float64
+	// FinishSpreadPct is (last-first)/first finish time, in percent.
+	FinishSpreadPct float64
+	PerThread       []int
+	Traffic         machine.Stats
+}
+
+// Ok reports whether every invariant held.
+func (r Report) Ok() bool {
+	return r.Violations == 0 && r.LostUpdates == 0 &&
+		r.Acquisitions > 0 && r.Elapsed > 0
+}
+
+// Err returns a descriptive error when an invariant failed, else nil.
+func (r Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	return fmt.Errorf("locktest: %s failed conformance: %d violations, %d lost updates, %d acquisitions",
+		r.Lock, r.Violations, r.LostUpdates, r.Acquisitions)
+}
+
+// Check runs the scenario against the named algorithm.
+func Check(lockName string, cfg Config) Report {
+	if cfg.Threads < 1 || cfg.Iterations < 1 {
+		panic("locktest: need at least one thread and iteration")
+	}
+	if cfg.CSLines < 1 {
+		cfg.CSLines = 2
+	}
+	m := machine.New(cfg.Machine)
+	cpus := make([]int, cfg.Threads)
+	next := make([]int, cfg.Machine.Nodes)
+	for i := range cpus {
+		n := i % cfg.Machine.Nodes
+		for next[n] >= cfg.Machine.CPUsPerNode {
+			n = (n + 1) % cfg.Machine.Nodes
+		}
+		cpus[i] = n*cfg.Machine.CPUsPerNode + next[n]
+		next[n]++
+	}
+	l := simlock.New(lockName, m, cfg.LockHome, cpus, simlock.DefaultTuning())
+	data := m.Alloc(cfg.LockHome, cfg.CSLines)
+
+	rep := Report{Lock: lockName, PerThread: make([]int, cfg.Threads)}
+	inCS := 0
+	lastNode, handoffs, switches := -1, 0, 0
+	finish := make([]sim.Time, cfg.Threads)
+
+	for tid := 0; tid < cfg.Threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(cfg.Machine.Seed*524287 + uint64(tid) + 7)
+			for i := 0; i < cfg.Iterations; i++ {
+				l.Acquire(p, tid)
+				inCS++
+				if inCS != 1 {
+					rep.Violations++
+				}
+				rep.Acquisitions++
+				rep.PerThread[tid]++
+				if lastNode >= 0 {
+					handoffs++
+					if lastNode != p.Node() {
+						switches++
+					}
+				}
+				lastNode = p.Node()
+				for w := 0; w < cfg.CSLines; w++ {
+					a := data + machine.Addr(w)
+					p.Store(a, p.Load(a)+1)
+				}
+				p.Work(cfg.CSWork)
+				inCS--
+				l.Release(p, tid)
+				if cfg.MaxThink > 0 {
+					p.Work(rng.Timen(cfg.MaxThink) + 1)
+				}
+			}
+			finish[tid] = p.Now()
+		})
+	}
+	m.Run()
+
+	rep.Elapsed = m.Now()
+	rep.Traffic = m.Stats()
+	if handoffs > 0 {
+		rep.HandoffRatio = float64(switches) / float64(handoffs)
+	}
+	want := uint64(cfg.Threads * cfg.Iterations)
+	for w := 0; w < cfg.CSLines; w++ {
+		got := m.Peek(data + machine.Addr(w))
+		if got != want {
+			rep.LostUpdates += int(want - got)
+		}
+	}
+	min, max := finish[0], finish[0]
+	for _, f := range finish {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if min > 0 {
+		rep.FinishSpreadPct = 100 * float64(max-min) / float64(min)
+	}
+	return rep
+}
+
+// Sweep runs Check across several seeds and machine shapes, returning
+// the first failing report (or the last passing one). RH is restricted
+// to two-node shapes by construction.
+func Sweep(lockName string, seeds int) (Report, error) {
+	shapes := []struct{ nodes, cpus int }{
+		{1, 8}, {2, 4}, {2, 8}, {4, 2},
+	}
+	var last Report
+	for s := 0; s < seeds; s++ {
+		for _, sh := range shapes {
+			if lockName == "RH" && sh.nodes > 2 {
+				continue
+			}
+			cfg := DefaultConfig(uint64(s + 1))
+			cfg.Machine.Nodes = sh.nodes
+			cfg.Machine.CPUsPerNode = sh.cpus
+			cfg.Threads = sh.nodes * sh.cpus
+			if cfg.Threads > 8 {
+				cfg.Threads = 8
+			}
+			cfg.Iterations = 40
+			rep := Check(lockName, cfg)
+			if err := rep.Err(); err != nil {
+				return rep, fmt.Errorf("%w (shape %dx%d seed %d)", err, sh.nodes, sh.cpus, s+1)
+			}
+			last = rep
+		}
+	}
+	return last, nil
+}

@@ -1,0 +1,79 @@
+package locktest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simlock"
+)
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if cfg.Threads < 2 || cfg.Iterations < 1 || cfg.CSLines < 1 {
+		t.Fatalf("default config degenerate: %+v", cfg)
+	}
+}
+
+// TestAllAlgorithmsConform sweeps the full registry through the
+// conformance harness.
+func TestAllAlgorithmsConform(t *testing.T) {
+	for _, name := range simlock.AllNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rep, err := Sweep(name, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Acquisitions == 0 {
+				t.Fatal("sweep did nothing")
+			}
+		})
+	}
+}
+
+func TestCheckReportFields(t *testing.T) {
+	rep := Check("HBO_GT_SD", DefaultConfig(3))
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Acquisitions != 8*100 {
+		t.Fatalf("acquisitions = %d", rep.Acquisitions)
+	}
+	for tid, n := range rep.PerThread {
+		if n != 100 {
+			t.Fatalf("thread %d acquired %d times", tid, n)
+		}
+	}
+	if rep.HandoffRatio < 0 || rep.HandoffRatio > 1 {
+		t.Fatalf("handoff ratio %v", rep.HandoffRatio)
+	}
+	if rep.Traffic.TotalLocal() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if rep.FinishSpreadPct < 0 {
+		t.Fatalf("spread %v", rep.FinishSpreadPct)
+	}
+}
+
+func TestReportErrDescribesFailure(t *testing.T) {
+	bad := Report{Lock: "X", Violations: 2, Acquisitions: 10}
+	err := bad.Err()
+	if err == nil || !strings.Contains(err.Error(), "2 violations") {
+		t.Fatalf("err = %v", err)
+	}
+	good := Report{Lock: "X", Acquisitions: 1, Elapsed: 1}
+	if good.Err() != nil {
+		t.Fatal("good report reported error")
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for zero threads")
+		}
+	}()
+	cfg := DefaultConfig(1)
+	cfg.Threads = 0
+	Check("TATAS", cfg)
+}

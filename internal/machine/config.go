@@ -1,0 +1,177 @@
+// Package machine models a NUCA (nonuniform communication architecture)
+// shared-memory multiprocessor on top of the internal/sim discrete-event
+// engine.
+//
+// The model captures exactly the mechanisms the HBO paper's evaluation
+// depends on: per-CPU caches kept coherent by an invalidation protocol,
+// a latency hierarchy (own cache, neighbor cache, remote cache, local and
+// remote memory), per-node snoop buses and a global interconnect that
+// queue under load, and accounting of local vs. global coherence
+// transactions. Simulated processors execute Go functions and interact
+// with memory through the Proc API (Load/Store/CAS/Swap/TAS), so lock
+// algorithms can be transcribed almost line by line from the paper.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Latencies holds the unloaded cost of each memory operation class, in
+// simulated nanoseconds. See DESIGN.md §4 for the calibration against the
+// paper's Sun WildFire numbers.
+type Latencies struct {
+	// OpOverhead is the fixed instruction overhead charged per memory
+	// operation (address generation, branch, call glue).
+	OpOverhead sim.Time
+	// LoadHit is a load of a line valid in the issuing CPU's cache.
+	LoadHit sim.Time
+	// StoreOwned is a store or atomic to a line this CPU owns (M state).
+	StoreOwned sim.Time
+	// Upgrade is a store/atomic to a line this CPU shares: the sharers
+	// must be invalidated but no data transfer is needed.
+	Upgrade sim.Time
+	// C2CLocal is a cache-to-cache transfer from a CPU in the same node.
+	C2CLocal sim.Time
+	// C2CRemote is a cache-to-cache transfer from a CPU in another node.
+	C2CRemote sim.Time
+	// MemLocal is a fetch from memory homed in the issuing CPU's node.
+	MemLocal sim.Time
+	// MemRemote is a fetch from memory homed in another node.
+	MemRemote sim.Time
+	// BackoffUnit is the cost of one iteration of the empty delay loop
+	// `for (i = b; i; i--);` used by backoff locks.
+	BackoffUnit sim.Time
+	// WakeJitter is the maximum extra delay before a spinner parked on
+	// an invalidated line re-reads it. Real coherence fabrics resolve a
+	// refill storm through queued retries and NACKs, which effectively
+	// randomizes the winner among the spinning requesters; without this
+	// jitter the deterministic model lets the nearest CPU win every
+	// race, starving remote nodes far beyond what hardware shows.
+	WakeJitter sim.Time
+	// C2CFar and MemFar apply to transfers that cross cluster
+	// boundaries on hierarchical machines (Config.ClusterSize > 1),
+	// modeling the paper's "several levels of non-uniformity" (a NUMA
+	// of CMPs). Zero values fall back to C2CRemote/MemRemote.
+	C2CFar sim.Time
+	MemFar sim.Time
+}
+
+// PreemptConfig describes OS scheduling interference: at exponentially
+// distributed intervals a random CPU is stolen for an exponentially
+// distributed duration. The paper's Table 4 shows queue-based locks
+// collapsing when the machine is fully subscribed and Solaris daemons
+// preempt a queued thread; this injector reproduces that mechanism.
+type PreemptConfig struct {
+	Enabled      bool
+	MeanInterval sim.Time // mean time between preemption events
+	MeanDuration sim.Time // mean duration a CPU is stolen
+}
+
+// Config describes a machine instance.
+type Config struct {
+	Nodes       int
+	CPUsPerNode int
+	// ClusterSize groups nodes into clusters of this many nodes for
+	// hierarchical NUCAs; 0 or 1 means a flat two-level machine.
+	// Transfers within a cluster use the Remote latencies, transfers
+	// across clusters the Far latencies.
+	ClusterSize int
+	// WordsPerLine sets how many memory words share a cache line
+	// (0 or 1 = one word per line, the default that isolates every
+	// variable). Larger values enable collocation studies — the QOLB
+	// trick of placing guarded data on the lock's own line — and false
+	// sharing. Allocations are always line-aligned.
+	WordsPerLine int
+	Lat          Latencies
+	// BusService is each node bus's occupancy per coherence transaction.
+	BusService sim.Time
+	// LinkService is the global interconnect's occupancy per crossing.
+	LinkService sim.Time
+	Preempt     PreemptConfig
+	Seed        uint64
+	// TimeLimit aborts the simulation when the clock passes it (0 = off).
+	TimeLimit sim.Time
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("machine: Nodes = %d, need >= 1", c.Nodes)
+	}
+	if c.CPUsPerNode < 1 {
+		return fmt.Errorf("machine: CPUsPerNode = %d, need >= 1", c.CPUsPerNode)
+	}
+	if c.Nodes*c.CPUsPerNode > maxCPUs {
+		return fmt.Errorf("machine: %d CPUs exceeds the %d-CPU sharer bitmap",
+			c.Nodes*c.CPUsPerNode, maxCPUs)
+	}
+	return nil
+}
+
+// TotalCPUs returns Nodes * CPUsPerNode.
+func (c Config) TotalCPUs() int { return c.Nodes * c.CPUsPerNode }
+
+// WildFireLatencies is the latency calibration for the paper's 2-node Sun
+// WildFire (two E6000 cabinets, 250 MHz UltraSPARC-II). The constants are
+// chosen so the uncontested lock costs of Table 1 land on the measured
+// values: e.g. TATAS same-processor = tas(owned) + store(owned) +
+// overheads ≈ 150 ns; same-node ≈ 660 ns; remote ≈ 2050 ns.
+func WildFireLatencies() Latencies {
+	return Latencies{
+		OpOverhead:  5,
+		LoadHit:     12,
+		StoreOwned:  70,
+		Upgrade:     250,
+		C2CLocal:    580,
+		C2CRemote:   1970,
+		MemLocal:    330,
+		MemRemote:   1700,
+		BackoffUnit: 4, // 250 MHz, ~1 cycle per empty loop iteration
+		WakeJitter:  1600,
+	}
+}
+
+// WildFire returns the 2-node, 28-CPU configuration used for most of the
+// paper's experiments (14 threads per node; the hardware had 16+14 CPUs
+// but the authors ran 14+14).
+func WildFire() Config {
+	return Config{
+		Nodes:       2,
+		CPUsPerNode: 16,
+		Lat:         WildFireLatencies(),
+		BusService:  40,
+		LinkService: 120,
+		Seed:        1,
+	}
+}
+
+// E6000 returns a single-node 16-CPU SMP (uniform communication), the
+// machine used for the paper's non-DSM measurements.
+func E6000() Config {
+	c := WildFire()
+	c.Nodes = 1
+	return c
+}
+
+// CMPServer returns a hierarchical NUCA: eight 4-CPU nodes (think chip
+// multiprocessors) in clusters of two, with a third latency level
+// across clusters — the future machine class the paper's section 2
+// sketches (NUCA ratios 6–10).
+func CMPServer() Config {
+	c := WildFire()
+	c.Nodes = 8
+	c.CPUsPerNode = 4
+	c.ClusterSize = 2
+	c.Lat.C2CLocal = 300 // on-chip neighbor
+	c.Lat.C2CRemote = 900
+	c.Lat.C2CFar = 2400
+	c.Lat.MemLocal = 200
+	c.Lat.MemRemote = 700
+	c.Lat.MemFar = 1900
+	return c
+}
+
+// maxCPUs bounds the sharer bitmap.
+const maxCPUs = 64

@@ -1,0 +1,368 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Addr identifies one word of simulated shared memory. By default every
+// word lives on its own cache line (the paper allocates each lock on a
+// private line); Config.WordsPerLine > 1 makes words share lines, for
+// collocation and false-sharing studies. Addr 0 is reserved as a nil
+// pointer value for queue-lock links.
+type Addr uint32
+
+// NilAddr is never returned by Alloc; queue locks use it as a null link.
+const NilAddr Addr = 0
+
+type lineState uint8
+
+const (
+	stateUncached lineState = iota
+	stateShared
+	stateModified
+)
+
+// sharerSet is a bitmap over CPU ids.
+type sharerSet uint64
+
+func (s sharerSet) has(cpu int) bool { return s&(1<<uint(cpu)) != 0 }
+func (s *sharerSet) add(cpu int)     { *s |= 1 << uint(cpu) }
+func (s *sharerSet) remove(cpu int)  { *s &^= 1 << uint(cpu) }
+func (s sharerSet) empty() bool      { return s == 0 }
+func (s sharerSet) count() int {
+	n := 0
+	for v := uint64(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+type line struct {
+	home    int // home node of the backing memory
+	state   lineState
+	owner   int // cpu id when stateModified
+	sharers sharerSet
+	waiters []*Proc // procs parked in SpinUntil on this line
+	// busyUntil serializes ownership/data transfers of this line: a
+	// cache line can only move between caches one transfer at a time,
+	// so a burst of misses (the test&set storm after a release) queues.
+	// This serialization is what makes TATAS collapse under contention.
+	busyUntil sim.Time
+}
+
+// Stats accumulates coherence-traffic counters. Local transactions are
+// counted per node (any bus transaction at that node); transactions that
+// cross the interconnect also count as one global transaction, matching
+// how the paper's Tables 2 and 6 report "local" and "global" traffic.
+type Stats struct {
+	Local  []uint64 // indexed by node
+	Global uint64
+}
+
+// TotalLocal sums the per-node local counters.
+func (s Stats) TotalLocal() uint64 {
+	var t uint64
+	for _, v := range s.Local {
+		t += v
+	}
+	return t
+}
+
+// Sub returns s - o (counter deltas between two snapshots).
+func (s Stats) Sub(o Stats) Stats {
+	d := Stats{Local: make([]uint64, len(s.Local)), Global: s.Global - o.Global}
+	for i := range s.Local {
+		d.Local[i] = s.Local[i] - o.Local[i]
+	}
+	return d
+}
+
+// Machine is a simulated NUCA multiprocessor. Construct with New, allocate
+// shared memory with Alloc, start programs with Spawn, then call Run.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	rng   *sim.RNG
+	words []uint64
+	lines []line
+	buses []*sim.Resource // one per node
+	link  *sim.Resource
+
+	stats          Stats
+	procs          []*Proc
+	active         int // procs still running
+	preemptedUntil []sim.Time
+}
+
+// New builds a machine from cfg. It panics on an invalid configuration
+// (machine shape is programmer input, not runtime data).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	if cfg.TimeLimit > 0 {
+		eng.SetLimit(cfg.TimeLimit)
+	}
+	m := &Machine{
+		cfg:            cfg,
+		eng:            eng,
+		rng:            sim.NewRNG(cfg.Seed),
+		words:          make([]uint64, 1, 1024), // index 0 reserved (NilAddr)
+		lines:          make([]line, 1, 1024),
+		link:           sim.NewResource(eng, "link"),
+		stats:          Stats{Local: make([]uint64, cfg.Nodes)},
+		preemptedUntil: make([]sim.Time, cfg.TotalCPUs()),
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		m.buses = append(m.buses, sim.NewResource(eng, fmt.Sprintf("bus%d", n)))
+	}
+	if cfg.Preempt.Enabled {
+		m.schedulePreempt()
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the simulated clock.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// RNG returns the machine's deterministic random source. Workloads share
+// it so a single seed reproduces an entire experiment.
+func (m *Machine) RNG() *sim.RNG { return m.rng }
+
+// Alloc reserves words of shared memory homed in the given node and
+// returns the address of the first word. Each word is its own cache line.
+func (m *Machine) Alloc(home, words int) Addr {
+	if home < 0 || home >= m.cfg.Nodes {
+		panic(fmt.Sprintf("machine: Alloc home node %d out of range", home))
+	}
+	if words <= 0 {
+		panic("machine: Alloc of non-positive size")
+	}
+	wpl := m.wordsPerLine()
+	// Align to a line boundary so separate allocations never share a
+	// line (deliberate collocation uses a single multi-word Alloc).
+	for len(m.words)%wpl != 0 {
+		m.words = append(m.words, 0)
+	}
+	base := Addr(len(m.words))
+	for i := 0; i < words; i++ {
+		m.words = append(m.words, 0)
+	}
+	// Grow line metadata to cover the new words.
+	for len(m.lines)*wpl < len(m.words) {
+		m.lines = append(m.lines, line{home: home})
+	}
+	return base
+}
+
+// wordsPerLine returns the configured line width (>= 1).
+func (m *Machine) wordsPerLine() int {
+	if m.cfg.WordsPerLine < 1 {
+		return 1
+	}
+	return m.cfg.WordsPerLine
+}
+
+// lineOf returns the cache-line metadata covering address a.
+func (m *Machine) lineOf(a Addr) *line {
+	return &m.lines[int(a)/m.wordsPerLine()]
+}
+
+// Peek reads a word without simulating any cost or coherence action.
+// Intended for workload setup and result collection.
+func (m *Machine) Peek(a Addr) uint64 { return m.words[a] }
+
+// Poke writes a word without cost; the line is left uncached so the next
+// access pays a memory fetch. Intended for workload setup.
+func (m *Machine) Poke(a Addr, v uint64) {
+	m.words[a] = v
+	l := m.lineOf(a)
+	l.state = stateUncached
+	l.sharers = 0
+}
+
+// SeedOwner places a's line dirty in cpu's cache, as if cpu had just
+// written v. Used by the uncontested-latency probe to set up the
+// "previous owner" scenarios of Table 1.
+func (m *Machine) SeedOwner(a Addr, cpu int, v uint64) {
+	m.words[a] = v
+	l := m.lineOf(a)
+	l.state = stateModified
+	l.owner = cpu
+	l.sharers = 0
+}
+
+// NodeOf maps a cpu id to its node.
+func (m *Machine) NodeOf(cpu int) int { return cpu / m.cfg.CPUsPerNode }
+
+// ClusterOf maps a node to its cluster (the node itself on flat
+// machines).
+func (m *Machine) ClusterOf(node int) int {
+	if m.cfg.ClusterSize <= 1 {
+		return node
+	}
+	return node / m.cfg.ClusterSize
+}
+
+// Distance classifies how far apart two nodes are: 0 same node, 1 same
+// cluster (or any other node on a flat machine), 2 across clusters.
+func (m *Machine) Distance(a, b int) int {
+	switch {
+	case a == b:
+		return 0
+	case m.ClusterOf(a) == m.ClusterOf(b):
+		return 1
+	default:
+		if m.cfg.ClusterSize <= 1 {
+			return 1
+		}
+		return 2
+	}
+}
+
+// c2cLatency returns the cache-to-cache cost between two nodes.
+func (m *Machine) c2cLatency(a, b int) sim.Time {
+	switch m.Distance(a, b) {
+	case 0:
+		return m.cfg.Lat.C2CLocal
+	case 1:
+		return m.cfg.Lat.C2CRemote
+	default:
+		if m.cfg.Lat.C2CFar > 0 {
+			return m.cfg.Lat.C2CFar
+		}
+		return m.cfg.Lat.C2CRemote
+	}
+}
+
+// memLatency returns the memory-fetch cost from node a to memory homed
+// in node b.
+func (m *Machine) memLatency(a, b int) sim.Time {
+	switch m.Distance(a, b) {
+	case 0:
+		return m.cfg.Lat.MemLocal
+	case 1:
+		return m.cfg.Lat.MemRemote
+	default:
+		if m.cfg.Lat.MemFar > 0 {
+			return m.cfg.Lat.MemFar
+		}
+		return m.cfg.Lat.MemRemote
+	}
+}
+
+// Stats returns a copy of the current traffic counters.
+func (m *Machine) Stats() Stats {
+	c := Stats{Local: make([]uint64, len(m.stats.Local)), Global: m.stats.Global}
+	copy(c.Local, m.stats.Local)
+	return c
+}
+
+// ResetStats zeroes the traffic counters (e.g. after a warmup phase).
+func (m *Machine) ResetStats() {
+	for i := range m.stats.Local {
+		m.stats.Local[i] = 0
+	}
+	m.stats.Global = 0
+}
+
+// BusUtilization returns per-node bus utilization so far.
+func (m *Machine) BusUtilization() []float64 {
+	u := make([]float64, len(m.buses))
+	for i, b := range m.buses {
+		u[i] = b.Utilization()
+	}
+	return u
+}
+
+// LinkUtilization returns global interconnect utilization so far.
+func (m *Machine) LinkUtilization() float64 { return m.link.Utilization() }
+
+// Spawn starts body on the given CPU. Multiple programs may share a CPU
+// only if the caller multiplexes them itself; normally one program per
+// CPU. Programs begin executing when Run is called.
+func (m *Machine) Spawn(cpu int, body func(p *Proc)) *Proc {
+	if cpu < 0 || cpu >= m.cfg.TotalCPUs() {
+		panic(fmt.Sprintf("machine: Spawn cpu %d out of range", cpu))
+	}
+	p := &Proc{m: m, cpu: cpu, node: m.NodeOf(cpu)}
+	m.active++
+	p.proc = m.eng.Spawn(cpu, func(sp *sim.Process) {
+		body(p)
+		m.active--
+	})
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// Run executes all spawned programs to completion (or the time limit) and
+// releases simulation resources. The machine can be inspected afterwards
+// but not run again.
+func (m *Machine) Run() {
+	m.eng.Run()
+	m.eng.Shutdown()
+}
+
+// Aborted reports whether Run stopped at the time limit rather than by
+// all programs finishing.
+func (m *Machine) Aborted() bool { return m.active > 0 }
+
+// schedulePreempt installs the OS-interference injector.
+func (m *Machine) schedulePreempt() {
+	pc := m.cfg.Preempt
+	var tick func()
+	tick = func() {
+		if m.active == 0 || len(m.procs) == 0 {
+			return // all programs done; let the simulation drain
+		}
+		// Steal a CPU that actually runs a program: daemons displace
+		// workers only when the machine is fully subscribed, which is
+		// the scenario the injector exists to model.
+		cpu := m.procs[m.rng.Intn(len(m.procs))].cpu
+		dur := m.rng.Exp(pc.MeanDuration)
+		until := m.eng.Now() + dur
+		if until > m.preemptedUntil[cpu] {
+			m.preemptedUntil[cpu] = until
+		}
+		m.eng.Schedule(m.rng.Exp(pc.MeanInterval), tick)
+	}
+	m.eng.Schedule(m.rng.Exp(pc.MeanInterval), tick)
+}
+
+// wakeWaiters releases every proc parked in SpinUntil on l. Each waiter
+// resumes after a randomized propagation delay (see Latencies.WakeJitter)
+// and re-reads the line, which reproduces the refill burst that follows
+// an invalidation with a hardware-realistic scramble of who gets there
+// first.
+func (m *Machine) wakeWaiters(l *line) {
+	if len(l.waiters) == 0 {
+		return
+	}
+	ws := l.waiters
+	l.waiters = l.waiters[:0]
+	for _, w := range ws {
+		var d sim.Time
+		if j := m.cfg.Lat.WakeJitter; j > 0 {
+			d = m.rng.Timen(j + 1)
+		}
+		w.proc.Wake(d)
+	}
+}
+
+// cached reports whether cpu currently holds a valid copy of a's line.
+func (m *Machine) cached(cpu int, a Addr) bool {
+	l := m.lineOf(a)
+	switch l.state {
+	case stateModified:
+		return l.owner == cpu
+	case stateShared:
+		return l.sharers.has(cpu)
+	}
+	return false
+}

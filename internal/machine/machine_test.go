@@ -1,0 +1,593 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// small returns a 2-node, 4-CPUs-per-node machine with simple latencies
+// so tests can assert exact costs.
+func small() *Machine {
+	return New(Config{
+		Nodes:       2,
+		CPUsPerNode: 4,
+		Lat: Latencies{
+			OpOverhead:  0,
+			LoadHit:     10,
+			StoreOwned:  50,
+			Upgrade:     200,
+			C2CLocal:    500,
+			C2CRemote:   2000,
+			MemLocal:    300,
+			MemRemote:   1500,
+			BackoffUnit: 4,
+		},
+		Seed: 1,
+	})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Nodes: 0, CPUsPerNode: 1}).Validate(); err == nil {
+		t.Error("want error for 0 nodes")
+	}
+	if err := (Config{Nodes: 1, CPUsPerNode: 0}).Validate(); err == nil {
+		t.Error("want error for 0 cpus")
+	}
+	if err := (Config{Nodes: 8, CPUsPerNode: 16}).Validate(); err == nil {
+		t.Error("want error for >64 cpus")
+	}
+	if err := WildFire().Validate(); err != nil {
+		t.Errorf("WildFire config invalid: %v", err)
+	}
+}
+
+func TestAllocAndPeekPoke(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 3)
+	if a == NilAddr {
+		t.Fatal("Alloc returned NilAddr")
+	}
+	b := m.Alloc(1, 1)
+	if b != a+3 {
+		t.Fatalf("second Alloc = %d, want %d", b, a+3)
+	}
+	m.Poke(a, 42)
+	if m.Peek(a) != 42 {
+		t.Fatalf("Peek = %d, want 42", m.Peek(a))
+	}
+}
+
+func TestLoadCosts(t *testing.T) {
+	cases := []struct {
+		name string
+		cpu  int
+		prep func(m *Machine, a Addr)
+		want sim.Time
+	}{
+		{"uncached local memory", 0, func(m *Machine, a Addr) {}, 300},
+		{"uncached remote memory", 4, func(m *Machine, a Addr) {}, 1500},
+		{"dirty in own cache", 0, func(m *Machine, a Addr) { m.SeedOwner(a, 0, 7) }, 10},
+		{"dirty same node", 1, func(m *Machine, a Addr) { m.SeedOwner(a, 0, 7) }, 500},
+		{"dirty remote node", 4, func(m *Machine, a Addr) { m.SeedOwner(a, 0, 7) }, 2000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := small()
+			a := m.Alloc(0, 1)
+			c.prep(m, a)
+			var elapsed sim.Time
+			m.Spawn(c.cpu, func(p *Proc) {
+				start := p.Now()
+				p.Load(a)
+				elapsed = p.Now() - start
+			})
+			m.Run()
+			if elapsed != c.want {
+				t.Fatalf("load latency = %v, want %v", elapsed, c.want)
+			}
+		})
+	}
+}
+
+func TestSecondLoadIsHit(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	var first, second sim.Time
+	m.Spawn(0, func(p *Proc) {
+		t0 := p.Now()
+		p.Load(a)
+		first = p.Now() - t0
+		t1 := p.Now()
+		p.Load(a)
+		second = p.Now() - t1
+	})
+	m.Run()
+	if first != 300 || second != 10 {
+		t.Fatalf("latencies = %v, %v; want 300, 10", first, second)
+	}
+}
+
+func TestStoreUpgradeInvalidatesSharers(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	m.Poke(a, 1)
+	var readAfter uint64
+	// CPU 0 and CPU 4 read (both become sharers), then CPU 0 writes,
+	// then CPU 4 reads again — it must see the new value and pay a miss.
+	var missCost sim.Time
+	m.Spawn(0, func(p *Proc) {
+		p.Load(a)
+		p.Work(3000) // let cpu 4's read complete first
+		p.Store(a, 2)
+	})
+	m.Spawn(4, func(p *Proc) {
+		p.Load(a)
+		p.Work(8000) // let the store happen
+		t0 := p.Now()
+		readAfter = p.Load(a)
+		missCost = p.Now() - t0
+	})
+	m.Run()
+	if readAfter != 2 {
+		t.Fatalf("stale read %d after invalidation", readAfter)
+	}
+	if missCost < 500 {
+		t.Fatalf("re-read after invalidation cost %v, want a miss", missCost)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	m.Poke(a, 5)
+	var got []uint64
+	m.Spawn(0, func(p *Proc) {
+		got = append(got, p.CAS(a, 4, 9)) // fails, returns 5
+		got = append(got, p.CAS(a, 5, 9)) // succeeds, returns 5
+		got = append(got, p.Load(a))      // 9
+	})
+	m.Run()
+	if got[0] != 5 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("CAS sequence = %v", got)
+	}
+}
+
+func TestFailedCASStillAcquiresLine(t *testing.T) {
+	// A failed CAS must still pull the line exclusive (SPARC semantics);
+	// a subsequent CAS by the same CPU is then an owned-line operation.
+	m := small()
+	a := m.Alloc(0, 1)
+	m.SeedOwner(a, 4, 5) // dirty in remote cpu 4
+	var firstCost, secondCost sim.Time
+	m.Spawn(0, func(p *Proc) {
+		t0 := p.Now()
+		p.CAS(a, 99, 1) // fails
+		firstCost = p.Now() - t0
+		t1 := p.Now()
+		p.CAS(a, 98, 1) // fails again, but line is now ours
+		secondCost = p.Now() - t1
+	})
+	m.Run()
+	if firstCost != 2000 {
+		t.Fatalf("first CAS cost %v, want 2000 (remote C2C)", firstCost)
+	}
+	if secondCost != 50 {
+		t.Fatalf("second CAS cost %v, want 50 (owned)", secondCost)
+	}
+}
+
+func TestSwapAndTAS(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	var old1, old2, final uint64
+	m.Spawn(0, func(p *Proc) {
+		old1 = p.Swap(a, 7)
+		old2 = p.TAS(a)
+		final = p.Load(a)
+	})
+	m.Run()
+	if old1 != 0 || old2 != 7 || final != 1 {
+		t.Fatalf("swap/tas = %d, %d, %d", old1, old2, final)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	m.Spawn(0, func(p *Proc) {
+		p.Load(a)     // local mem fetch: 1 local @0
+		p.Store(a, 1) // upgrade: 1 local @0 (no remote sharers)
+		p.Load(a)     // hit: nothing
+	})
+	m.Run()
+	s := m.Stats()
+	if s.Local[0] != 2 || s.Local[1] != 0 || s.Global != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRemoteTrafficCountsGlobal(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	m.SeedOwner(a, 0, 3)
+	m.Spawn(4, func(p *Proc) {
+		p.Load(a) // remote C2C: local @1, local @0, 1 global
+	})
+	m.Run()
+	s := m.Stats()
+	if s.Local[1] != 1 || s.Local[0] != 1 || s.Global != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUpgradeWithRemoteSharerCountsInvalidation(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	m.Poke(a, 1)
+	m.Spawn(4, func(p *Proc) { p.Load(a) }) // remote sharer
+	m.Spawn(0, func(p *Proc) {
+		p.Work(10000)
+		p.Load(a) // become sharer: 1 local @0
+		m.ResetStats()
+		p.Store(a, 2) // upgrade: local @0 + invalidation to node 1
+	})
+	m.Run()
+	s := m.Stats()
+	if s.Local[0] != 1 || s.Local[1] != 1 || s.Global != 1 {
+		t.Fatalf("upgrade stats = %+v", s)
+	}
+}
+
+func TestStatsSubAndTotal(t *testing.T) {
+	a := Stats{Local: []uint64{5, 7}, Global: 3}
+	b := Stats{Local: []uint64{2, 3}, Global: 1}
+	d := a.Sub(b)
+	if d.Local[0] != 3 || d.Local[1] != 4 || d.Global != 2 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if a.TotalLocal() != 12 {
+		t.Fatalf("TotalLocal = %d", a.TotalLocal())
+	}
+}
+
+func TestSpinUntilWakesOnWrite(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	var observed uint64
+	var wakeTime sim.Time
+	m.Spawn(0, func(p *Proc) {
+		observed = p.SpinUntil(a, func(v uint64) bool { return v == 42 })
+		wakeTime = p.Now()
+	})
+	m.Spawn(4, func(p *Proc) {
+		p.Work(100000)
+		p.Store(a, 42)
+	})
+	m.Run()
+	if observed != 42 {
+		t.Fatalf("observed %d, want 42", observed)
+	}
+	if wakeTime < 100000 {
+		t.Fatalf("woke at %v, before the store", wakeTime)
+	}
+}
+
+func TestSpinWhileEqualsManyWaiters(t *testing.T) {
+	m := small()
+	a := m.Alloc(0, 1)
+	m.Poke(a, 1)
+	woke := 0
+	for cpu := 0; cpu < 6; cpu++ {
+		m.Spawn(cpu, func(p *Proc) {
+			p.SpinWhileEquals(a, 1)
+			woke++
+		})
+	}
+	m.Spawn(6, func(p *Proc) {
+		p.Work(50000)
+		p.Store(a, 0)
+	})
+	m.Run()
+	if woke != 6 {
+		t.Fatalf("%d waiters woke, want 6", woke)
+	}
+}
+
+func TestSpinUntilSeesWriteDuringFlight(t *testing.T) {
+	// A write that lands while the spinner's first load is in flight
+	// must not be lost.
+	m := small()
+	a := m.Alloc(0, 1) // home node 0; cpu 4 pays 1500 for first load
+	var done bool
+	m.Spawn(4, func(p *Proc) {
+		p.SpinUntil(a, func(v uint64) bool { return v == 9 })
+		done = true
+	})
+	m.Spawn(0, func(p *Proc) {
+		p.Work(700) // lands inside cpu 4's 1500ns load
+		p.Store(a, 9)
+	})
+	m.Run()
+	if !done {
+		t.Fatal("spinner missed in-flight write")
+	}
+}
+
+func TestDelayAdvancesClock(t *testing.T) {
+	m := small()
+	var elapsed sim.Time
+	m.Spawn(0, func(p *Proc) {
+		t0 := p.Now()
+		p.Delay(100) // 100 * 4ns
+		elapsed = p.Now() - t0
+	})
+	m.Run()
+	if elapsed != 400 {
+		t.Fatalf("Delay(100) took %v, want 400", elapsed)
+	}
+}
+
+func TestPreemptionStallsCPU(t *testing.T) {
+	cfg := Config{
+		Nodes:       1,
+		CPUsPerNode: 1,
+		Lat:         WildFireLatencies(),
+		Preempt: PreemptConfig{
+			Enabled:      true,
+			MeanInterval: 1000,
+			MeanDuration: 50000,
+		},
+		Seed: 3,
+	}
+	m := New(cfg)
+	a := m.Alloc(0, 1)
+	var elapsed sim.Time
+	m.Spawn(0, func(p *Proc) {
+		t0 := p.Now()
+		for i := 0; i < 100; i++ {
+			p.Load(a)
+			p.Store(a, uint64(i))
+			p.Work(100)
+		}
+		elapsed = p.Now() - t0
+	})
+	m.Run()
+	// Without preemption this takes ~100*(12+70+100+2*5) ≈ 20µs; with a
+	// CPU stolen every ~1µs for ~50µs it must take far longer.
+	if elapsed < 200000 {
+		t.Fatalf("elapsed %v; preemption had no effect", elapsed)
+	}
+}
+
+func TestTimeLimitAborts(t *testing.T) {
+	cfg := WildFire()
+	cfg.TimeLimit = 10000
+	m := New(cfg)
+	a := m.Alloc(0, 1)
+	m.Spawn(0, func(p *Proc) {
+		for {
+			p.Store(a, 1)
+			p.Work(100)
+		}
+	})
+	m.Run()
+	if !m.Aborted() {
+		t.Fatal("machine did not report abort at time limit")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (sim.Time, Stats) {
+		m := small()
+		a := m.Alloc(0, 1)
+		for cpu := 0; cpu < 8; cpu++ {
+			m.Spawn(cpu, func(p *Proc) {
+				for i := 0; i < 50; i++ {
+					for p.TAS(a) != 0 {
+						p.Delay(10 + p.CPU())
+					}
+					p.Work(200)
+					p.Store(a, 0)
+					p.Work(sim.Time(100 * (p.CPU() + 1)))
+				}
+			})
+		}
+		m.Run()
+		return m.Now(), m.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1.Global != s2.Global || s1.TotalLocal() != s2.TotalLocal() {
+		t.Fatalf("nondeterministic: (%v,%v,%v) vs (%v,%v,%v)",
+			t1, s1.Global, s1.TotalLocal(), t2, s2.Global, s2.TotalLocal())
+	}
+}
+
+// Coherence safety property: under random concurrent ops the final value
+// is one actually written, and a mutual-exclusion protocol built on TAS
+// never admits two CPUs at once.
+func TestMutualExclusionOnSimulatedTAS(t *testing.T) {
+	m := small()
+	lock := m.Alloc(0, 1)
+	counter := 0
+	inCS := 0
+	for cpu := 0; cpu < 8; cpu++ {
+		m.Spawn(cpu, func(p *Proc) {
+			for i := 0; i < 200; i++ {
+				for p.TAS(lock) != 0 {
+					p.SpinUntilZero(lock)
+				}
+				inCS++
+				if inCS != 1 {
+					t.Errorf("mutual exclusion violated: %d in CS", inCS)
+				}
+				counter++
+				p.Work(50)
+				inCS--
+				p.Store(lock, 0)
+			}
+		})
+	}
+	m.Run()
+	if counter != 8*200 {
+		t.Fatalf("counter = %d, want %d", counter, 8*200)
+	}
+}
+
+func TestSharerSetProperties(t *testing.T) {
+	f := func(cpus []uint8) bool {
+		var s sharerSet
+		seen := map[int]bool{}
+		for _, c := range cpus {
+			cpu := int(c % maxCPUs)
+			s.add(cpu)
+			seen[cpu] = true
+		}
+		if s.count() != len(seen) {
+			return false
+		}
+		for cpu := range seen {
+			if !s.has(cpu) {
+				return false
+			}
+			s.remove(cpu)
+			if s.has(cpu) {
+				return false
+			}
+		}
+		return s.empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	m := small()
+	for cpu, want := range map[int]int{0: 0, 3: 0, 4: 1, 7: 1} {
+		if got := m.NodeOf(cpu); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", cpu, got, want)
+		}
+	}
+}
+
+func TestInvalidAccessPanics(t *testing.T) {
+	m := small()
+	m.Spawn(0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic on NilAddr access")
+			}
+		}()
+		p.Load(NilAddr)
+	})
+	m.Run()
+}
+
+func TestPresetConfigsValid(t *testing.T) {
+	for _, cfg := range []Config{WildFire(), E6000(), CMPServer()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+	if E6000().Nodes != 1 {
+		t.Error("E6000 should have one node")
+	}
+	c := CMPServer()
+	if c.Nodes != 8 || c.ClusterSize != 2 {
+		t.Errorf("CMPServer shape = %d nodes, cluster %d", c.Nodes, c.ClusterSize)
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	m := small()
+	for _, f := range []func(){
+		func() { m.Alloc(-1, 1) },
+		func() { m.Alloc(9, 1) },
+		func() { m.Alloc(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	m := small()
+	m.Spawn(5, func(p *Proc) {
+		if p.Node() != 1 || p.CPU() != 5 || p.Machine() != m {
+			t.Error("proc accessors wrong")
+		}
+		p.Delay(0)  // no-op
+		p.Delay(-3) // no-op
+	})
+	m.Run()
+}
+
+func TestHierarchicalLatencies(t *testing.T) {
+	cfg := CMPServer()
+	cfg.Seed = 1
+	m := New(cfg)
+	a := m.Alloc(0, 1)
+	// Owner in node 1 (same cluster as 0), reader in node 2 (far).
+	m.SeedOwner(a, cfg.CPUsPerNode, 1)
+	var nearCost sim.Time
+	m.Spawn(0, func(p *Proc) {
+		t0 := p.Now()
+		p.Load(a)
+		nearCost = p.Now() - t0
+	})
+	m.Run()
+
+	m2 := New(cfg)
+	b := m2.Alloc(0, 1)
+	m2.SeedOwner(b, cfg.CPUsPerNode, 1) // node 1
+	var farCost sim.Time
+	m2.Spawn(2*cfg.CPUsPerNode, func(p *Proc) { // node 2, other cluster
+		t0 := p.Now()
+		p.Load(b)
+		farCost = p.Now() - t0
+	})
+	m2.Run()
+	if farCost <= nearCost {
+		t.Fatalf("far C2C %v not above near C2C %v", farCost, nearCost)
+	}
+}
+
+func TestFarMemoryLatency(t *testing.T) {
+	cfg := CMPServer()
+	m := New(cfg)
+	a := m.Alloc(0, 1) // homed in node 0 (cluster 0)
+	var nearMem, farMem sim.Time
+	m.Spawn(cfg.CPUsPerNode, func(p *Proc) { // node 1, same cluster
+		t0 := p.Now()
+		p.Load(a)
+		nearMem = p.Now() - t0
+	})
+	m.Run()
+	m2 := New(cfg)
+	b := m2.Alloc(0, 1)
+	m2.Spawn(7*cfg.CPUsPerNode, func(p *Proc) { // node 7, far cluster
+		t0 := p.Now()
+		p.Load(b)
+		farMem = p.Now() - t0
+	})
+	m2.Run()
+	if farMem <= nearMem {
+		t.Fatalf("far memory %v not above near memory %v", farMem, nearMem)
+	}
+}
+
+func TestClusterOfFlat(t *testing.T) {
+	m := small() // flat
+	if m.ClusterOf(1) != 1 {
+		t.Fatal("flat ClusterOf should be identity")
+	}
+}

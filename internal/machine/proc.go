@@ -1,0 +1,298 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Proc is a simulated processor executing one program. All memory
+// operations charge simulated time and update the coherence state; none
+// of them touch host-level synchronization, so programs are plain
+// single-threaded Go functions from the host's point of view.
+//
+// Memory operations take effect at their *completion* time: a miss
+// first queues on the target line (a cache line satisfies one transfer
+// at a time), pays its transfer latency, and only then updates the
+// directory and the value. Completion-time semantics make latency part
+// of the race: a nearby CPU's CAS beats a remote CPU's CAS issued
+// slightly earlier, which is exactly the NUCA effect the paper's locks
+// exploit, and a burst of misses after a release serializes into the
+// refill storm that makes TATAS collapse under contention.
+type Proc struct {
+	m    *Machine
+	proc *sim.Process
+	cpu  int
+	node int
+}
+
+// CPU returns the processor id (0 .. TotalCPUs-1).
+func (p *Proc) CPU() int { return p.cpu }
+
+// Node returns the NUCA node this processor belongs to.
+func (p *Proc) Node() int { return p.node }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the simulated clock.
+func (p *Proc) Now() sim.Time { return p.m.eng.Now() }
+
+// checkPreempt stalls the processor while the OS has stolen its CPU.
+func (p *Proc) checkPreempt() {
+	until := p.m.preemptedUntil[p.cpu]
+	if now := p.m.eng.Now(); until > now {
+		p.proc.Sleep(until - now)
+	}
+}
+
+// Work models off-memory computation taking d nanoseconds.
+func (p *Proc) Work(d sim.Time) {
+	p.checkPreempt()
+	p.proc.Sleep(d)
+}
+
+// Delay models the empty backoff loop `for (i = units; i; i--);`.
+func (p *Proc) Delay(units int) {
+	if units <= 0 {
+		return
+	}
+	p.Work(sim.Time(units) * p.m.cfg.Lat.BackoffUnit)
+}
+
+func (p *Proc) checkAddr(a Addr) *line {
+	if a == NilAddr || int(a) >= len(p.m.words) {
+		panic(fmt.Sprintf("machine: access to invalid address %d", a))
+	}
+	return p.m.lineOf(a)
+}
+
+// miss models one coherence miss of total unloaded latency d in two
+// phases. First the request travels to the line (half the latency, plus
+// any bus/link queueing the caller accumulated in extra); then the line
+// serves the transfer (the other half), one transfer at a time, in
+// request-arrival order. Arrival-order service is what gives nearby CPUs
+// their NUCA advantage: a local CAS issued after a remote one still
+// reaches the line first and wins the race.
+func (p *Proc) miss(l *line, d, extra sim.Time) {
+	flight := d / 2
+	service := d - flight
+	p.proc.Sleep(flight + extra) // request in flight
+	now := p.m.eng.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	l.busyUntil = start + service
+	p.proc.Sleep(start + service - now) // queue behind earlier arrivals, then transfer
+}
+
+// busWait reserves the node bus for one transaction and returns the
+// queueing delay (service occupancy is modeled inside the resource; the
+// data-transfer time is part of the latency constants).
+func (p *Proc) busWait(node int) sim.Time {
+	d := p.m.buses[node].Delay(p.m.cfg.BusService)
+	return d - p.m.cfg.BusService
+}
+
+// linkWait reserves the global interconnect for one crossing.
+func (p *Proc) linkWait() sim.Time {
+	d := p.m.link.Delay(p.m.cfg.LinkService)
+	return d - p.m.cfg.LinkService
+}
+
+// readAccess performs one load and returns the value observed at
+// completion time.
+func (p *Proc) readAccess(a Addr) uint64 {
+	p.checkPreempt()
+	l := p.checkAddr(a)
+	m := p.m
+	lat := m.cfg.Lat
+	for {
+		if m.cached(p.cpu, a) {
+			p.proc.Sleep(lat.OpOverhead + lat.LoadHit)
+			if m.cached(p.cpu, a) {
+				return m.words[a]
+			}
+			continue // lost the line while the hit retired; re-fetch
+		}
+		// Miss: charge by the state observed at issue.
+		extra := lat.OpOverhead + p.busWait(p.node)
+		m.stats.Local[p.node]++
+		var base sim.Time
+		switch {
+		case l.state == stateModified:
+			src := m.NodeOf(l.owner)
+			base = m.c2cLatency(p.node, src)
+			if src != p.node {
+				extra += p.linkWait() + p.busWait(src)
+				m.stats.Local[src]++
+				m.stats.Global++
+			}
+		default:
+			base = m.memLatency(p.node, l.home)
+			if l.home != p.node {
+				extra += p.linkWait() + p.busWait(l.home)
+				m.stats.Local[l.home]++
+				m.stats.Global++
+			}
+		}
+		p.miss(l, base, extra)
+		// Completion: join the sharers (downgrading a dirty owner).
+		if l.state == stateModified {
+			l.sharers = 0
+			l.sharers.add(l.owner)
+			l.state = stateShared
+		} else if l.state == stateUncached {
+			l.state = stateShared
+		}
+		l.sharers.add(p.cpu)
+		return m.words[a]
+	}
+}
+
+// writeAccess obtains exclusive ownership of a's line and returns a
+// pointer to the word; the caller mutates it immediately (no simulated
+// time passes between return and the mutation).
+func (p *Proc) writeAccess(a Addr) *uint64 {
+	p.checkPreempt()
+	l := p.checkAddr(a)
+	m := p.m
+	lat := m.cfg.Lat
+	for {
+		if l.state == stateModified && l.owner == p.cpu {
+			p.proc.Sleep(lat.OpOverhead + lat.StoreOwned)
+			if l.state == stateModified && l.owner == p.cpu {
+				return &m.words[a]
+			}
+			continue // ownership stolen while the op retired; redo
+		}
+		extra := lat.OpOverhead + p.busWait(p.node)
+		m.stats.Local[p.node]++
+		var base sim.Time
+		switch {
+		case l.state == stateShared && l.sharers.has(p.cpu):
+			// Upgrade: invalidate the other sharers, no data transfer.
+			base = lat.Upgrade
+			extra += p.invalidateRemoteSharers(l)
+		case l.state == stateModified:
+			src := m.NodeOf(l.owner)
+			base = m.c2cLatency(p.node, src)
+			if src != p.node {
+				extra += p.linkWait() + p.busWait(src)
+				m.stats.Local[src]++
+				m.stats.Global++
+			}
+		default: // Shared without our copy, or uncached: fetch from home.
+			base = m.memLatency(p.node, l.home)
+			if l.home != p.node {
+				extra += p.linkWait() + p.busWait(l.home)
+				m.stats.Local[l.home]++
+				m.stats.Global++
+			}
+			extra += p.invalidateRemoteSharers(l)
+		}
+		p.miss(l, base, extra)
+		// Completion: take exclusive ownership.
+		l.sharers = 0
+		l.state = stateModified
+		l.owner = p.cpu
+		m.wakeWaiters(l)
+		return &m.words[a]
+	}
+}
+
+// invalidateRemoteSharers counts and charges the invalidations sent to
+// nodes (other than p's) that hold shared copies of l. Invalidations to
+// sharers in p's own node ride the requester's own bus transaction.
+func (p *Proc) invalidateRemoteSharers(l *line) sim.Time {
+	var extra sim.Time
+	m := p.m
+	for n := 0; n < m.cfg.Nodes; n++ {
+		if n == p.node {
+			continue
+		}
+		hasSharer := false
+		lo, hi := n*m.cfg.CPUsPerNode, (n+1)*m.cfg.CPUsPerNode
+		for c := lo; c < hi; c++ {
+			if l.sharers.has(c) {
+				hasSharer = true
+				break
+			}
+		}
+		if hasSharer {
+			extra += p.linkWait()
+			extra += p.busWait(n)
+			m.stats.Local[n]++
+			m.stats.Global++
+		}
+	}
+	return extra
+}
+
+// Load reads a word.
+func (p *Proc) Load(a Addr) uint64 { return p.readAccess(a) }
+
+// Store writes a word.
+func (p *Proc) Store(a Addr, v uint64) {
+	w := p.writeAccess(a)
+	*w = v
+}
+
+// CAS atomically compares the word at a with expect and, if equal,
+// replaces it with new. It returns the original value. Like SPARC cas,
+// a failed CAS still acquires the line exclusively — the traffic source
+// the HBO paper's throttling targets.
+func (p *Proc) CAS(a Addr, expect, new uint64) uint64 {
+	w := p.writeAccess(a)
+	old := *w
+	if old == expect {
+		*w = new
+	}
+	return old
+}
+
+// Swap atomically writes v and returns the previous value.
+func (p *Proc) Swap(a Addr, v uint64) uint64 {
+	w := p.writeAccess(a)
+	old := *w
+	*w = v
+	return old
+}
+
+// TAS atomically writes 1 and returns the previous value (0 means the
+// caller obtained the lock).
+func (p *Proc) TAS(a Addr) uint64 { return p.Swap(a, 1) }
+
+// SpinUntil busy-waits until pred holds for the word at a, and returns
+// the value that satisfied it. The first check pays a normal load; while
+// the predicate is false the processor holds a cached copy and parks
+// until the line is invalidated by a writer, then re-reads (a coherence
+// miss), modeling test-and-test&set style spinning without simulating
+// every polling iteration.
+func (p *Proc) SpinUntil(a Addr, pred func(uint64) bool) uint64 {
+	for {
+		v := p.Load(a)
+		if pred(v) {
+			return v
+		}
+		if !p.m.cached(p.cpu, a) {
+			// Invalidated between our load's completion and now (the
+			// load retried internally); re-read.
+			continue
+		}
+		l := p.m.lineOf(a)
+		l.waiters = append(l.waiters, p)
+		p.proc.Block()
+	}
+}
+
+// SpinWhileEquals busy-waits while the word at a equals v.
+func (p *Proc) SpinWhileEquals(a Addr, v uint64) uint64 {
+	return p.SpinUntil(a, func(cur uint64) bool { return cur != v })
+}
+
+// SpinUntilZero busy-waits until the word at a reads zero.
+func (p *Proc) SpinUntilZero(a Addr) {
+	p.SpinUntil(a, func(cur uint64) bool { return cur == 0 })
+}

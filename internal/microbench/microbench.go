@@ -1,0 +1,70 @@
+// Package microbench implements the paper's three lock microbenchmarks
+// as simulated workloads: the uncontested-latency probe behind Table 1,
+// the "traditional" tight-loop benchmark behind Figure 3, and the "new"
+// benchmark (Figure 4) behind Figure 5, Table 2 and the fairness and
+// sensitivity studies.
+package microbench
+
+import (
+	"repro/internal/machine"
+	"repro/internal/simlock"
+)
+
+// Placement binds benchmark threads to CPUs round-robin across nodes
+// ("round-robin scheduling for thread binding to different cabinets"),
+// returning cpus[tid].
+func Placement(cfg machine.Config, threads int) []int {
+	cpus := make([]int, threads)
+	next := make([]int, cfg.Nodes)
+	for t := 0; t < threads; t++ {
+		n := t % cfg.Nodes
+		if next[n] >= cfg.CPUsPerNode {
+			// Node full; spill to the next node with room.
+			for i := 0; i < cfg.Nodes; i++ {
+				if next[i] < cfg.CPUsPerNode {
+					n = i
+					break
+				}
+			}
+		}
+		cpus[t] = n*cfg.CPUsPerNode + next[n]
+		next[n]++
+	}
+	return cpus
+}
+
+// buildLock constructs the named lock on m with the lock variable homed
+// in node 0 (the paper allocates the lock in one node; NUCA-aware locks
+// must not depend on which).
+func buildLock(name string, m *machine.Machine, cpus []int, tun simlock.Tuning) simlock.Lock {
+	return simlock.New(name, m, 0, cpus, tun)
+}
+
+// handoffCounter tracks how often consecutive lock acquisitions landed
+// in different nodes — the paper's "node handoff" ratio.
+type handoffCounter struct {
+	lastNode int
+	acquires int
+	handoffs int
+}
+
+func newHandoffCounter() *handoffCounter { return &handoffCounter{lastNode: -1} }
+
+// record notes an acquisition by the given node.
+func (h *handoffCounter) record(node int) {
+	if h.lastNode >= 0 {
+		h.acquires++
+		if node != h.lastNode {
+			h.handoffs++
+		}
+	}
+	h.lastNode = node
+}
+
+// Ratio returns handoffs per acquisition (0 when nothing was recorded).
+func (h *handoffCounter) Ratio() float64 {
+	if h.acquires == 0 {
+		return 0
+	}
+	return float64(h.handoffs) / float64(h.acquires)
+}

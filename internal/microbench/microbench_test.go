@@ -1,0 +1,272 @@
+package microbench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+func wf(threads int) machine.Config {
+	cfg := machine.WildFire()
+	cfg.Seed = 42
+	return cfg
+}
+
+func TestPlacementRoundRobin(t *testing.T) {
+	cfg := machine.WildFire() // 2 nodes x 16
+	cpus := Placement(cfg, 6)
+	wantNodes := []int{0, 1, 0, 1, 0, 1}
+	for i, c := range cpus {
+		if c/cfg.CPUsPerNode != wantNodes[i] {
+			t.Fatalf("cpus = %v", cpus)
+		}
+	}
+	// No duplicates.
+	seen := map[int]bool{}
+	for _, c := range Placement(cfg, 28) {
+		if seen[c] {
+			t.Fatalf("duplicate cpu in placement")
+		}
+		seen[c] = true
+	}
+}
+
+func TestPlacementSpillsWhenNodeFull(t *testing.T) {
+	cfg := machine.WildFire()
+	cfg.CPUsPerNode = 2
+	cpus := Placement(cfg, 4)
+	seen := map[int]bool{}
+	for _, c := range cpus {
+		if c < 0 || c >= 4 || seen[c] {
+			t.Fatalf("bad placement %v", cpus)
+		}
+		seen[c] = true
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	if SameProcessor.String() != "Same Processor" ||
+		SameNode.String() != "Same Node" ||
+		RemoteNode.String() != "Remote Node" {
+		t.Fatal("scenario names wrong")
+	}
+	if len(Scenarios()) != 3 {
+		t.Fatal("Scenarios() != 3")
+	}
+}
+
+// TestUncontestedOrdering verifies the NUCA cost hierarchy per lock:
+// same-processor < same-node < remote-node.
+func TestUncontestedOrdering(t *testing.T) {
+	for _, name := range simlock.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := wf(2)
+			sp := Uncontested(cfg, name, SameProcessor, 3)
+			sn := Uncontested(cfg, name, SameNode, 3)
+			rn := Uncontested(cfg, name, RemoteNode, 3)
+			if !(sp < sn && sn < rn) {
+				t.Fatalf("%s: latencies %v < %v < %v violated", name, sp, sn, rn)
+			}
+		})
+	}
+}
+
+// TestUncontestedHBOMatchesTATAS: the paper's design goal — HBO's
+// uncontested cost is within a few percent of TATAS.
+func TestUncontestedHBOMatchesTATAS(t *testing.T) {
+	cfg := wf(2)
+	for _, sc := range Scenarios() {
+		ta := Uncontested(cfg, "TATAS", sc, 3)
+		hbo := Uncontested(cfg, "HBO", sc, 3)
+		diff := float64(hbo-ta) / float64(ta)
+		if diff > 0.15 || diff < -0.15 {
+			t.Errorf("%v: HBO %v vs TATAS %v (%.0f%% apart)", sc, hbo, ta, diff*100)
+		}
+	}
+}
+
+// TestUncontestedRHRemoteIsExpensive: Table 1 shows RH's remote-node
+// handover costing ~2x the other locks.
+func TestUncontestedRHRemoteIsExpensive(t *testing.T) {
+	cfg := wf(2)
+	rh := Uncontested(cfg, "RH", RemoteNode, 3)
+	hbo := Uncontested(cfg, "HBO", RemoteNode, 3)
+	if float64(rh) < 1.5*float64(hbo) {
+		t.Fatalf("RH remote %v not ~2x HBO remote %v", rh, hbo)
+	}
+}
+
+func TestTraditionalCompletes(t *testing.T) {
+	for _, name := range simlock.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := Traditional(TraditionalConfig{
+				Machine:    wf(8),
+				Lock:       name,
+				Threads:    8,
+				Iterations: 30,
+				Tuning:     simlock.DefaultTuning(),
+			})
+			if res.IterationTime <= 0 {
+				t.Fatalf("iteration time %v", res.IterationTime)
+			}
+			if res.HandoffRatio < 0 || res.HandoffRatio > 1 {
+				t.Fatalf("handoff ratio %v", res.HandoffRatio)
+			}
+		})
+	}
+}
+
+func TestTraditionalSingleThread(t *testing.T) {
+	res := Traditional(TraditionalConfig{
+		Machine:    wf(1),
+		Lock:       "TATAS",
+		Threads:    1,
+		Iterations: 50,
+		Tuning:     simlock.DefaultTuning(),
+	})
+	if res.HandoffRatio != 0 {
+		t.Fatalf("single thread handoff ratio %v", res.HandoffRatio)
+	}
+}
+
+// TestTraditionalNUCAAffinity: NUCA-aware locks must show clearly lower
+// node-handoff ratios than queue locks on the traditional benchmark.
+func TestTraditionalNUCAAffinity(t *testing.T) {
+	run := func(name string) float64 {
+		return Traditional(TraditionalConfig{
+			Machine:    wf(12),
+			Lock:       name,
+			Threads:    12,
+			Iterations: 25,
+			Tuning:     simlock.DefaultTuning(),
+		}).HandoffRatio
+	}
+	hbo := run("HBO_GT")
+	mcs := run("MCS")
+	if hbo >= mcs {
+		t.Fatalf("HBO_GT handoff %.2f not below MCS %.2f", hbo, mcs)
+	}
+}
+
+func TestNewBenchCompletes(t *testing.T) {
+	for _, name := range simlock.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := NewBench(NewBenchConfig{
+				Machine:      wf(8),
+				Lock:         name,
+				Threads:      8,
+				Iterations:   15,
+				CriticalWork: 320,
+				PrivateWork:  2000,
+				Tuning:       simlock.DefaultTuning(),
+			})
+			if res.TotalTime <= 0 {
+				t.Fatalf("total time %v", res.TotalTime)
+			}
+			if len(res.FinishTimes) != 8 {
+				t.Fatalf("finish times %d", len(res.FinishTimes))
+			}
+			for tid, ft := range res.FinishTimes {
+				if ft <= 0 {
+					t.Fatalf("thread %d finish time %v", tid, ft)
+				}
+			}
+		})
+	}
+}
+
+// TestNewBenchContentionScaling: more critical work means more time per
+// iteration for every lock.
+func TestNewBenchContentionScaling(t *testing.T) {
+	run := func(cw int) sim.Time {
+		return NewBench(NewBenchConfig{
+			Machine:      wf(8),
+			Lock:         "TATAS_EXP",
+			Threads:      8,
+			Iterations:   15,
+			CriticalWork: cw,
+			PrivateWork:  2000,
+			Tuning:       simlock.DefaultTuning(),
+		}).IterationTime
+	}
+	low, high := run(0), run(1500)
+	if high <= low {
+		t.Fatalf("iteration time did not grow with critical work: %v vs %v", low, high)
+	}
+}
+
+// TestNewBenchNUCATrafficAdvantage: under contention the NUCA-aware
+// locks must generate fewer global transactions than TATAS (Table 2's
+// headline result).
+func TestNewBenchNUCATrafficAdvantage(t *testing.T) {
+	run := func(name string) machine.Stats {
+		return NewBench(NewBenchConfig{
+			Machine:      wf(12),
+			Lock:         name,
+			Threads:      12,
+			Iterations:   20,
+			CriticalWork: 960,
+			PrivateWork:  1000,
+			Tuning:       simlock.DefaultTuning(),
+		}).Traffic
+	}
+	tatas := run("TATAS")
+	hbogt := run("HBO_GT")
+	if hbogt.Global >= tatas.Global {
+		t.Fatalf("HBO_GT global %d not below TATAS %d", hbogt.Global, tatas.Global)
+	}
+}
+
+// TestFairnessSpreadComputation sanity-checks the Figure 8 metric.
+func TestFairnessSpreadComputation(t *testing.T) {
+	r := NewBenchResult{FinishTimes: []sim.Time{100, 120, 110}}
+	if got := r.FinishSpreadPercent(); got < 19.9 || got > 20.1 {
+		t.Fatalf("spread = %v, want 20", got)
+	}
+	if (NewBenchResult{}).FinishSpreadPercent() != 0 {
+		t.Fatal("empty spread should be 0")
+	}
+}
+
+// TestQueueLocksFairest: queue locks' finish-time spread must be the
+// smallest of the families (Figure 8).
+func TestQueueLocksFairest(t *testing.T) {
+	run := func(name string) float64 {
+		return NewBench(NewBenchConfig{
+			Machine:      wf(8),
+			Lock:         name,
+			Threads:      8,
+			Iterations:   40,
+			CriticalWork: 480,
+			PrivateWork:  1000,
+			Tuning:       simlock.DefaultTuning(),
+		}).FinishSpreadPercent()
+	}
+	mcs := run("MCS")
+	tatas := run("TATAS_EXP")
+	if mcs >= tatas {
+		t.Fatalf("MCS spread %.1f%% not below TATAS_EXP %.1f%%", mcs, tatas)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := NewBenchConfig{
+		Machine:      wf(6),
+		Lock:         "HBO_GT_SD",
+		Threads:      6,
+		Iterations:   20,
+		CriticalWork: 320,
+		PrivateWork:  1500,
+		Tuning:       simlock.DefaultTuning(),
+	}
+	a, b := NewBench(cfg), NewBench(cfg)
+	if a.TotalTime != b.TotalTime || a.Traffic.Global != b.Traffic.Global {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
+			a.TotalTime, a.Traffic.Global, b.TotalTime, b.Traffic.Global)
+	}
+}

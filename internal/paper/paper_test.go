@@ -1,0 +1,84 @@
+package paper
+
+import "testing"
+
+func TestAllTablesCoverEveryLock(t *testing.T) {
+	if len(LockOrder) != 8 {
+		t.Fatalf("LockOrder has %d locks", len(LockOrder))
+	}
+	for _, l := range LockOrder {
+		if _, ok := Table1[l]; !ok {
+			t.Errorf("Table1 missing %s", l)
+		}
+		if _, ok := Table2[l]; !ok {
+			t.Errorf("Table2 missing %s", l)
+		}
+		if _, ok := Table4[l]; !ok {
+			t.Errorf("Table4 missing %s", l)
+		}
+		if _, ok := Table4Variance[l]; !ok {
+			t.Errorf("Table4Variance missing %s", l)
+		}
+		if _, ok := Table5Average[l]; !ok {
+			t.Errorf("Table5Average missing %s", l)
+		}
+	}
+}
+
+func TestAppTablesConsistent(t *testing.T) {
+	if len(Apps) != 7 {
+		t.Fatalf("Apps has %d entries", len(Apps))
+	}
+	for _, app := range Apps {
+		row5, ok := Table5[app]
+		if !ok {
+			t.Fatalf("Table5 missing %s", app)
+		}
+		row6, ok := Table6[app]
+		if !ok {
+			t.Fatalf("Table6 missing %s", app)
+		}
+		if _, ok := Table3[app]; !ok {
+			t.Fatalf("Table3 missing %s", app)
+		}
+		for _, l := range LockOrder {
+			if _, ok := row5[l]; !ok {
+				t.Errorf("Table5[%s] missing %s", app, l)
+			}
+			if _, ok := row6[l]; !ok {
+				t.Errorf("Table6[%s] missing %s", app, l)
+			}
+		}
+	}
+}
+
+func TestKeyFactsFromTheText(t *testing.T) {
+	// Cross-checks against claims made in the paper's prose.
+	if Table1["RH"][2] < 2*Table1["HBO"][2] {
+		t.Error("RH remote handover should be ~2x HBO (two remote transactions)")
+	}
+	// Queue locks are unusable at 30 CPUs.
+	if Table4["MCS"][2] >= 0 || Table4["CLH"][2] >= 0 {
+		t.Error("MCS/CLH 30-CPU entries should be '> 200 s' sentinels")
+	}
+	// Radiosity N/A for queue locks.
+	if Table5["Radiosity"]["MCS"] >= 0 || Table5["Radiosity"]["CLH"] >= 0 {
+		t.Error("Radiosity should be N/A for queue locks")
+	}
+	// NUCA-aware locks win the Table 5 average; HBO_GT_SD is best.
+	for _, l := range LockOrder {
+		if l == "HBO_GT_SD" {
+			continue
+		}
+		if Table5Average["HBO_GT_SD"] >= Table5Average[l] {
+			t.Errorf("HBO_GT_SD average %.2f not below %s %.2f",
+				Table5Average["HBO_GT_SD"], l, Table5Average[l])
+		}
+	}
+	// Global traffic reduced by a factor of 15 vs TATAS (paper text):
+	// 4.70 / 0.30 ≈ 15.7.
+	ratio := Table2["TATAS"][1] / Table2["HBO"][1]
+	if ratio < 14 || ratio > 17 {
+		t.Errorf("TATAS/HBO global traffic ratio %.1f, text says ~15", ratio)
+	}
+}

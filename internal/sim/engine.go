@@ -1,0 +1,259 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives a set of cooperating processes (each backed by a
+// goroutine) in strict one-at-a-time handoff order: exactly one process
+// executes between engine steps, so simulations are fully deterministic
+// for a given seed regardless of the host scheduler. Events with equal
+// timestamps fire in the order they were scheduled.
+//
+// The machine model in internal/machine is built on this engine; nothing
+// in this package knows about caches or locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// String renders a Time using the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	ctl     chan struct{} // process -> engine: parked or finished
+	running int           // live processes
+	stopped bool
+	killed  bool
+	limit   Time // 0 = no limit
+	procs   []*Process
+}
+
+// killSignal unwinds a process body during Shutdown.
+type killSignal struct{}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{ctl: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetLimit makes Run stop once the clock passes t (0 disables the limit).
+func (e *Engine) SetLimit(t Time) { e.limit = t }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called (or the time limit hit).
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Schedule runs fn at now+d. Scheduling in the past (d < 0) panics.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule %v in the past", d))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run executes events in timestamp order until no events remain, Stop is
+// called, or the time limit is exceeded. It must be called from the same
+// goroutine that constructed the engine.
+func (e *Engine) Run() {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: event time went backwards")
+		}
+		if e.limit > 0 && ev.at > e.limit {
+			e.now = e.limit
+			e.stopped = true
+			return
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// A Process is a simulated thread of control. Its body runs in a dedicated
+// goroutine but only ever executes while the engine has handed control to
+// it, so process code may freely touch engine state without locking.
+type Process struct {
+	e       *Engine
+	id      int
+	resume  chan struct{}
+	started bool
+	done    bool
+	blocked bool // parked with no wake event (waiting on Wake)
+}
+
+// ID returns the identifier given at Spawn.
+func (p *Process) ID() int { return p.id }
+
+// Engine returns the owning engine.
+func (p *Process) Engine() *Engine { return p.e }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.e.now }
+
+// Spawn creates a process whose body starts executing at the current time
+// (after previously scheduled same-time events). The body must only
+// interact with simulated time via the Process methods.
+func (e *Engine) Spawn(id int, body func(p *Process)) *Process {
+	p := &Process{e: e, id: id, resume: make(chan struct{})}
+	e.running++
+	e.procs = append(e.procs, p)
+	e.Schedule(0, func() {
+		p.started = true
+		go func() {
+			<-p.resume
+			defer func() {
+				p.done = true
+				e.running--
+				if r := recover(); r != nil {
+					if _, ok := r.(killSignal); !ok {
+						panic(r)
+					}
+				}
+				e.ctl <- struct{}{}
+			}()
+			if e.killed {
+				panic(killSignal{})
+			}
+			body(p)
+		}()
+		p.handoff()
+	})
+	return p
+}
+
+// Shutdown unwinds every process that has not finished. It must be called
+// after Run returns; the engine cannot be used afterwards. Simulations
+// that stop early (Stop or a time limit) should call Shutdown to avoid
+// leaking the goroutines backing parked processes.
+func (e *Engine) Shutdown() {
+	e.killed = true
+	e.stopped = true
+	for _, p := range e.procs {
+		switch {
+		case p.done:
+		case !p.started:
+			// The spawn event never ran; no goroutine exists yet.
+			p.done = true
+			e.running--
+		default:
+			p.handoff()
+		}
+	}
+}
+
+// handoff transfers control to p and waits for it to park or finish.
+// Called from engine context (inside an event callback).
+func (p *Process) handoff() {
+	p.resume <- struct{}{}
+	<-p.e.ctl
+}
+
+// park suspends the process body until the engine resumes it.
+func (p *Process) park() {
+	p.e.ctl <- struct{}{}
+	<-p.resume
+	if p.e.killed {
+		panic(killSignal{})
+	}
+}
+
+// Sleep advances the process's local time by d.
+func (p *Process) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.e.Schedule(d, p.handoff)
+	p.park()
+}
+
+// Block parks the process indefinitely; another party must call Wake.
+func (p *Process) Block() {
+	p.blocked = true
+	p.park()
+}
+
+// Blocked reports whether the process is parked in Block.
+func (p *Process) Blocked() bool { return p.blocked }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Wake schedules a blocked process to resume at now+d. Waking a process
+// that is not blocked panics (it would corrupt the handoff protocol).
+func (p *Process) Wake(d Time) {
+	if !p.blocked {
+		panic("sim: wake of non-blocked process")
+	}
+	p.blocked = false
+	p.e.Schedule(d, p.handoff)
+}
+
+// Running returns the number of processes that have not finished.
+func (e *Engine) Running() int { return e.running }

@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(10, func() {
+		got = append(got, e.Now())
+		e.Schedule(5, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("nested schedule times = %v, want [10 15]", got)
+	}
+}
+
+func TestNegativeSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine()
+	var marks []Time
+	e.Spawn(0, func(p *Process) {
+		marks = append(marks, p.Now())
+		p.Sleep(100)
+		marks = append(marks, p.Now())
+		p.Sleep(0) // zero sleep is a no-op
+		marks = append(marks, p.Now())
+	})
+	e.Run()
+	if len(marks) != 3 || marks[0] != 0 || marks[1] != 100 || marks[2] != 100 {
+		t.Fatalf("marks = %v", marks)
+	}
+	if e.Running() != 0 {
+		t.Fatalf("Running = %d after completion", e.Running())
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var trace []int
+		e.Spawn(1, func(p *Process) {
+			for i := 0; i < 5; i++ {
+				trace = append(trace, 1)
+				p.Sleep(10)
+			}
+		})
+		e.Spawn(2, func(p *Process) {
+			for i := 0; i < 5; i++ {
+				trace = append(trace, 2)
+				p.Sleep(7)
+			}
+		})
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 10 {
+		t.Fatalf("trace lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic interleaving: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	e := NewEngine()
+	var wokenAt Time
+	waiter := e.Spawn(0, func(p *Process) {
+		p.Block()
+		wokenAt = p.Now()
+	})
+	e.Spawn(1, func(p *Process) {
+		p.Sleep(50)
+		waiter.Wake(25)
+	})
+	e.Run()
+	if wokenAt != 75 {
+		t.Fatalf("woken at %v, want 75", wokenAt)
+	}
+}
+
+func TestWakeNonBlockedPanics(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn(0, func(p *Process) { p.Sleep(1000) })
+	e.Schedule(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic waking a non-blocked process")
+			}
+			e.Stop()
+		}()
+		p.Wake(0)
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+func TestTimeLimitStopsRun(t *testing.T) {
+	e := NewEngine()
+	e.SetLimit(100)
+	count := 0
+	e.Spawn(0, func(p *Process) {
+		for {
+			count++
+			p.Sleep(30)
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	if !e.Stopped() {
+		t.Fatal("engine not stopped at limit")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want limit 100", e.Now())
+	}
+	if count < 3 || count > 4 {
+		t.Fatalf("count = %d, want 3..4", count)
+	}
+}
+
+func TestShutdownUnwindsBlockedProcesses(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Spawn(i, func(p *Process) { p.Block() })
+	}
+	e.Schedule(10, func() { e.Stop() })
+	e.Run()
+	e.Shutdown()
+	if e.Running() != 0 {
+		t.Fatalf("Running = %d after Shutdown, want 0", e.Running())
+	}
+}
+
+func TestShutdownBeforeSpawnEventRuns(t *testing.T) {
+	e := NewEngine()
+	e.Stop() // stop immediately; spawn events never execute
+	e.Spawn(0, func(p *Process) { t.Error("body must not run") })
+	e.Run()
+	e.Shutdown()
+	if e.Running() != 0 {
+		t.Fatalf("Running = %d, want 0", e.Running())
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn(i, func(p *Process) {
+			r.Use(p, 100)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if r.Requests() != 3 {
+		t.Fatalf("requests = %d", r.Requests())
+	}
+	if r.TotalWaited() != 0+100+200 {
+		t.Fatalf("waited = %v", r.TotalWaited())
+	}
+}
+
+func TestResourceIdleThenBusy(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	var second Time
+	e.Spawn(0, func(p *Process) {
+		r.Use(p, 50) // 0..50
+	})
+	e.Spawn(1, func(p *Process) {
+		p.Sleep(200) // resource idle 50..200
+		r.Use(p, 50) // 200..250, no wait
+		second = p.Now()
+	})
+	e.Run()
+	if second != 250 {
+		t.Fatalf("second finish = %v, want 250", second)
+	}
+	if u := r.Utilization(); u <= 0.3 || u >= 0.5 {
+		t.Fatalf("utilization = %v, want 100/250", u)
+	}
+}
+
+func TestResourceDelayMatchesUse(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	d1 := r.Delay(100)
+	d2 := r.Delay(100)
+	if d1 != 100 || d2 != 200 {
+		t.Fatalf("delays = %v, %v; want 100, 200", d1, d2)
+	}
+}
+
+// Property: for any batch of (delay, duration) pairs, processes sleeping
+// those amounts finish in the order implied by their total times, and the
+// engine clock ends at the max.
+func TestSleepCompletionOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		e := NewEngine()
+		type done struct {
+			id int
+			at Time
+		}
+		var finished []done
+		for i, v := range raw {
+			i, v := i, v
+			e.Spawn(i, func(p *Process) {
+				p.Sleep(Time(v))
+				finished = append(finished, done{i, p.Now()})
+			})
+		}
+		e.Run()
+		if len(finished) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(finished, func(a, b int) bool {
+			if finished[a].at != finished[b].at {
+				return finished[a].at < finished[b].at
+			}
+			return false
+		}) {
+			return false
+		}
+		var max Time
+		for _, v := range raw {
+			if Time(v) > max {
+				max = Time(v)
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{5, "5ns"},
+		{1500, "1.500µs"},
+		{2500000, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestAccessorsAndPending(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Fatal("fresh engine has pending events")
+	}
+	e.Schedule(5, func() {})
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	var p *Process
+	p = e.Spawn(7, func(pr *Process) {
+		if pr.ID() != 7 || pr.Engine() != e {
+			t.Error("process accessors wrong")
+		}
+		if pr.Done() || pr.Blocked() {
+			t.Error("fresh process marked done/blocked")
+		}
+		pr.Sleep(10)
+	})
+	e.Run()
+	if !p.Done() {
+		t.Fatal("process not done after Run")
+	}
+	if (3 * Second).Seconds() != 3.0 {
+		t.Fatal("Seconds conversion wrong")
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn(0, func(p *Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic for negative sleep")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	e.Run()
+}
+
+func TestResourceName(t *testing.T) {
+	e := NewEngine()
+	if NewResource(e, "bus0").Name() != "bus0" {
+		t.Fatal("resource name wrong")
+	}
+	if NewResource(e, "x").Utilization() != 0 {
+		t.Fatal("utilization at t=0 should be 0")
+	}
+}

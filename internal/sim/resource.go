@@ -1,0 +1,74 @@
+package sim
+
+// Resource models a FIFO server with a fixed service order: a snoop bus,
+// an interconnect link, a memory controller. Requests arriving while the
+// server is busy queue behind earlier requests. Because the engine
+// delivers requests in timestamp order, tracking the next-free time is
+// sufficient to implement exact FIFO queueing.
+type Resource struct {
+	e        *Engine
+	name     string
+	nextFree Time
+
+	// Accounting.
+	busy     Time   // total service time granted
+	requests uint64 // number of Use calls
+	waited   Time   // total queueing delay experienced
+}
+
+// NewResource creates a resource attached to e.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{e: e, name: name}
+}
+
+// Name returns the label given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Use blocks p until the resource has served a request of the given
+// service time, modeling FIFO queueing. It returns the queueing delay
+// (time spent waiting behind earlier requests).
+func (r *Resource) Use(p *Process, service Time) Time {
+	start := r.e.now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	wait := start - r.e.now
+	r.nextFree = start + service
+	r.busy += service
+	r.requests++
+	r.waited += wait
+	p.Sleep(wait + service)
+	return wait
+}
+
+// Delay returns the queueing + service delay a request issued now would
+// experience, and advances the server state, without blocking a process.
+// Used when a single logical operation visits several resources and the
+// caller wants to sleep once for the sum.
+func (r *Resource) Delay(service Time) Time {
+	start := r.e.now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	wait := start - r.e.now
+	r.nextFree = start + service
+	r.busy += service
+	r.requests++
+	r.waited += wait
+	return wait + service
+}
+
+// Utilization returns busy time divided by elapsed time (0 if no time has
+// passed).
+func (r *Resource) Utilization() float64 {
+	if r.e.now == 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(r.e.now)
+}
+
+// Requests returns the number of requests served.
+func (r *Resource) Requests() uint64 { return r.requests }
+
+// TotalWaited returns the cumulative queueing delay across all requests.
+func (r *Resource) TotalWaited() Time { return r.waited }

@@ -1,0 +1,163 @@
+package simlock
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// clhTry is a CLH queue lock with timeout, in the spirit of Scott &
+// Scherer's try locks (PPoPP 2001), which the paper cites when
+// discussing queue locks under preemption. A waiter that gives up
+// splices itself out of the queue with a handshake:
+//
+//   - the leaver publishes its predecessor in its node's prev word and
+//     marks the node LEAVING;
+//   - its successor (spinning on the node) acknowledges by marking it
+//     ABANDONED and redirects its spin to the published predecessor;
+//   - a leaver with no successor swings the tail back to its
+//     predecessor instead.
+//
+// As Scott's later work (PODC 2002) observes, the handshake makes the
+// timeout bounded-but-not-wait-free: a leaver whose successor also
+// leaves may briefly wait for the tail to come back. The blocking
+// Acquire is plain CLH.
+type clhTry struct {
+	tail machine.Addr
+	// Per-node words: status and prev pointer.
+	status []machine.Addr // indexed by node id
+	prev   []machine.Addr
+	addrs  []uint64 // status-word address per node id (queue links)
+	// Thread-private registers: the node each thread will use next,
+	// and the node its current hold will release.
+	myNode    []int
+	heldByTid []int
+	tun       Tuning
+}
+
+// Node status values. GRANTED is zero so a freshly released node reads
+// like CLH's classic "flag = 0".
+const (
+	ctGranted   uint64 = 0
+	ctWaiting   uint64 = 1
+	ctLeaving   uint64 = 2
+	ctAbandoned uint64 = 3
+)
+
+func newCLHTry(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	n := len(cpus) + 1
+	l := &clhTry{
+		tail:      m.Alloc(home, 1),
+		status:    make([]machine.Addr, n),
+		prev:      make([]machine.Addr, n),
+		addrs:     make([]uint64, n),
+		myNode:    make([]int, len(cpus)),
+		heldByTid: make([]int, len(cpus)),
+		tun:       tun,
+	}
+	for i := 0; i < n; i++ {
+		node := home
+		if i < len(cpus) {
+			node = m.NodeOf(cpus[i])
+		}
+		l.status[i] = m.Alloc(node, 1)
+		l.prev[i] = m.Alloc(node, 1)
+		l.addrs[i] = uint64(l.status[i])
+	}
+	// Node index len(cpus) is the initial granted dummy.
+	m.Poke(l.tail, l.addrs[len(cpus)])
+	for tid := range l.myNode {
+		l.myNode[tid] = tid
+	}
+	return l
+}
+
+func (l *clhTry) Name() string { return "CLH_TRY" }
+
+// nodeOf maps a status-word address back to a node index.
+func (l *clhTry) nodeOf(addr uint64) int {
+	for i, a := range l.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	panic("simlock: CLH_TRY queue holds an unknown node address")
+}
+
+// Acquire is the blocking path: plain CLH spinning that also follows
+// LEAVING handshakes from timed waiters ahead of it.
+func (l *clhTry) Acquire(p *machine.Proc, tid int) {
+	if !l.acquire(p, tid, 0) {
+		panic("simlock: unbounded CLH_TRY acquire failed")
+	}
+}
+
+// AcquireTimeout attempts a timed acquisition; d <= 0 means no timeout.
+func (l *clhTry) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	return l.acquire(p, tid, d)
+}
+
+func (l *clhTry) acquire(p *machine.Proc, tid int, d sim.Time) bool {
+	me := l.myNode[tid]
+	p.Store(l.status[me], ctWaiting)
+	prevIdx := l.nodeOf(p.Swap(l.tail, l.addrs[me]))
+
+	var deadline sim.Time
+	if d > 0 {
+		deadline = p.Now() + d
+	}
+	b := l.tun.BackoffBase
+	for {
+		var st uint64
+		if deadline == 0 {
+			// Event-driven spin: wake on any status write.
+			st = p.SpinUntil(l.status[prevIdx], func(v uint64) bool { return v != ctWaiting })
+		} else {
+			st = p.Load(l.status[prevIdx])
+		}
+		switch st {
+		case ctGranted:
+			// Acquired. Adopt the predecessor's node for next time;
+			// ours stays live for our successor and is released by us.
+			l.myNode[tid] = prevIdx
+			l.heldByTid[tid] = me
+			return true
+		case ctLeaving:
+			// Predecessor is timing out: take its predecessor and
+			// acknowledge so it can recycle the node.
+			earlier := l.nodeOf(p.Load(l.prev[prevIdx]))
+			p.Store(l.status[prevIdx], ctAbandoned)
+			prevIdx = earlier
+			continue
+		}
+		// Still waiting.
+		if deadline > 0 && p.Now() >= deadline {
+			return l.leave(p, tid, me, prevIdx)
+		}
+		backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+	}
+}
+
+// leave splices the timed-out waiter out of the queue.
+func (l *clhTry) leave(p *machine.Proc, tid, me, prevIdx int) bool {
+	// Publish our predecessor, then announce we are leaving.
+	p.Store(l.prev[me], l.addrs[prevIdx])
+	p.Store(l.status[me], ctLeaving)
+	b := l.tun.BackoffBase
+	for {
+		// No successor? Swing the tail back to our predecessor.
+		if p.CAS(l.tail, l.addrs[me], l.addrs[prevIdx]) == l.addrs[me] {
+			return false // node never observed; reusable as-is
+		}
+		// A successor exists (or existed): wait for its acknowledgment.
+		if p.Load(l.status[me]) == ctAbandoned {
+			return false
+		}
+		// The successor may itself be leaving and may swing the tail
+		// back to us, so retry the tail CAS rather than parking.
+		backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+	}
+}
+
+func (l *clhTry) Release(p *machine.Proc, tid int) {
+	p.Store(l.status[l.heldByTid[tid]], ctGranted)
+}

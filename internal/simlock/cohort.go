@@ -1,0 +1,96 @@
+package simlock
+
+import "repro/internal/machine"
+
+// cohort implements lock cohorting (Dice, Marathe & Shavit, PPoPP 2012),
+// the line of NUMA-aware locks that HBO helped inspire: a global ticket
+// lock arbitrates between nodes while a per-node ticket lock arbitrates
+// within a node. A releaser that sees a local successor hands over the
+// local lock and keeps the global one (cheap, in-node), passing global
+// ownership along the cohort; after cohortLimit consecutive in-node
+// handovers the global lock is released for fairness.
+//
+// Compared with HBO, cohorting gets node affinity *deterministically*
+// (no backoff races) at the price of two lock words per acquire on the
+// cold path — the same trade queue locks make against TATAS.
+type cohort struct {
+	globalNext  machine.Addr
+	globalOwner machine.Addr
+	// Per-node local ticket locks and state.
+	localNext  []machine.Addr
+	localOwner []machine.Addr
+	// ownGlobal marks whether the node currently holds the global lock
+	// (one word per node, only touched by that node's cohort).
+	ownGlobal []machine.Addr
+	// streak counts consecutive local handovers (per node).
+	streak      []machine.Addr
+	cohortLimit uint64
+	// myTicket is each thread's local ticket (thread-private register).
+	myTicket []uint64
+}
+
+// cohortLimit default: long enough to amortize global handovers, short
+// enough to bound cross-node starvation (the same trade GET_ANGRY_LIMIT
+// makes for HBO_GT_SD).
+const defaultCohortLimit = 64
+
+func newCohort(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	nodes := m.Config().Nodes
+	l := &cohort{
+		globalNext:  m.Alloc(home, 1),
+		globalOwner: m.Alloc(home, 1),
+		localNext:   make([]machine.Addr, nodes),
+		localOwner:  make([]machine.Addr, nodes),
+		ownGlobal:   make([]machine.Addr, nodes),
+		streak:      make([]machine.Addr, nodes),
+		cohortLimit: defaultCohortLimit,
+		myTicket:    make([]uint64, len(cpus)),
+	}
+	for n := 0; n < nodes; n++ {
+		l.localNext[n] = m.Alloc(n, 1)
+		l.localOwner[n] = m.Alloc(n, 1)
+		l.ownGlobal[n] = m.Alloc(n, 1)
+		l.streak[n] = m.Alloc(n, 1)
+	}
+	return l
+}
+
+func (l *cohort) Name() string { return "COHORT" }
+
+func (l *cohort) Acquire(p *machine.Proc, tid int) {
+	n := p.Node()
+	// Local ticket first: serializes the node's threads cheaply.
+	my := fetchInc(p, l.localNext[n])
+	l.myTicket[tid] = my
+	p.SpinUntil(l.localOwner[n], func(v uint64) bool { return v == my })
+	// We now own the node's local lock. If the node already holds the
+	// global lock (handed along the cohort), we are done.
+	if p.Load(l.ownGlobal[n]) != 0 {
+		return
+	}
+	// Cold path: take the global ticket lock on behalf of the node.
+	g := fetchInc(p, l.globalNext)
+	p.SpinUntil(l.globalOwner, func(v uint64) bool { return v == g })
+	p.Store(l.ownGlobal[n], 1)
+}
+
+func (l *cohort) Release(p *machine.Proc, tid int) {
+	n := p.Node()
+	my := l.myTicket[tid]
+	// A local successor exists if someone took a ticket after ours.
+	succ := p.Load(l.localNext[n]) > my+1
+	streak := p.Load(l.streak[n])
+	if succ && streak < l.cohortLimit {
+		// Hand over in-node: keep the global lock with the node.
+		p.Store(l.streak[n], streak+1)
+		p.Store(l.localOwner[n], my+1)
+		return
+	}
+	// Release globally: drop the node's global ownership first so the
+	// local successor (if any) re-competes for the global lock.
+	p.Store(l.streak[n], 0)
+	p.Store(l.ownGlobal[n], 0)
+	v := p.Load(l.globalOwner)
+	p.Store(l.globalOwner, v+1)
+	p.Store(l.localOwner[n], my+1)
+}

@@ -1,0 +1,195 @@
+package simlock
+
+import "repro/internal/machine"
+
+// Lock-word values for the HBO family. The paper cas-es the acquiring
+// thread's node_id into the lock; we shift node ids by one so FREE can
+// be zero.
+const hboFree = 0
+
+func hboNodeVal(node int) uint64 { return uint64(node) + 1 }
+
+// The per-node is_spinning word holds the lock's address while a node
+// winner is remote-spinning (blocking its neighbors) and hboDummy
+// otherwise. Addresses from machine.Alloc are never zero.
+const hboDummy = 0
+
+// hbo implements the paper's Figure 1. mode selects plain HBO (the
+// emphasized GT lines skipped), HBO_GT (global-traffic throttling via
+// per-node is_spinning words), or HBO_GT_SD (GT plus the node-centric
+// starvation detection of Figure 2).
+type hbo struct {
+	name       string
+	mode       hboMode
+	addr       machine.Addr
+	isSpinning []machine.Addr // one word per node (GT modes)
+	tun        Tuning
+	nodes      int
+}
+
+type hboMode int
+
+const (
+	modeHBO hboMode = iota
+	modeGT
+	modeGTSD
+)
+
+func newHBOVariant(name string, mode hboMode) Factory {
+	return func(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+		l := &hbo{
+			name:  name,
+			mode:  mode,
+			addr:  m.Alloc(home, 1),
+			tun:   tun,
+			nodes: m.Config().Nodes,
+		}
+		if mode != modeHBO {
+			l.isSpinning = make([]machine.Addr, l.nodes)
+			for n := range l.isSpinning {
+				// "not necessarily allocated in the local memory" — we
+				// do home each node's throttle word locally, which is
+				// the intended deployment.
+				l.isSpinning[n] = m.Alloc(n, 1)
+			}
+		}
+		return l
+	}
+}
+
+var (
+	newHBO     = newHBOVariant("HBO", modeHBO)
+	newHBOGT   = newHBOVariant("HBO_GT", modeGT)
+	newHBOGTSD = newHBOVariant("HBO_GT_SD", modeGTSD)
+)
+
+func (l *hbo) Name() string { return l.name }
+
+// Acquire is hbo_acquire (Figure 1, lines 1–10).
+func (l *hbo) Acquire(p *machine.Proc, tid int) {
+	my := hboNodeVal(p.Node())
+	if l.mode != modeHBO {
+		// Line 5: while (L == is_spinning[my_node_id]) ; // spin
+		l.spinWhileThrottled(p)
+	}
+	tmp := p.CAS(l.addr, hboFree, my)
+	if tmp == hboFree {
+		return // lock was free, and is now locked
+	}
+	l.acquireSlowpath(p, tmp)
+}
+
+// spinWhileThrottled blocks while this node's is_spinning word names our
+// lock (a neighbor is already remote-spinning on it).
+func (l *hbo) spinWhileThrottled(p *machine.Proc) {
+	p.SpinWhileEquals(l.isSpinning[p.Node()], uint64(l.addr))
+}
+
+// acquireSlowpath is hbo_acquire_slowpath (Figure 1, lines 17–61), with
+// the Figure 2 replacement for the GT_SD variant. The paper's goto
+// start / goto restart structure maps onto the labeled outer loop.
+func (l *hbo) acquireSlowpath(p *machine.Proc, tmp uint64) {
+	my := hboNodeVal(p.Node())
+	gt := l.mode != modeHBO
+
+	// SD state (Figure 2): per-acquire anger counter and stopped nodes.
+	getAngry := 0
+	angry := false
+	var stopped []int
+
+	releaseStopped := func() {
+		for _, n := range stopped {
+			p.Store(l.isSpinning[n], hboDummy)
+		}
+		stopped = stopped[:0]
+	}
+
+start:
+	if tmp == my { // local lock (Figure 1, lines 23–36)
+		b := l.tun.BackoffBase
+		for {
+			backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+			tmp = p.CAS(l.addr, hboFree, my)
+			if tmp == hboFree {
+				return
+			}
+			if tmp != my {
+				backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+				goto restart
+			}
+		}
+	}
+
+	// Remote lock (Figure 1, lines 37–52).
+	{
+		b := l.tun.RemoteBackoffBase
+		bcap := l.tun.RemoteBackoffCap
+		if gt {
+			p.Store(l.isSpinning[p.Node()], uint64(l.addr))
+		}
+		for {
+			backoff(p, &b, l.tun.BackoffFactor, bcap)
+			tmp = p.CAS(l.addr, hboFree, my)
+			if tmp == hboFree {
+				if gt {
+					// Release the threads from our node.
+					p.Store(l.isSpinning[p.Node()], hboDummy)
+					releaseStopped()
+				}
+				return
+			}
+			if tmp == my {
+				if gt {
+					p.Store(l.isSpinning[p.Node()], hboDummy)
+					releaseStopped()
+				}
+				goto restart
+			}
+			if l.mode == modeGTSD {
+				// Figure 2, lines 57–63: the lock is still in some
+				// remote node; get angry. An angry node spins more
+				// frequently and stops the owning node's other
+				// threads from re-acquiring.
+				getAngry++
+				if getAngry >= l.tun.GetAngryLimit {
+					getAngry = 0
+					owner := int(tmp) - 1
+					if owner != p.Node() && !contains(stopped, owner) {
+						stopped = append(stopped, owner)
+						p.Store(l.isSpinning[owner], uint64(l.addr))
+					}
+					if !angry {
+						angry = true
+						b = l.tun.BackoffBase
+						bcap = l.tun.BackoffCap
+					}
+				}
+			}
+		}
+	}
+
+restart:
+	// Figure 1, lines 55–60.
+	if gt {
+		l.spinWhileThrottled(p)
+	}
+	tmp = p.CAS(l.addr, hboFree, my)
+	if tmp == hboFree {
+		return
+	}
+	goto start
+}
+
+// Release is hbo_release (Figure 1, lines 62–65).
+func (l *hbo) Release(p *machine.Proc, tid int) {
+	p.Store(l.addr, hboFree)
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package simlock
+
+import "repro/internal/machine"
+
+// hboHier is the hierarchical generalization the paper sketches in
+// section 4.1: "This scheme can be expanded in a hierarchical way, using
+// more than two sets of constants, for a hierarchical NUCA." The lock
+// word still holds the owner's node id; a contender chooses its backoff
+// schedule by its *distance* to the owner — same node, same cluster, or
+// across clusters — so the lock prefers the closest waiters at every
+// level of the hierarchy.
+type hboHier struct {
+	addr  machine.Addr
+	tun   Tuning
+	nodes int
+}
+
+func newHBOHier(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	return &hboHier{
+		addr:  m.Alloc(home, 1),
+		tun:   tun,
+		nodes: m.Config().Nodes,
+	}
+}
+
+func (l *hboHier) Name() string { return "HBO_HIER" }
+
+// schedule returns the (base, cap) backoff constants for a contender at
+// the given distance from the owner.
+func (l *hboHier) schedule(distance int) (base, cap int) {
+	switch distance {
+	case 0:
+		return l.tun.BackoffBase, l.tun.BackoffCap
+	case 1:
+		return l.tun.RemoteBackoffBase, l.tun.RemoteBackoffCap
+	default:
+		fb, fc := l.tun.FarBackoffBase, l.tun.FarBackoffCap
+		if fb <= 0 {
+			fb = 4 * l.tun.RemoteBackoffBase
+		}
+		if fc <= 0 {
+			fc = 4 * l.tun.RemoteBackoffCap
+		}
+		return fb, fc
+	}
+}
+
+func (l *hboHier) Acquire(p *machine.Proc, tid int) {
+	my := hboNodeVal(p.Node())
+	tmp := p.CAS(l.addr, hboFree, my)
+	if tmp == hboFree {
+		return
+	}
+	l.acquireSlowpath(p, tmp)
+}
+
+func (l *hboHier) acquireSlowpath(p *machine.Proc, tmp uint64) {
+	my := hboNodeVal(p.Node())
+	for {
+		owner := int(tmp) - 1
+		dist := p.Machine().Distance(p.Node(), owner)
+		b, cap := l.schedule(dist)
+		for {
+			p.Delay(b)
+			b *= l.tun.BackoffFactor
+			if b > cap {
+				b = cap
+			}
+			tmp = p.CAS(l.addr, hboFree, my)
+			if tmp == hboFree {
+				return
+			}
+			// If the owner moved to a different distance class,
+			// re-dispatch onto that class's schedule.
+			if p.Machine().Distance(p.Node(), int(tmp)-1) != dist {
+				break
+			}
+		}
+	}
+}
+
+func (l *hboHier) Release(p *machine.Proc, tid int) {
+	p.Store(l.addr, hboFree)
+}

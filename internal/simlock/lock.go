@@ -1,0 +1,138 @@
+// Package simlock implements the eight lock algorithms the HBO paper
+// evaluates — TATAS, TATAS_EXP, MCS, CLH, RH, HBO, HBO_GT and HBO_GT_SD —
+// as programs for the simulated NUCA machine in internal/machine.
+//
+// The HBO family is transcribed from the paper's Figures 1 and 2; the
+// others follow the classic published algorithms (Mellor-Crummey & Scott
+// 1991; Craig / Magnusson-Landin-Hagersten 1993/94). Native Go versions
+// of the same algorithms, for real programs, live in internal/core.
+package simlock
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Lock is a mutual-exclusion lock operated by simulated processors.
+// tid identifies the acquiring thread (dense ids, one per simulated
+// thread) so queue locks can find their per-thread queue nodes.
+type Lock interface {
+	Name() string
+	Acquire(p *machine.Proc, tid int)
+	Release(p *machine.Proc, tid int)
+}
+
+// Tuning collects the backoff constants that the paper tunes "by trial
+// and error for each individual architecture". Units are iterations of
+// the empty delay loop (machine.Latencies.BackoffUnit each).
+type Tuning struct {
+	// TATAS_EXP and the HBO local path.
+	BackoffBase   int
+	BackoffFactor int
+	BackoffCap    int
+	// HBO remote path.
+	RemoteBackoffBase int
+	RemoteBackoffCap  int
+	// HBO_HIER cross-cluster path (0 = 4x the remote constants).
+	FarBackoffBase int
+	FarBackoffCap  int
+	// HBO_GT_SD starvation detection (Figure 2).
+	GetAngryLimit int
+	// RH node-winner remote spin and be-fair threshold.
+	RHRemoteBase  int
+	RHRemoteCap   int
+	RHFairTries   int
+	RHGlobalEvery int // force a global release after this many local handoffs
+}
+
+// DefaultTuning returns constants tuned for the WildFire latency preset
+// (BackoffUnit = 4 ns): local backoff 128 ns .. 2 µs, remote backoff
+// 8 µs .. 65 µs. The remote cap must dwarf the local handover time —
+// every failed remote cas drags the lock line across the interconnect,
+// so remote spinners probe rarely and the lock stays in its node (the
+// tuning lesson the paper's Figure 9 sweep teaches).
+func DefaultTuning() Tuning {
+	return Tuning{
+		BackoffBase:       32,
+		BackoffFactor:     2,
+		BackoffCap:        4096,
+		RemoteBackoffBase: 4096,
+		RemoteBackoffCap:  32768,
+		GetAngryLimit:     8,
+		RHRemoteBase:      2048,
+		RHRemoteCap:       16384,
+		RHFairTries:       4,
+		RHGlobalEvery:     64,
+	}
+}
+
+// Factory builds a lock instance on machine m. home is the node whose
+// memory backs the lock variable; cpus maps thread ids to the CPUs they
+// run on (queue locks home each thread's queue node in that thread's
+// node).
+type Factory func(m *machine.Machine, home int, cpus []int, tun Tuning) Lock
+
+// Names lists the algorithms in the order the paper's tables use.
+func Names() []string {
+	return []string{"TATAS", "TATAS_EXP", "MCS", "CLH", "RH", "HBO", "HBO_GT", "HBO_GT_SD"}
+}
+
+// ExtendedNames lists the additional algorithms this library implements
+// beyond the paper's eight: classic baselines from its related work
+// (TICKET, ANDERSON, REACTIVE), the hierarchical HBO the paper sketches
+// in section 4.1 (HBO_HIER), and the cohort-lock family that HBO helped
+// inspire (COHORT).
+func ExtendedNames() []string {
+	return []string{"TICKET", "ANDERSON", "REACTIVE", "HBO_HIER", "COHORT", "CLH_TRY"}
+}
+
+// AllNames lists the paper's eight plus the extensions.
+func AllNames() []string { return append(Names(), ExtendedNames()...) }
+
+// NUCAAware reports whether the named algorithm exploits node locality
+// (the paper's "NUCA-aware" group).
+func NUCAAware(name string) bool {
+	switch name {
+	case "RH", "HBO", "HBO_GT", "HBO_GT_SD", "HBO_HIER", "COHORT":
+		return true
+	}
+	return false
+}
+
+// New builds the named lock. It panics on an unknown name (experiment
+// configuration is programmer input).
+func New(name string, m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	f, ok := factories[name]
+	if !ok {
+		panic(fmt.Sprintf("simlock: unknown lock %q", name))
+	}
+	return f(m, home, cpus, tun)
+}
+
+var factories = map[string]Factory{
+	"TATAS":     newTATAS,
+	"TATAS_EXP": newTATASExp,
+	"MCS":       newMCS,
+	"CLH":       newCLH,
+	"RH":        newRH,
+	"HBO":       newHBO,
+	"HBO_GT":    newHBOGT,
+	"HBO_GT_SD": newHBOGTSD,
+	"TICKET":    newTicket,
+	"ANDERSON":  newAnderson,
+	"REACTIVE":  newReactive,
+	"HBO_HIER":  newHBOHier,
+	"COHORT":    newCohort,
+	"CLH_TRY":   newCLHTry,
+}
+
+// backoff executes the paper's backoff helper (Figure 1, lines 11–16):
+// delay for *b loop iterations, then double *b up to cap.
+func backoff(p *machine.Proc, b *int, factor, cap int) {
+	p.Delay(*b)
+	*b *= factor
+	if *b > cap {
+		*b = cap
+	}
+}

@@ -1,0 +1,107 @@
+package simlock
+
+import "repro/internal/machine"
+
+// mcs is the queue lock of Mellor-Crummey and Scott (1991). Each thread
+// owns a queue node (next pointer + locked flag) homed in its own NUCA
+// node, so waiting threads spin on node-local memory.
+type mcs struct {
+	tail   machine.Addr   // holds the queue-node address of the last waiter
+	next   []machine.Addr // per-thread qnode: next pointer word
+	locked []machine.Addr // per-thread qnode: locked flag word
+}
+
+func newMCS(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	l := &mcs{
+		tail:   m.Alloc(home, 1),
+		next:   make([]machine.Addr, len(cpus)),
+		locked: make([]machine.Addr, len(cpus)),
+	}
+	for tid, cpu := range cpus {
+		n := m.NodeOf(cpu)
+		l.next[tid] = m.Alloc(n, 1)
+		l.locked[tid] = m.Alloc(n, 1)
+	}
+	return l
+}
+
+func (l *mcs) Name() string { return "MCS" }
+
+// qnodeOf maps a next-pointer address back to the owning thread.
+func (l *mcs) qnodeOf(a uint64) int {
+	for tid, n := range l.next {
+		if uint64(n) == a {
+			return tid
+		}
+	}
+	panic("simlock: MCS tail holds an unknown qnode address")
+}
+
+func (l *mcs) Acquire(p *machine.Proc, tid int) {
+	p.Store(l.next[tid], uint64(machine.NilAddr))
+	prev := p.Swap(l.tail, uint64(l.next[tid]))
+	if prev == uint64(machine.NilAddr) {
+		return // lock was free
+	}
+	p.Store(l.locked[tid], 1)
+	p.Store(machine.Addr(prev), uint64(l.next[tid])) // prev.next = me
+	p.SpinUntilZero(l.locked[tid])
+}
+
+func (l *mcs) Release(p *machine.Proc, tid int) {
+	next := p.Load(l.next[tid])
+	if next == uint64(machine.NilAddr) {
+		if p.CAS(l.tail, uint64(l.next[tid]), uint64(machine.NilAddr)) == uint64(l.next[tid]) {
+			return // no successor
+		}
+		// A successor is linking itself; wait for the pointer.
+		next = p.SpinUntil(l.next[tid], func(v uint64) bool {
+			return v != uint64(machine.NilAddr)
+		})
+	}
+	succ := l.qnodeOf(next)
+	p.Store(l.locked[succ], 0)
+}
+
+// clh is the queue lock of Craig and of Magnusson, Landin and Hagersten.
+// Each thread enqueues a request flag and spins on its predecessor's
+// flag; on release a thread recycles its predecessor's node.
+type clh struct {
+	tail machine.Addr // holds the current tail request-flag address
+	// myNode and myPrev are thread-private registers (not simulated
+	// memory): the flag word each thread will use for its next acquire,
+	// and the predecessor flag captured during the current hold.
+	myNode []machine.Addr
+	myPrev []machine.Addr
+}
+
+func newCLH(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	l := &clh{
+		tail:   m.Alloc(home, 1),
+		myNode: make([]machine.Addr, len(cpus)),
+		myPrev: make([]machine.Addr, len(cpus)),
+	}
+	// Initial dummy node, already granted (flag = 0).
+	dummy := m.Alloc(home, 1)
+	m.Poke(l.tail, uint64(dummy))
+	for tid, cpu := range cpus {
+		l.myNode[tid] = m.Alloc(m.NodeOf(cpu), 1)
+	}
+	return l
+}
+
+func (l *clh) Name() string { return "CLH" }
+
+func (l *clh) Acquire(p *machine.Proc, tid int) {
+	me := l.myNode[tid]
+	p.Store(me, 1) // pending
+	prev := machine.Addr(p.Swap(l.tail, uint64(me)))
+	p.SpinUntilZero(prev)
+	l.myPrev[tid] = prev
+}
+
+func (l *clh) Release(p *machine.Proc, tid int) {
+	p.Store(l.myNode[tid], 0)
+	// Recycle the predecessor's node for our next acquire.
+	l.myNode[tid] = l.myPrev[tid]
+}

@@ -1,0 +1,89 @@
+package simlock
+
+import "repro/internal/machine"
+
+// reactive is a simplified reactive lock in the spirit of Lim & Agarwal
+// (ASPLOS 1994), the "alternative approach" of the paper's section 3:
+// low contention is served by a bare TATAS_EXP protocol and high
+// contention routes waiters through an MCS queue, with the holder
+// switching modes using hysteresis.
+//
+// Unlike the original's consensus-object protocol, mutual exclusion
+// here always rests on the TATAS word: queue mode only *orders* the
+// contenders in front of it (the MCS head acquires an almost-free TATAS
+// word). A thread that raced a mode switch merely contends on the TATAS
+// word directly, degrading fairness for one handover, never safety.
+type reactive struct {
+	mode machine.Addr // 0 = spin, 1 = queue in front of the word
+	// Hysteresis counter, written only while holding the lock.
+	counter machine.Addr
+	tatas   *tatasExp
+	mcs     *mcs
+	// queued records whether each thread entered through the queue
+	// (thread-private register).
+	queued []bool
+}
+
+// Hysteresis thresholds: switch to the queue after this many contended
+// spin-mode acquisitions in a row, and back to spin mode after this
+// many queue acquisitions with no successor waiting.
+const (
+	reactToQueue = 8
+	reactToSpin  = 16
+)
+
+func newReactive(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	return &reactive{
+		mode:    m.Alloc(home, 1),
+		counter: m.Alloc(home, 1),
+		tatas:   newTATASExp(m, home, cpus, tun).(*tatasExp),
+		mcs:     newMCS(m, home, cpus, tun).(*mcs),
+		queued:  make([]bool, len(cpus)),
+	}
+}
+
+func (l *reactive) Name() string { return "REACTIVE" }
+
+func (l *reactive) Acquire(p *machine.Proc, tid int) {
+	viaQueue := p.Load(l.mode) == 1
+	l.queued[tid] = viaQueue
+	if viaQueue {
+		l.mcs.Acquire(p, tid)
+	}
+	contended := p.TAS(l.tatas.addr) != 0
+	if contended {
+		l.tatas.acquireSlowpath(p)
+	}
+	// Holding the lock now; run the hysteresis bookkeeping.
+	c := p.Load(l.counter)
+	if viaQueue {
+		noSucc := p.Load(l.mcs.next[tid]) == uint64(machine.NilAddr)
+		if noSucc {
+			c++
+			if c >= reactToSpin {
+				p.Store(l.mode, 0)
+				c = 0
+			}
+		} else {
+			c = 0
+		}
+	} else {
+		if contended {
+			c++
+			if c >= reactToQueue {
+				p.Store(l.mode, 1)
+				c = 0
+			}
+		} else if c > 0 {
+			c--
+		}
+	}
+	p.Store(l.counter, c)
+}
+
+func (l *reactive) Release(p *machine.Proc, tid int) {
+	p.Store(l.tatas.addr, 0)
+	if l.queued[tid] {
+		l.mcs.Release(p, tid)
+	}
+}

@@ -1,0 +1,156 @@
+package simlock
+
+import "repro/internal/machine"
+
+// rh is the authors' earlier proof-of-concept NUCA-aware lock (Radović &
+// Hagersten, SC 2002), which the paper uses as a baseline. It supports
+// exactly two nodes: every node holds its own copy of the lock, a
+// releaser hands over locally by tagging its copy L_FREE, and one "node
+// winner" per node spins on the other node's copy to migrate the lock.
+//
+// The paper gives only a prose description (section 3), so two details
+// are implementation choices, documented in EXPERIMENTS.md:
+//
+//   - The releaser needs to know whether local waiters exist to choose
+//     between an L_FREE local handover and leaving the lock globally
+//     FREE; we keep a per-node waiter count next to each copy.
+//   - To bound (not eliminate — the paper calls RH starvation-prone)
+//     remote starvation, a node winner may also steal an L_FREE copy
+//     after RHFairTries failed attempts, and a node releases globally
+//     after RHGlobalEvery consecutive local handovers.
+type rh struct {
+	copies  [2]machine.Addr // per-node lock copy
+	waiters [2]machine.Addr // per-node local-waiter count
+	tun     Tuning
+	nodes   int
+	// streak counts consecutive local handovers per node (host-side
+	// bookkeeping standing in for the algorithm's fairness heuristic).
+	streak [2]int
+}
+
+// RH lock-word values. Thread values start at rhTaken+1.
+const (
+	rhFree   uint64 = 0 // anyone may take the lock
+	rhLFree  uint64 = 1 // only threads in this node may take it
+	rhRemote uint64 = 2 // the lock lives in the other node
+	rhTaken  uint64 = 3 // a node winner has claimed the remote-spin role
+)
+
+func rhThreadVal(tid int) uint64 { return rhTaken + 1 + uint64(tid) }
+
+// atomicAdd adds delta (two's complement) to the word at a with a CAS
+// retry loop, the way SPARC code would implement a fetch-and-add.
+func atomicAdd(p *machine.Proc, a machine.Addr, delta uint64) {
+	for {
+		v := p.Load(a)
+		if p.CAS(a, v, v+delta) == v {
+			return
+		}
+	}
+}
+
+func newRH(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	nodes := m.Config().Nodes
+	if nodes > 2 {
+		panic("simlock: the RH lock supports at most two nodes")
+	}
+	l := &rh{tun: tun, nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		l.copies[n] = m.Alloc(n, 1)
+		l.waiters[n] = m.Alloc(n, 1)
+	}
+	if nodes == 2 {
+		// The lock starts logically in node 0: copy 0 FREE, copy 1 REMOTE.
+		m.Poke(l.copies[1], rhRemote)
+	}
+	return l
+}
+
+func (l *rh) Name() string { return "RH" }
+
+func (l *rh) Acquire(p *machine.Proc, tid int) {
+	my := l.copies[p.Node()]
+	val := rhThreadVal(tid)
+	tmp := p.CAS(my, rhFree, val)
+	if tmp == rhFree {
+		return
+	}
+	if tmp == rhLFree && p.CAS(my, rhLFree, val) == rhLFree {
+		return
+	}
+	l.acquireSlowpath(p, tid)
+}
+
+func (l *rh) acquireSlowpath(p *machine.Proc, tid int) {
+	node := p.Node()
+	my := l.copies[node]
+	val := rhThreadVal(tid)
+	atomicAdd(p, l.waiters[node], 1)
+	defer atomicAdd(p, l.waiters[node], ^uint64(0))
+
+	b := l.tun.BackoffBase
+	for {
+		tmp := p.CAS(my, rhFree, val)
+		if tmp == rhFree {
+			return
+		}
+		if tmp == rhLFree {
+			if p.CAS(my, rhLFree, val) == rhLFree {
+				return
+			}
+			continue
+		}
+		if tmp == rhRemote && l.nodes == 2 {
+			// Try to become the node winner.
+			if p.CAS(my, rhRemote, rhTaken) == rhRemote {
+				l.remoteSpin(p, tid)
+				return
+			}
+		}
+		backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+	}
+}
+
+// remoteSpin is the node winner's role: migrate the lock from the other
+// node by marking the other copy REMOTE, then claim our own copy (which
+// we hold as rhTaken).
+func (l *rh) remoteSpin(p *machine.Proc, tid int) {
+	node := p.Node()
+	other := l.copies[1-node]
+	my := l.copies[node]
+	val := rhThreadVal(tid)
+	b := l.tun.RHRemoteBase
+	tries := 0
+	for {
+		// Test first, then cas: the steal costs two remote transactions,
+		// which is why the paper measures RH's uncontested remote
+		// handover at ~2x the other locks (Table 1).
+		v := p.Load(other)
+		if v == rhFree || (v == rhLFree && tries >= l.tun.RHFairTries) {
+			if p.CAS(other, v, rhRemote) == v {
+				// Lock migrated to our node; our copy holds rhTaken.
+				if p.CAS(my, rhTaken, val) != rhTaken {
+					panic("simlock: RH node-winner copy stolen")
+				}
+				return
+			}
+		}
+		tries++
+		backoff(p, &b, l.tun.BackoffFactor, l.tun.RHRemoteCap)
+	}
+}
+
+func (l *rh) Release(p *machine.Proc, tid int) {
+	node := p.Node()
+	my := l.copies[node]
+	if l.nodes == 2 {
+		local := p.Load(l.waiters[node])
+		if local > 0 && l.streak[node] < l.tun.RHGlobalEvery {
+			l.streak[node]++
+			p.Store(my, rhLFree)
+			return
+		}
+	}
+	l.streak[node] = 0
+	p.Store(my, rhFree)
+}

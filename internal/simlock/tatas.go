@@ -1,0 +1,65 @@
+package simlock
+
+import "repro/internal/machine"
+
+// tatas is the traditional test-and-test&set lock: tas to acquire, spin
+// with plain loads while the lock is held, store zero to release.
+type tatas struct {
+	addr machine.Addr
+}
+
+func newTATAS(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	return &tatas{addr: m.Alloc(home, 1)}
+}
+
+func (l *tatas) Name() string { return "TATAS" }
+
+func (l *tatas) Acquire(p *machine.Proc, tid int) {
+	for p.TAS(l.addr) != 0 {
+		// Test: spin with ordinary loads until the lock reads free,
+		// then retry the tas. The refill burst after a release is
+		// modeled by every spinner re-reading and re-tas-ing.
+		p.SpinUntilZero(l.addr)
+	}
+}
+
+func (l *tatas) Release(p *machine.Proc, tid int) {
+	p.Store(l.addr, 0)
+}
+
+// tatasExp adds Ethernet-style exponential backoff between tas attempts
+// (the paper's TATAS_EXP, section 3).
+type tatasExp struct {
+	addr machine.Addr
+	tun  Tuning
+}
+
+func newTATASExp(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	return &tatasExp{addr: m.Alloc(home, 1), tun: tun}
+}
+
+func (l *tatasExp) Name() string { return "TATAS_EXP" }
+
+func (l *tatasExp) Acquire(p *machine.Proc, tid int) {
+	if p.TAS(l.addr) == 0 {
+		return
+	}
+	l.acquireSlowpath(p)
+}
+
+func (l *tatasExp) acquireSlowpath(p *machine.Proc) {
+	b := l.tun.BackoffBase
+	for {
+		backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+		if p.Load(l.addr) != 0 {
+			continue
+		}
+		if p.TAS(l.addr) == 0 {
+			return
+		}
+	}
+}
+
+func (l *tatasExp) Release(p *machine.Proc, tid int) {
+	p.Store(l.addr, 0)
+}

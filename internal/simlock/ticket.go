@@ -1,0 +1,91 @@
+package simlock
+
+import "repro/internal/machine"
+
+// ticket is the classic ticket lock with proportional backoff: a
+// fetch-and-increment (built from cas, as on SPARC) takes a ticket, and
+// the holder's release publishes the next ticket number. Proportional
+// backoff waits longer the further back in line the caller is. The
+// paper's related work (Mellor-Crummey & Scott 1991) uses it as the
+// fair-but-centralized baseline between TATAS and queue locks.
+type ticket struct {
+	next  machine.Addr // next ticket to hand out
+	owner machine.Addr // ticket currently served
+}
+
+func newTicket(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	return &ticket{
+		next:  m.Alloc(home, 1),
+		owner: m.Alloc(home, 1),
+	}
+}
+
+func (l *ticket) Name() string { return "TICKET" }
+
+// fetchInc atomically increments the word at a and returns its previous
+// value, using the cas-loop idiom available on SPARC.
+func fetchInc(p *machine.Proc, a machine.Addr) uint64 {
+	for {
+		v := p.Load(a)
+		if p.CAS(a, v, v+1) == v {
+			return v
+		}
+	}
+}
+
+func (l *ticket) Acquire(p *machine.Proc, tid int) {
+	my := fetchInc(p, l.next)
+	// Test-and-test&set style wait: spin on a cached copy of owner and
+	// re-read after each release's invalidation (each release bumps
+	// owner, so every waiter re-reads once per handover — the ticket
+	// lock's known O(waiters) refill cost per release).
+	p.SpinUntil(l.owner, func(v uint64) bool { return v == my })
+}
+
+func (l *ticket) Release(p *machine.Proc, tid int) {
+	// Only the holder writes owner, so a plain increment is safe.
+	v := p.Load(l.owner)
+	p.Store(l.owner, v+1)
+}
+
+// anderson is Anderson's array-based queue lock: a fetch-and-increment
+// assigns each contender a slot in a circular flag array; the releaser
+// sets the successor slot. Each waiter spins on its own word, but the
+// array lives in one node, which is exactly the NUMA weakness that
+// motivated distributed queue locks (and, later, NUCA-aware locks).
+type anderson struct {
+	tail  machine.Addr // slot counter
+	slots machine.Addr // size flag words
+	size  int
+	// mySlot is each thread's current slot (a thread-private register).
+	mySlot []uint64
+}
+
+func newAnderson(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	l := &anderson{
+		tail:   m.Alloc(home, 1),
+		size:   len(cpus) + 1,
+		mySlot: make([]uint64, len(cpus)),
+	}
+	l.slots = m.Alloc(home, l.size)
+	m.Poke(l.slots, 1) // slot 0 starts granted
+	return l
+}
+
+func (l *anderson) Name() string { return "ANDERSON" }
+
+func (l *anderson) slot(i uint64) machine.Addr {
+	return l.slots + machine.Addr(i%uint64(l.size))
+}
+
+func (l *anderson) Acquire(p *machine.Proc, tid int) {
+	pos := fetchInc(p, l.tail)
+	l.mySlot[tid] = pos
+	a := l.slot(pos)
+	p.SpinUntil(a, func(v uint64) bool { return v != 0 })
+	p.Store(a, 0) // reset for the next lap around the ring
+}
+
+func (l *anderson) Release(p *machine.Proc, tid int) {
+	p.Store(l.slot(l.mySlot[tid]+1), 1)
+}

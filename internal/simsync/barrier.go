@@ -1,0 +1,116 @@
+// Package simsync provides synchronization primitives beyond locks for
+// programs on the simulated NUCA machine: the sense-reversing central
+// barrier SPLASH-2 uses between phases, and a combining-tree barrier
+// that scales better on large machines. The paper's fairness discussion
+// (section 6) is framed around threads arriving at such barriers.
+package simsync
+
+import "repro/internal/machine"
+
+// CentralBarrier is a sense-reversing centralized barrier: arrivals
+// decrement a counter; the last arrival flips the sense word, releasing
+// everyone. Simple and fine for small machines, but every episode puts
+// one hot line in front of all processors.
+type CentralBarrier struct {
+	parties int
+	count   machine.Addr
+	sense   machine.Addr
+	// localSense is each thread's private sense (a register).
+	localSense []uint64
+}
+
+// NewCentralBarrier builds a barrier for parties threads, with its hot
+// line homed in the given node.
+func NewCentralBarrier(m *machine.Machine, home, parties, maxThreads int) *CentralBarrier {
+	if parties < 1 {
+		panic("simsync: barrier needs at least one party")
+	}
+	b := &CentralBarrier{
+		parties:    parties,
+		count:      m.Alloc(home, 1),
+		sense:      m.Alloc(home, 1),
+		localSense: make([]uint64, maxThreads),
+	}
+	m.Poke(b.count, uint64(parties))
+	return b
+}
+
+// Wait blocks the calling thread until all parties have arrived.
+func (b *CentralBarrier) Wait(p *machine.Proc, tid int) {
+	b.localSense[tid] ^= 1
+	want := b.localSense[tid]
+	// fetch-and-decrement via cas (SPARC-style).
+	for {
+		v := p.Load(b.count)
+		if p.CAS(b.count, v, v-1) == v {
+			if v == 1 {
+				// Last arrival: reset the counter, flip the sense.
+				p.Store(b.count, uint64(b.parties))
+				p.Store(b.sense, want)
+				return
+			}
+			break
+		}
+	}
+	p.SpinUntil(b.sense, func(v uint64) bool { return v == want })
+}
+
+// TreeBarrier is a combining-tree barrier: threads are grouped per NUCA
+// node; the last arrival in each node proceeds to a central root
+// barrier, so only one processor per node touches the global line.
+type TreeBarrier struct {
+	// Per-node leaf counters and sense words (homed locally).
+	leafCount  []machine.Addr
+	leafSense  []machine.Addr
+	leafSize   []int
+	root       *CentralBarrier
+	localSense []uint64
+}
+
+// NewTreeBarrier builds a two-level barrier for the given threads,
+// where cpus maps tid to its CPU (node membership follows from it).
+func NewTreeBarrier(m *machine.Machine, cpus []int) *TreeBarrier {
+	nodes := m.Config().Nodes
+	b := &TreeBarrier{
+		leafCount:  make([]machine.Addr, nodes),
+		leafSense:  make([]machine.Addr, nodes),
+		leafSize:   make([]int, nodes),
+		localSense: make([]uint64, len(cpus)),
+	}
+	participating := 0
+	for _, cpu := range cpus {
+		b.leafSize[m.NodeOf(cpu)]++
+	}
+	for n := 0; n < nodes; n++ {
+		b.leafCount[n] = m.Alloc(n, 1)
+		b.leafSense[n] = m.Alloc(n, 1)
+		m.Poke(b.leafCount[n], uint64(b.leafSize[n]))
+		if b.leafSize[n] > 0 {
+			participating++
+		}
+	}
+	b.root = NewCentralBarrier(m, 0, participating, nodes)
+	return b
+}
+
+// Wait blocks until every registered thread has arrived.
+func (b *TreeBarrier) Wait(p *machine.Proc, tid int) {
+	n := p.Node()
+	b.localSense[tid] ^= 1
+	want := b.localSense[tid]
+	for {
+		v := p.Load(b.leafCount[n])
+		if p.CAS(b.leafCount[n], v, v-1) == v {
+			if v == 1 {
+				// Node representative: cross the global barrier, then
+				// release the node.
+				b.root.Wait(p, n)
+				p.Store(b.leafCount[n], uint64(b.leafSize[n]))
+				p.Store(b.leafSense[n], want)
+				return
+			}
+			break
+		}
+	}
+	p.SpinUntil(b.leafSense[n], func(v uint64) bool { return v == want })
+}

@@ -1,0 +1,160 @@
+package simsync
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func barrierMachine() *machine.Machine {
+	cfg := machine.WildFire()
+	cfg.CPUsPerNode = 4
+	cfg.Seed = 3
+	return machine.New(cfg)
+}
+
+func TestCentralBarrierSynchronizes(t *testing.T) {
+	m := barrierMachine()
+	const threads, episodes = 8, 10
+	b := NewCentralBarrier(m, 0, threads, threads)
+	phase := make([]int, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(tid, func(p *machine.Proc) {
+			rng := sim.NewRNG(uint64(tid) + 5)
+			for e := 0; e < episodes; e++ {
+				p.Work(rng.Timen(5000) + 100)
+				phase[tid]++
+				// Nobody may be more than one episode ahead.
+				for _, ph := range phase {
+					if ph < phase[tid]-1 || ph > phase[tid]+1 {
+						t.Errorf("barrier violated: phases %v", phase)
+					}
+				}
+				b.Wait(p, tid)
+			}
+		})
+	}
+	m.Run()
+	for tid, ph := range phase {
+		if ph != episodes {
+			t.Fatalf("thread %d finished %d episodes", tid, ph)
+		}
+	}
+}
+
+func TestCentralBarrierSingleParty(t *testing.T) {
+	m := barrierMachine()
+	b := NewCentralBarrier(m, 0, 1, 1)
+	m.Spawn(0, func(p *machine.Proc) {
+		for i := 0; i < 5; i++ {
+			b.Wait(p, 0) // must never block
+		}
+	})
+	m.Run()
+	if m.Aborted() {
+		t.Fatal("single-party barrier blocked")
+	}
+}
+
+func TestCentralBarrierValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for 0 parties")
+		}
+	}()
+	NewCentralBarrier(barrierMachine(), 0, 0, 1)
+}
+
+func TestTreeBarrierSynchronizes(t *testing.T) {
+	m := barrierMachine()
+	const threads, episodes = 8, 10
+	cpus := make([]int, threads)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	b := NewTreeBarrier(m, cpus)
+	phase := make([]int, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(uint64(tid) + 7)
+			for e := 0; e < episodes; e++ {
+				p.Work(rng.Timen(5000) + 100)
+				phase[tid]++
+				for _, ph := range phase {
+					if ph < phase[tid]-1 || ph > phase[tid]+1 {
+						t.Errorf("tree barrier violated: phases %v", phase)
+					}
+				}
+				b.Wait(p, tid)
+			}
+		})
+	}
+	m.Run()
+	for tid, ph := range phase {
+		if ph != episodes {
+			t.Fatalf("thread %d finished %d episodes", tid, ph)
+		}
+	}
+}
+
+// TestTreeBarrierCutsGlobalTraffic: only one processor per node crosses
+// to the root, so the tree barrier must generate fewer global
+// transactions than the central one under the same schedule.
+func TestTreeBarrierCutsGlobalTraffic(t *testing.T) {
+	run := func(tree bool) uint64 {
+		m := barrierMachine()
+		const threads, episodes = 8, 40
+		cpus := make([]int, threads)
+		for i := range cpus {
+			cpus[i] = i
+		}
+		var wait func(p *machine.Proc, tid int)
+		if tree {
+			b := NewTreeBarrier(m, cpus)
+			wait = b.Wait
+		} else {
+			b := NewCentralBarrier(m, 0, threads, threads)
+			wait = b.Wait
+		}
+		for tid := 0; tid < threads; tid++ {
+			tid := tid
+			m.Spawn(cpus[tid], func(p *machine.Proc) {
+				rng := sim.NewRNG(uint64(tid) + 11)
+				for e := 0; e < episodes; e++ {
+					p.Work(rng.Timen(3000) + 100)
+					wait(p, tid)
+				}
+			})
+		}
+		m.Run()
+		return m.Stats().Global
+	}
+	central, tree := run(false), run(true)
+	if tree >= central {
+		t.Fatalf("tree barrier global traffic %d not below central %d", tree, central)
+	}
+}
+
+func TestTreeBarrierOneSidedPlacement(t *testing.T) {
+	// All threads in one node: the root barrier has a single party.
+	m := barrierMachine()
+	cpus := []int{0, 1, 2, 3}
+	b := NewTreeBarrier(m, cpus)
+	done := 0
+	for tid := range cpus {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			for e := 0; e < 5; e++ {
+				b.Wait(p, tid)
+			}
+			done++
+		})
+	}
+	m.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+}

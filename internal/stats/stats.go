@@ -1,0 +1,169 @@
+// Package stats provides the small statistics and table-rendering
+// helpers the experiment harness uses to report results the way the
+// paper's tables and figures do.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // population variance, matching the paper's "(var)"
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Variance = sq / float64(s.N)
+	return s
+}
+
+// Stddev returns the population standard deviation.
+func (s Summary) Stddev() float64 { return math.Sqrt(s.Variance) }
+
+// SpreadPercent returns (max-min)/min as a percentage — the paper's
+// fairness metric ("percentage difference in completion time between the
+// first and the last processor"). It returns 0 for degenerate samples.
+func SpreadPercent(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.N == 0 || s.Min == 0 {
+		return 0
+	}
+	return 100 * (s.Max - s.Min) / s.Min
+}
+
+// Normalize divides each value by base. A zero base yields zeros.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Median returns the middle value (mean of the two middles for even n).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Table renders aligned text tables and CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not
+// needed for the numeric/identifier cells the harness produces).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals, trimming to a
+// compact representation for table cells.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}

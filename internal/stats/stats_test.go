@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Fatalf("variance = %v, want 1.25", s.Variance)
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.Stddev())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSpreadPercent(t *testing.T) {
+	if got := SpreadPercent([]float64{100, 110}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("spread = %v, want 10", got)
+	}
+	if got := SpreadPercent(nil); got != 0 {
+		t.Fatalf("spread of empty = %v", got)
+	}
+	if got := SpreadPercent([]float64{0, 5}); got != 0 {
+		t.Fatalf("spread with zero min = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalize = %v", got)
+		}
+	}
+	if z := Normalize([]float64{1}, 0); z[0] != 0 {
+		t.Fatalf("normalize by zero = %v", z)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("median odd = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median even = %v", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Fatalf("median empty = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "Lock", "Value")
+	tb.AddRow("TATAS", "1.5")
+	tb.AddRow("HBO")
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "TATAS") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "Lock,Value\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "HBO,\n") {
+		t.Fatalf("csv should pad short rows:\n%s", csv)
+	}
+}
+
+func TestFFormat(t *testing.T) {
+	if F(1.2345, 2) != "1.23" {
+		t.Fatalf("F = %q", F(1.2345, 2))
+	}
+}
+
+// Property: mean lies within [min, max]; variance non-negative.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Variance >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalizing by the mean yields values whose mean is ~1.
+func TestNormalizeByMeanProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1
+		}
+		m := Summarize(xs).Mean
+		n := Normalize(xs, m)
+		return math.Abs(Summarize(n).Mean-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package trace records lock events from simulated runs and renders
+// them as per-thread timelines, wait/hold statistics and CSV — the
+// observability layer for studying handover behaviour lock by lock.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+// Kind classifies a lock event.
+type Kind uint8
+
+// Event kinds, in the order they occur for one acquisition.
+const (
+	AcquireStart Kind = iota
+	Acquired
+	Released
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case AcquireStart:
+		return "acquire-start"
+	case Acquired:
+		return "acquired"
+	case Released:
+		return "released"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded lock event.
+type Event struct {
+	Time sim.Time
+	TID  int
+	CPU  int
+	Node int
+	Kind Kind
+	Lock string
+}
+
+// Recorder accumulates events from any number of wrapped locks.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Events returns the recorded events in occurrence order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// record appends one event.
+func (r *Recorder) record(e Event) { r.events = append(r.events, e) }
+
+// Wrap returns a lock that forwards to l and records every event.
+func Wrap(l simlock.Lock, r *Recorder) simlock.Lock {
+	return &traced{inner: l, rec: r}
+}
+
+type traced struct {
+	inner simlock.Lock
+	rec   *Recorder
+}
+
+func (t *traced) Name() string { return t.inner.Name() }
+
+func (t *traced) Acquire(p *machine.Proc, tid int) {
+	t.rec.record(Event{p.Now(), tid, p.CPU(), p.Node(), AcquireStart, t.inner.Name()})
+	t.inner.Acquire(p, tid)
+	t.rec.record(Event{p.Now(), tid, p.CPU(), p.Node(), Acquired, t.inner.Name()})
+}
+
+func (t *traced) Release(p *machine.Proc, tid int) {
+	t.inner.Release(p, tid)
+	t.rec.record(Event{p.Now(), tid, p.CPU(), p.Node(), Released, t.inner.Name()})
+}
+
+// Stats summarizes a recorded run.
+type Stats struct {
+	Acquisitions int
+	// Wait and Hold are total times across all acquisitions.
+	Wait sim.Time
+	Hold sim.Time
+	// PerThread counts acquisitions per thread id.
+	PerThread map[int]int
+	// NodeHandoffs counts consecutive acquisitions landing in
+	// different nodes; Handoffs counts all consecutive pairs.
+	Handoffs     int
+	NodeHandoffs int
+}
+
+// MeanWait returns average time from acquire-start to acquired.
+func (s Stats) MeanWait() sim.Time {
+	if s.Acquisitions == 0 {
+		return 0
+	}
+	return s.Wait / sim.Time(s.Acquisitions)
+}
+
+// MeanHold returns average time from acquired to released.
+func (s Stats) MeanHold() sim.Time {
+	if s.Acquisitions == 0 {
+		return 0
+	}
+	return s.Hold / sim.Time(s.Acquisitions)
+}
+
+// HandoffRatio returns node handoffs per handoff.
+func (s Stats) HandoffRatio() float64 {
+	if s.Handoffs == 0 {
+		return 0
+	}
+	return float64(s.NodeHandoffs) / float64(s.Handoffs)
+}
+
+// Analyze computes statistics across all recorded events.
+func (r *Recorder) Analyze() Stats {
+	s := Stats{PerThread: map[int]int{}}
+	type pend struct {
+		start    sim.Time
+		acquired sim.Time
+		have     bool
+	}
+	open := map[int]*pend{} // by tid
+	lastNode := -1
+	for _, e := range r.events {
+		switch e.Kind {
+		case AcquireStart:
+			open[e.TID] = &pend{start: e.Time}
+		case Acquired:
+			if p := open[e.TID]; p != nil {
+				p.acquired = e.Time
+				p.have = true
+				s.Wait += e.Time - p.start
+			}
+			s.Acquisitions++
+			s.PerThread[e.TID]++
+			if lastNode >= 0 {
+				s.Handoffs++
+				if e.Node != lastNode {
+					s.NodeHandoffs++
+				}
+			}
+			lastNode = e.Node
+		case Released:
+			if p := open[e.TID]; p != nil && p.have {
+				s.Hold += e.Time - p.acquired
+				delete(open, e.TID)
+			}
+		}
+	}
+	return s
+}
+
+// CSV renders the raw events.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_ns,tid,cpu,node,kind,lock\n")
+	for _, e := range r.events {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%s,%s\n",
+			int64(e.Time), e.TID, e.CPU, e.Node, e.Kind, e.Lock)
+	}
+	return b.String()
+}
+
+// Timeline renders an ASCII per-thread timeline of width columns:
+// '#' holding the lock, '-' waiting for it, '.' otherwise.
+func (r *Recorder) Timeline(width int) string {
+	if len(r.events) == 0 || width < 1 {
+		return ""
+	}
+	var tids []int
+	seen := map[int]bool{}
+	var end sim.Time
+	for _, e := range r.events {
+		if !seen[e.TID] {
+			seen[e.TID] = true
+			tids = append(tids, e.TID)
+		}
+		if e.Time > end {
+			end = e.Time
+		}
+	}
+	sort.Ints(tids)
+	if end == 0 {
+		end = 1
+	}
+	bucket := func(t sim.Time) int {
+		i := int(int64(t) * int64(width) / (int64(end) + 1))
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+	rows := map[int][]byte{}
+	for _, tid := range tids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[tid] = row
+	}
+	fill := func(tid int, from, to sim.Time, c byte) {
+		for i := bucket(from); i <= bucket(to); i++ {
+			// '#' (holding) wins over '-' (waiting) in shared buckets.
+			if c == '#' || rows[tid][i] == '.' {
+				rows[tid][i] = c
+			}
+		}
+	}
+	start := map[int]sim.Time{}
+	acq := map[int]sim.Time{}
+	for _, e := range r.events {
+		switch e.Kind {
+		case AcquireStart:
+			start[e.TID] = e.Time
+		case Acquired:
+			if t0, ok := start[e.TID]; ok {
+				fill(e.TID, t0, e.Time, '-')
+			}
+			acq[e.TID] = e.Time
+		case Released:
+			if t0, ok := acq[e.TID]; ok {
+				fill(e.TID, t0, e.Time, '#')
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline 0 .. %v  (# holding, - waiting, . other)\n", end)
+	for _, tid := range tids {
+		fmt.Fprintf(&b, "t%02d %s\n", tid, rows[tid])
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+// run traces a small contended run and returns the recorder.
+func run(t *testing.T, lockName string, threads, iters int) *Recorder {
+	t.Helper()
+	cfg := machine.WildFire()
+	cfg.CPUsPerNode = 4
+	cfg.Seed = 21
+	m := machine.New(cfg)
+	cpus := make([]int, threads)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	rec := NewRecorder()
+	l := Wrap(simlock.New(lockName, m, 0, cpus, simlock.DefaultTuning()), rec)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(uint64(tid) + 31)
+			for i := 0; i < iters; i++ {
+				l.Acquire(p, tid)
+				p.Work(500)
+				l.Release(p, tid)
+				p.Work(rng.Timen(1000) + 100)
+			}
+		})
+	}
+	m.Run()
+	return rec
+}
+
+func TestRecorderCapturesAllEvents(t *testing.T) {
+	const threads, iters = 4, 25
+	rec := run(t, "HBO_GT_SD", threads, iters)
+	want := threads * iters * 3 // start, acquired, released
+	if len(rec.Events()) != want {
+		t.Fatalf("recorded %d events, want %d", len(rec.Events()), want)
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(rec.Events()); i++ {
+		if rec.Events()[i].Time < rec.Events()[i-1].Time {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestAnalyzeCountsAndInvariants(t *testing.T) {
+	const threads, iters = 4, 25
+	rec := run(t, "MCS", threads, iters)
+	s := rec.Analyze()
+	if s.Acquisitions != threads*iters {
+		t.Fatalf("acquisitions = %d", s.Acquisitions)
+	}
+	for tid := 0; tid < threads; tid++ {
+		if s.PerThread[tid] != iters {
+			t.Fatalf("thread %d acquired %d times", tid, s.PerThread[tid])
+		}
+	}
+	if s.Handoffs != threads*iters-1 {
+		t.Fatalf("handoffs = %d", s.Handoffs)
+	}
+	// Hold time: 100 CS of 500ns each plus the release path.
+	if s.MeanHold() < 500 {
+		t.Fatalf("mean hold %v below the critical-section work", s.MeanHold())
+	}
+	if s.MeanWait() <= 0 {
+		t.Fatalf("mean wait %v", s.MeanWait())
+	}
+	if r := s.HandoffRatio(); r < 0 || r > 1 {
+		t.Fatalf("handoff ratio %v", r)
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	rec := run(t, "TATAS", 2, 5)
+	csv := rec.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "time_ns,tid,cpu,node,kind,lock" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+2*5*3 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.Contains(csv, "acquired,TATAS") {
+		t.Fatal("csv missing acquired events")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	rec := run(t, "CLH", 3, 10)
+	tl := rec.Timeline(60)
+	if !strings.Contains(tl, "t00") || !strings.Contains(tl, "t02") {
+		t.Fatalf("timeline missing thread rows:\n%s", tl)
+	}
+	if !strings.Contains(tl, "#") {
+		t.Fatalf("timeline shows no holding:\n%s", tl)
+	}
+	if !strings.Contains(tl, "-") {
+		t.Fatalf("timeline shows no waiting:\n%s", tl)
+	}
+	// Empty and degenerate cases.
+	if NewRecorder().Timeline(10) != "" {
+		t.Fatal("empty recorder should render empty timeline")
+	}
+	if rec.Timeline(0) != "" {
+		t.Fatal("zero width should render empty timeline")
+	}
+}
+
+func TestHandoffRatioDistinguishesLocks(t *testing.T) {
+	mcs := run(t, "MCS", 8, 30).Analyze().HandoffRatio()
+	hbo := run(t, "HBO_GT_SD", 8, 30).Analyze().HandoffRatio()
+	if hbo >= mcs {
+		t.Fatalf("HBO_GT_SD handoff %.2f not below MCS %.2f", hbo, mcs)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if AcquireStart.String() != "acquire-start" ||
+		Acquired.String() != "acquired" ||
+		Released.String() != "released" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
