@@ -10,9 +10,16 @@
 //	hbobench -experiment cmp1              # measured vs paper, side by side
 //	hbobench -experiment ext2              # beyond-the-paper studies
 //	hbobench -experiment all -out results  # also write per-table files
+//	hbobench -json                         # machine-readable run report
 //	hbobench -list                         # show available experiments
 //
 // Flags -seeds, -scale, -threads and -quick trade fidelity for speed.
+//
+// -json runs the new microbenchmark (the Table 2 operating point) with
+// the full observability stack attached and emits a JSON report with
+// per-lock wait/hold quantiles (p50/p90/p99), node-handoff matrices and
+// per-cache-line local/global traffic. Identical seeds produce
+// byte-identical reports.
 package main
 
 import (
@@ -31,6 +38,8 @@ func main() {
 		outDir  = flag.String("out", "", "also write each table to <dir>/<id>-<n>.{txt,csv}")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.Bool("json", false, "emit a JSON run report of the new microbenchmark")
+		seed    = flag.Uint64("seed", 11, "seed for the -json report run")
 		quick   = flag.Bool("quick", false, "reduced sweeps/iterations")
 		seeds   = flag.Int("seeds", 3, "repetitions where variance is reported")
 		scale   = flag.Int("scale", 100, "application work divisor (1 = paper scale)")
@@ -50,6 +59,15 @@ func main() {
 		Scale:   *scale,
 		Quick:   *quick,
 		Threads: *threads,
+	}
+
+	if *jsonOut {
+		rep := experiments.MicroReport(opts, *seed)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var selected []experiments.Experiment

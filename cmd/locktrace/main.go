@@ -7,6 +7,8 @@
 //
 //	locktrace -lock HBO_GT_SD -threads 8 -iters 20
 //	locktrace -lock MCS -csv > events.csv
+//	locktrace -lock HBO -json > report.json   # machine-readable report
+//	locktrace -lock RH -trace out.json        # open in ui.perfetto.dev
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/simlock"
@@ -29,6 +32,8 @@ func main() {
 		think    = flag.Int("think", 2000, "max random think time, ns")
 		width    = flag.Int("width", 100, "timeline width, characters")
 		csv      = flag.Bool("csv", false, "dump raw events as CSV instead")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON run report instead")
+		traceOut = flag.String("trace", "", "also write a Perfetto/Chrome trace-event file")
 		list     = flag.Bool("list", false, "list lock algorithms and exit")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 	)
@@ -57,7 +62,12 @@ func main() {
 	}
 
 	rec := trace.NewRecorder()
-	l := trace.Wrap(simlock.New(*lockName, m, 0, cpus, simlock.DefaultTuning()), rec)
+	w0 := m.AllocatedWords()
+	inner := simlock.New(*lockName, m, 0, cpus, simlock.DefaultTuning())
+	if lockWords := m.AllocatedWords() - w0; lockWords > 0 {
+		m.LabelRange(machine.Addr(w0), lockWords, "lock")
+	}
+	l := trace.Wrap(inner, rec)
 	for tid := 0; tid < *threads; tid++ {
 		tid := tid
 		m.Spawn(cpus[tid], func(p *machine.Proc) {
@@ -72,22 +82,84 @@ func main() {
 	}
 	m.Run()
 
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.TraceJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "locktrace: wrote %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+
 	if *csv {
 		fmt.Print(rec.CSV())
 		return
 	}
+
 	s := rec.Analyze()
+
+	if *jsonOut {
+		lr := experiments.BuildLockReport(*lockName, s, *threads, m.Stats(), m.LineStats())
+		lr.TotalTimeNS = int64(m.Now())
+		rep := &experiments.Report{
+			Schema:     experiments.ReportSchema,
+			Tool:       "locktrace",
+			Experiment: "locktrace",
+			Seed:       *seed,
+			Machine: experiments.MachineSummary{
+				Nodes:       cfg.Nodes,
+				CPUsPerNode: cfg.CPUsPerNode,
+				Preset:      "WildFire",
+			},
+			Params: map[string]int{
+				"threads":  *threads,
+				"iters":    *iters,
+				"cs_ns":    *cs,
+				"think_ns": *think,
+			},
+			Locks: []experiments.LockReport{lr},
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("lock: %s   threads: %d x %d acquisitions\n\n", *lockName, *threads, *iters)
 	fmt.Print(rec.Timeline(*width))
 	fmt.Printf("\nacquisitions:  %d\n", s.Acquisitions)
 	fmt.Printf("mean wait:     %v\n", s.MeanWait())
+	fmt.Printf("wait p50/p90/p99: %v / %v / %v\n",
+		s.WaitQuantile(0.50), s.WaitQuantile(0.90), s.WaitQuantile(0.99))
 	fmt.Printf("mean hold:     %v\n", s.MeanHold())
 	fmt.Printf("node handoffs: %.2f of handovers\n", s.HandoffRatio())
 	fmt.Printf("total time:    %v\n", m.Now())
-	fmt.Printf("global txns:   %d\n", m.Stats().Global)
+	traffic := m.Stats()
+	fmt.Printf("local txns:    %v (per node, total %d)\n", traffic.Local, traffic.TotalLocal())
+	fmt.Printf("global txns:   %d\n", traffic.Global)
 	perThread := make([]int, 0, len(s.PerThread))
 	for tid := 0; tid < *threads; tid++ {
 		perThread = append(perThread, s.PerThread[tid])
 	}
 	fmt.Printf("per-thread:    %v\n", perThread)
+	fmt.Printf("\nhot lines (addr home label: local/global txns):\n")
+	for _, ls := range m.HotLines(5) {
+		label := ls.Label
+		if label == "" {
+			label = "-"
+		}
+		fmt.Printf("  %5d n%d %-8s %d/%d  misses=%d invals=%d transfers=%d\n",
+			ls.Addr, ls.Home, label, ls.Local, ls.Global,
+			ls.Misses, ls.Invalidations, ls.Transfers)
+	}
 }

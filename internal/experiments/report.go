@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ReportSchema versions the machine-readable run report. Consumers pin
+// this string; bump it whenever a field changes meaning or layout.
+const ReportSchema = "hbo-run-report/v1"
+
+// Quantiles summarizes a latency distribution in nanoseconds, the
+// tail-aware replacement for the mean-only numbers the text tables
+// print.
+type Quantiles struct {
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P90NS  int64   `json:"p90_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// QuantilesOf extracts report quantiles from a histogram.
+func QuantilesOf(h *stats.Histogram) Quantiles {
+	if h == nil {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Count:  h.Count(),
+		MeanNS: h.Mean(),
+		P50NS:  h.Quantile(0.50),
+		P90NS:  h.Quantile(0.90),
+		P99NS:  h.Quantile(0.99),
+		MaxNS:  h.Max(),
+	}
+}
+
+// TrafficReport is the machine's coherence-transaction accounting,
+// split the way the paper's Tables 2 and 6 report it.
+type TrafficReport struct {
+	LocalPerNode []uint64 `json:"local_per_node"`
+	LocalTotal   uint64   `json:"local_total"`
+	Global       uint64   `json:"global"`
+}
+
+// trafficReport converts machine counters into report form.
+func trafficReport(s machine.Stats) TrafficReport {
+	return TrafficReport{LocalPerNode: s.Local, LocalTotal: s.TotalLocal(), Global: s.Global}
+}
+
+// LabelTraffic sums per-line traffic over all lines sharing a label —
+// the lock-line vs data-line split of Tables 2 and 6. Unlabeled lines
+// aggregate under "other".
+type LabelTraffic struct {
+	Label         string `json:"label"`
+	Lines         int    `json:"lines"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Transfers     uint64 `json:"transfers"`
+	Local         uint64 `json:"local"`
+	Global        uint64 `json:"global"`
+}
+
+// aggregateByLabel rolls per-line stats up by label, sorted by label.
+func aggregateByLabel(ls []machine.LineStats) []LabelTraffic {
+	byLabel := map[string]*LabelTraffic{}
+	for _, l := range ls {
+		label := l.Label
+		if label == "" {
+			label = "other"
+		}
+		t := byLabel[label]
+		if t == nil {
+			t = &LabelTraffic{Label: label}
+			byLabel[label] = t
+		}
+		t.Lines++
+		t.Misses += l.Misses
+		t.Invalidations += l.Invalidations
+		t.Transfers += l.Transfers
+		t.Local += l.Local
+		t.Global += l.Global
+	}
+	labels := make([]string, 0, len(byLabel))
+	for label := range byLabel {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	out := make([]LabelTraffic, 0, len(labels))
+	for _, label := range labels {
+		out = append(out, *byLabel[label])
+	}
+	return out
+}
+
+// LockReport is the per-lock section of a run report.
+type LockReport struct {
+	Lock            string              `json:"lock"`
+	Acquisitions    int                 `json:"acquisitions"`
+	Wait            Quantiles           `json:"wait"`
+	Hold            Quantiles           `json:"hold"`
+	HandoffRatio    float64             `json:"handoff_ratio"`
+	NodeMatrix      [][]int             `json:"node_handoff_matrix,omitempty"`
+	PerThread       []int               `json:"per_thread_acquisitions"`
+	IterationTimeNS int64               `json:"iteration_time_ns,omitempty"`
+	TotalTimeNS     int64               `json:"total_time_ns,omitempty"`
+	Traffic         TrafficReport       `json:"traffic"`
+	TrafficByLabel  []LabelTraffic      `json:"traffic_by_label,omitempty"`
+	HotLines        []machine.LineStats `json:"hot_lines,omitempty"`
+}
+
+// BuildLockReport assembles the per-lock report section from trace
+// statistics and machine counters. threads sizes the dense per-thread
+// acquisition vector; lines is the full per-line attribution, which is
+// rolled up by label and capped to the hottest few for the report.
+func BuildLockReport(name string, st trace.Stats, threads int,
+	traffic machine.Stats, lines []machine.LineStats) LockReport {
+	perThread := make([]int, threads)
+	for tid, n := range st.PerThread {
+		if tid >= 0 && tid < threads {
+			perThread[tid] = n
+		}
+	}
+	return LockReport{
+		Lock:           name,
+		Acquisitions:   st.Acquisitions,
+		Wait:           QuantilesOf(st.WaitHist),
+		Hold:           QuantilesOf(st.HoldHist),
+		HandoffRatio:   st.HandoffRatio(),
+		NodeMatrix:     st.NodeMatrix,
+		PerThread:      perThread,
+		Traffic:        trafficReport(traffic),
+		TrafficByLabel: aggregateByLabel(lines),
+		HotLines:       hotLines(lines, reportHotLines),
+	}
+}
+
+// MachineSummary records the simulated machine shape in a report.
+type MachineSummary struct {
+	Nodes        int    `json:"nodes"`
+	CPUsPerNode  int    `json:"cpus_per_node"`
+	ClusterSize  int    `json:"cluster_size,omitempty"`
+	WordsPerLine int    `json:"words_per_line,omitempty"`
+	Preset       string `json:"preset,omitempty"`
+}
+
+// Report is the machine-readable result of one observability run. All
+// fields are deterministic for a fixed seed, so identical invocations
+// produce byte-identical JSON.
+type Report struct {
+	Schema     string         `json:"schema"`
+	Tool       string         `json:"tool"`
+	Experiment string         `json:"experiment"`
+	Seed       uint64         `json:"seed"`
+	Machine    MachineSummary `json:"machine"`
+	Params     map[string]int `json:"params,omitempty"`
+	Locks      []LockReport   `json:"locks"`
+}
+
+// WriteJSON emits the report as indented JSON. encoding/json renders
+// struct fields in declaration order and map keys sorted, so the bytes
+// are stable for a fixed report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// reportHotLines caps per-line attribution in reports: the lock's own
+// lines plus the hottest data lines tell the Tables 2/6 story without
+// dumping every vector line.
+const reportHotLines = 8
+
+// MicroReport runs the new microbenchmark (the paper's Figure 4
+// workload at critical work 1500, the Table 2 operating point) once per
+// paper lock with the full observability stack attached: a streaming
+// trace.Analyzer for wait/hold quantiles and the handoff matrix, and
+// per-line traffic attribution from the machine. Deterministic for a
+// fixed seed.
+func MicroReport(o Options, seed uint64) *Report {
+	threads, iters, private := newBenchDefaults(o)
+	cfg := wildfire(seed)
+	rep := &Report{
+		Schema:     ReportSchema,
+		Tool:       "hbobench",
+		Experiment: "micro",
+		Seed:       seed,
+		Machine: MachineSummary{
+			Nodes:       cfg.Nodes,
+			CPUsPerNode: cfg.CPUsPerNode,
+			Preset:      "WildFire",
+		},
+		Params: map[string]int{
+			"threads":       threads,
+			"iterations":    iters,
+			"critical_work": 1500,
+			"private_work":  private,
+		},
+	}
+	for _, name := range lockNames() {
+		an := trace.NewAnalyzer()
+		res := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      cfg,
+			Lock:         name,
+			Threads:      threads,
+			Iterations:   iters,
+			CriticalWork: 1500,
+			PrivateWork:  private,
+			Tuning:       simlock.DefaultTuning(),
+			WrapLock:     func(l simlock.Lock) simlock.Lock { return trace.Wrap(l, an) },
+		})
+		st := an.Aggregate()
+		lr := BuildLockReport(name, st, threads, res.Traffic, res.Lines)
+		lr.IterationTimeNS = int64(res.IterationTime)
+		lr.TotalTimeNS = int64(res.TotalTime)
+		rep.Locks = append(rep.Locks, lr)
+	}
+	return rep
+}
+
+// hotLines returns the n busiest lines by total traffic, ties broken by
+// address (mirrors machine.HotLines for an already-collected slice).
+func hotLines(ls []machine.LineStats, n int) []machine.LineStats {
+	out := append([]machine.LineStats(nil), ls...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Traffic() != out[j].Traffic() {
+			return out[i].Traffic() > out[j].Traffic()
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

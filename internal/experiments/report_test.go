@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// quickReport runs the JSON-report path at test scale.
+func quickReport() *Report {
+	return MicroReport(Options{Quick: true, Threads: 8}, 11)
+}
+
+func TestMicroReportShape(t *testing.T) {
+	rep := quickReport()
+	if rep.Schema != ReportSchema || rep.Tool != "hbobench" || rep.Seed != 11 {
+		t.Fatalf("header = %+v", rep)
+	}
+	if rep.Machine.Nodes != 2 || rep.Machine.CPUsPerNode != 16 {
+		t.Fatalf("machine = %+v", rep.Machine)
+	}
+	if len(rep.Locks) != 8 {
+		t.Fatalf("%d locks reported, want the paper's 8", len(rep.Locks))
+	}
+	for _, lr := range rep.Locks {
+		if lr.Acquisitions == 0 {
+			t.Errorf("%s: no acquisitions", lr.Lock)
+		}
+		if lr.Wait.Count == 0 || lr.Wait.P50NS > lr.Wait.P90NS || lr.Wait.P90NS > lr.Wait.P99NS ||
+			lr.Wait.P99NS > lr.Wait.MaxNS {
+			t.Errorf("%s: wait quantiles not ordered: %+v", lr.Lock, lr.Wait)
+		}
+		if lr.Traffic.LocalTotal == 0 || len(lr.Traffic.LocalPerNode) != 2 {
+			t.Errorf("%s: traffic = %+v", lr.Lock, lr.Traffic)
+		}
+		if len(lr.HotLines) == 0 {
+			t.Errorf("%s: no hot-line attribution", lr.Lock)
+		}
+		// The by-label rollup must split lock-line from data-line
+		// traffic, and account for every aggregate transaction.
+		var lockTraffic, labelLocal, labelGlobal uint64
+		for _, lt := range lr.TrafficByLabel {
+			if lt.Label == "lock" {
+				lockTraffic = lt.Local + lt.Global
+			}
+			labelLocal += lt.Local
+			labelGlobal += lt.Global
+		}
+		if lockTraffic == 0 {
+			t.Errorf("%s: no 'lock' label in %+v", lr.Lock, lr.TrafficByLabel)
+		}
+		if labelLocal != lr.Traffic.LocalTotal || labelGlobal != lr.Traffic.Global {
+			t.Errorf("%s: by-label sums %d/%d != aggregate %d/%d",
+				lr.Lock, labelLocal, labelGlobal, lr.Traffic.LocalTotal, lr.Traffic.Global)
+		}
+		if lr.IterationTimeNS <= 0 || lr.TotalTimeNS <= 0 {
+			t.Errorf("%s: times %d/%d", lr.Lock, lr.IterationTimeNS, lr.TotalTimeNS)
+		}
+	}
+}
+
+// TestMicroReportDeterministic is the acceptance criterion: identical
+// seeds must produce byte-identical JSON reports.
+func TestMicroReportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := quickReport().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := quickReport().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different JSON reports")
+	}
+	// And the bytes decode back into the schema.
+	var rt Report
+	if err := json.Unmarshal(a.Bytes(), &rt); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if rt.Schema != ReportSchema {
+		t.Fatalf("round-trip schema = %q", rt.Schema)
+	}
+}
+
+func TestQuantilesOf(t *testing.T) {
+	if q := QuantilesOf(nil); q.Count != 0 || q.MaxNS != 0 {
+		t.Fatalf("nil histogram quantiles = %+v", q)
+	}
+	var h stats.Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	q := QuantilesOf(&h)
+	if q.Count != 100 || q.MaxNS != 100 {
+		t.Fatalf("quantiles = %+v", q)
+	}
+	if q.P50NS > q.P90NS || q.P90NS > q.P99NS || q.P99NS > q.MaxNS {
+		t.Fatalf("quantiles not ordered: %+v", q)
+	}
+}

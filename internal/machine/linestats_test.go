@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"testing"
+)
+
+// pingPong builds a 2-node machine where CPUs in different nodes take
+// turns writing the contended word while a second word stays node-local.
+func pingPong(t *testing.T) (*Machine, Addr, Addr) {
+	t.Helper()
+	cfg := WildFire()
+	cfg.CPUsPerNode = 2
+	cfg.Seed = 5
+	m := New(cfg)
+	hot := m.Alloc(0, 1)  // bounced between nodes
+	cold := m.Alloc(0, 1) // only touched by node 0
+	m.Label(hot, "hot")
+	for _, cpu := range []int{0, 2} {
+		cpu := cpu
+		m.Spawn(cpu, func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Store(hot, uint64(cpu))
+				p.Work(500)
+			}
+		})
+	}
+	m.Spawn(1, func(p *Proc) {
+		p.Store(cold, 7)
+		p.Load(cold)
+	})
+	m.Run()
+	return m, hot, cold
+}
+
+func TestLineStatsAttribution(t *testing.T) {
+	m, hot, cold := pingPong(t)
+	ls := m.LineStats()
+	if len(ls) != 2 {
+		t.Fatalf("LineStats has %d lines, want 2: %+v", len(ls), ls)
+	}
+	byAddr := map[Addr]LineStats{}
+	var sumLocal, sumGlobal uint64
+	for _, l := range ls {
+		byAddr[l.Addr] = l
+		sumLocal += l.Local
+		sumGlobal += l.Global
+	}
+	// Per-line attribution must account for exactly the aggregate
+	// counters — nothing dropped, nothing double-counted.
+	agg := m.Stats()
+	if sumLocal != agg.TotalLocal() || sumGlobal != agg.Global {
+		t.Errorf("per-line sums local=%d global=%d, aggregate local=%d global=%d",
+			sumLocal, sumGlobal, agg.TotalLocal(), agg.Global)
+	}
+	h := byAddr[hot]
+	if h.Label != "hot" {
+		t.Errorf("hot line label = %q", h.Label)
+	}
+	if h.Global == 0 || h.Transfers == 0 || h.Misses == 0 {
+		t.Errorf("bounced line shows no cross-node traffic: %+v", h)
+	}
+	c := byAddr[cold]
+	if c.Global != 0 {
+		t.Errorf("node-local line counted %d global transactions", c.Global)
+	}
+	if c.Local == 0 || c.Home != 0 {
+		t.Errorf("cold line = %+v", c)
+	}
+}
+
+func TestHotLinesOrderAndReset(t *testing.T) {
+	m, hot, _ := pingPong(t)
+	top := m.HotLines(1)
+	if len(top) != 1 || top[0].Addr != hot {
+		t.Fatalf("HotLines(1) = %+v, want the bounced line %d", top, hot)
+	}
+	if all := m.HotLines(0); len(all) != 2 {
+		t.Fatalf("HotLines(0) returned %d lines", len(all))
+	}
+	m.ResetStats()
+	if ls := m.LineStats(); len(ls) != 0 {
+		t.Fatalf("LineStats after reset = %+v", ls)
+	}
+	if m.Stats().TotalLocal() != 0 || m.Stats().Global != 0 {
+		t.Fatal("aggregate stats not reset")
+	}
+}
+
+func TestLabelRangeMultiWordLines(t *testing.T) {
+	cfg := WildFire()
+	cfg.WordsPerLine = 4
+	m := New(cfg)
+	base := m.Alloc(0, 8) // two lines
+	m.LabelRange(base, 8, "vec")
+	m.Spawn(0, func(p *Proc) {
+		p.Store(base, 1)
+		p.Store(base+4, 1)
+	})
+	m.Run()
+	ls := m.LineStats()
+	if len(ls) != 2 {
+		t.Fatalf("LineStats = %+v", ls)
+	}
+	for _, l := range ls {
+		if l.Label != "vec" {
+			t.Errorf("line %d label = %q, want vec", l.Addr, l.Label)
+		}
+	}
+}

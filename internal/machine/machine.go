@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -39,6 +40,17 @@ func (s sharerSet) count() int {
 	return n
 }
 
+// lineTraffic attributes coherence traffic to one cache line, so runs
+// can split lock-line vs data-line transactions the way the paper's
+// Tables 2 and 6 attribute traffic per lock.
+type lineTraffic struct {
+	misses    uint64 // read/write misses and upgrades served for this line
+	invals    uint64 // remote-node invalidation messages
+	transfers uint64 // cache-to-cache data transfers
+	local     uint64 // bus transactions at any node (matches Stats.Local)
+	global    uint64 // interconnect crossings (matches Stats.Global)
+}
+
 type line struct {
 	home    int // home node of the backing memory
 	state   lineState
@@ -50,6 +62,7 @@ type line struct {
 	// so a burst of misses (the test&set storm after a release) queues.
 	// This serialization is what makes TATAS collapse under contention.
 	busyUntil sim.Time
+	traf      lineTraffic
 }
 
 // Stats accumulates coherence-traffic counters. Local transactions are
@@ -91,6 +104,7 @@ type Machine struct {
 	link  *sim.Resource
 
 	stats          Stats
+	labels         map[int]string // line index -> caller-supplied label
 	procs          []*Proc
 	active         int // procs still running
 	preemptedUntil []sim.Time
@@ -114,6 +128,7 @@ func New(cfg Config) *Machine {
 		lines:          make([]line, 1, 1024),
 		link:           sim.NewResource(eng, "link"),
 		stats:          Stats{Local: make([]uint64, cfg.Nodes)},
+		labels:         map[int]string{},
 		preemptedUntil: make([]sim.Time, cfg.TotalCPUs()),
 	}
 	for n := 0; n < cfg.Nodes; n++ {
@@ -264,12 +279,117 @@ func (m *Machine) Stats() Stats {
 	return c
 }
 
-// ResetStats zeroes the traffic counters (e.g. after a warmup phase).
+// ResetStats zeroes the traffic counters, aggregate and per-line
+// (e.g. after a warmup phase).
 func (m *Machine) ResetStats() {
 	for i := range m.stats.Local {
 		m.stats.Local[i] = 0
 	}
 	m.stats.Global = 0
+	for i := range m.lines {
+		m.lines[i].traf = lineTraffic{}
+	}
+}
+
+// countLocal records one bus transaction at node for l's line, in both
+// the aggregate and the per-line counters.
+func (m *Machine) countLocal(l *line, node int) {
+	m.stats.Local[node]++
+	l.traf.local++
+}
+
+// countGlobal records one interconnect crossing for l's line.
+func (m *Machine) countGlobal(l *line) {
+	m.stats.Global++
+	l.traf.global++
+}
+
+// Label tags the cache line containing a so traffic reports can name it
+// (e.g. "lock", "cs_data"). The last label for a line wins.
+func (m *Machine) Label(a Addr, label string) {
+	if a == NilAddr || int(a) >= len(m.words) {
+		panic(fmt.Sprintf("machine: Label of invalid address %d", a))
+	}
+	m.labels[int(a)/m.wordsPerLine()] = label
+}
+
+// LabelRange tags every cache line covering [base, base+words). Line 0
+// (the reserved NilAddr region, which may pad the range's start when
+// WordsPerLine > 1) is skipped.
+func (m *Machine) LabelRange(base Addr, words int, label string) {
+	wpl := m.wordsPerLine()
+	lo := int(base) / wpl
+	hi := (int(base) + words - 1) / wpl
+	if words <= 0 || hi >= len(m.lines) {
+		panic(fmt.Sprintf("machine: LabelRange [%d,+%d) out of range", base, words))
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	for li := lo; li <= hi; li++ {
+		m.labels[li] = label
+	}
+}
+
+// AllocatedWords returns the current size of the shared-memory arena.
+// Bracketing an allocation phase with it lets callers label everything
+// that phase allocated (e.g. a lock's internal lines) via LabelRange.
+func (m *Machine) AllocatedWords() int { return len(m.words) }
+
+// LineStats is the coherence traffic attributed to one cache line.
+type LineStats struct {
+	Addr          Addr   `json:"addr"`
+	Home          int    `json:"home"`
+	Label         string `json:"label,omitempty"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Transfers     uint64 `json:"transfers"`
+	Local         uint64 `json:"local"`
+	Global        uint64 `json:"global"`
+}
+
+// Traffic returns the line's total transaction count (local + global),
+// the hotness metric used by HotLines.
+func (s LineStats) Traffic() uint64 { return s.Local + s.Global }
+
+// LineStats returns per-line traffic for every line that saw any, in
+// ascending address order. Addr is the line's first word.
+func (m *Machine) LineStats() []LineStats {
+	var out []LineStats
+	wpl := m.wordsPerLine()
+	for i := 1; i < len(m.lines); i++ {
+		t := m.lines[i].traf
+		if t.misses == 0 && t.invals == 0 && t.transfers == 0 && t.local == 0 && t.global == 0 {
+			continue
+		}
+		out = append(out, LineStats{
+			Addr:          Addr(i * wpl),
+			Home:          m.lines[i].home,
+			Label:         m.labels[i],
+			Misses:        t.misses,
+			Invalidations: t.invals,
+			Transfers:     t.transfers,
+			Local:         t.local,
+			Global:        t.global,
+		})
+	}
+	return out
+}
+
+// HotLines returns the n busiest lines by total traffic, ties broken by
+// address so a fixed seed yields a fixed report.
+func (m *Machine) HotLines(n int) []LineStats {
+	ls := m.LineStats()
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Traffic() != ls[j].Traffic() {
+			return ls[i].Traffic() > ls[j].Traffic()
+		}
+		return ls[i].Addr < ls[j].Addr
+	})
+	if n > 0 && len(ls) > n {
+		ls = ls[:n]
+	}
+	return ls
 }
 
 // BusUtilization returns per-node bus utilization so far.

@@ -118,23 +118,25 @@ func (p *Proc) readAccess(a Addr) uint64 {
 		}
 		// Miss: charge by the state observed at issue.
 		extra := lat.OpOverhead + p.busWait(p.node)
-		m.stats.Local[p.node]++
+		m.countLocal(l, p.node)
+		l.traf.misses++
 		var base sim.Time
 		switch {
 		case l.state == stateModified:
 			src := m.NodeOf(l.owner)
 			base = m.c2cLatency(p.node, src)
+			l.traf.transfers++
 			if src != p.node {
 				extra += p.linkWait() + p.busWait(src)
-				m.stats.Local[src]++
-				m.stats.Global++
+				m.countLocal(l, src)
+				m.countGlobal(l)
 			}
 		default:
 			base = m.memLatency(p.node, l.home)
 			if l.home != p.node {
 				extra += p.linkWait() + p.busWait(l.home)
-				m.stats.Local[l.home]++
-				m.stats.Global++
+				m.countLocal(l, l.home)
+				m.countGlobal(l)
 			}
 		}
 		p.miss(l, base, extra)
@@ -168,7 +170,8 @@ func (p *Proc) writeAccess(a Addr) *uint64 {
 			continue // ownership stolen while the op retired; redo
 		}
 		extra := lat.OpOverhead + p.busWait(p.node)
-		m.stats.Local[p.node]++
+		m.countLocal(l, p.node)
+		l.traf.misses++
 		var base sim.Time
 		switch {
 		case l.state == stateShared && l.sharers.has(p.cpu):
@@ -178,17 +181,18 @@ func (p *Proc) writeAccess(a Addr) *uint64 {
 		case l.state == stateModified:
 			src := m.NodeOf(l.owner)
 			base = m.c2cLatency(p.node, src)
+			l.traf.transfers++
 			if src != p.node {
 				extra += p.linkWait() + p.busWait(src)
-				m.stats.Local[src]++
-				m.stats.Global++
+				m.countLocal(l, src)
+				m.countGlobal(l)
 			}
 		default: // Shared without our copy, or uncached: fetch from home.
 			base = m.memLatency(p.node, l.home)
 			if l.home != p.node {
 				extra += p.linkWait() + p.busWait(l.home)
-				m.stats.Local[l.home]++
-				m.stats.Global++
+				m.countLocal(l, l.home)
+				m.countGlobal(l)
 			}
 			extra += p.invalidateRemoteSharers(l)
 		}
@@ -223,8 +227,9 @@ func (p *Proc) invalidateRemoteSharers(l *line) sim.Time {
 		if hasSharer {
 			extra += p.linkWait()
 			extra += p.busWait(n)
-			m.stats.Local[n]++
-			m.stats.Global++
+			m.countLocal(l, n)
+			m.countGlobal(l)
+			l.traf.invals++
 		}
 	}
 	return extra

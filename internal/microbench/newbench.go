@@ -23,6 +23,9 @@ type NewBenchConfig struct {
 	// sizes").
 	PrivateWork int
 	Tuning      simlock.Tuning
+	// WrapLock, when non-nil, decorates the lock before the run —
+	// the hook observability layers (trace.Wrap) attach through.
+	WrapLock func(simlock.Lock) simlock.Lock
 }
 
 // NewBenchResult reports one run.
@@ -34,6 +37,10 @@ type NewBenchResult struct {
 	IterationTime sim.Time
 	HandoffRatio  float64
 	Traffic       machine.Stats
+	// Lines attributes the traffic per cache line; lock-internal lines
+	// are labeled "lock" and the shared vector "cs_data", so reports
+	// can split lock-line vs data-line traffic like Tables 2/6.
+	Lines []machine.LineStats
 	// FinishTimes holds each thread's completion time (fairness study).
 	FinishTimes []sim.Time
 }
@@ -51,7 +58,14 @@ const (
 func NewBench(cfg NewBenchConfig) NewBenchResult {
 	m := machine.New(cfg.Machine)
 	cpus := Placement(cfg.Machine, cfg.Threads)
-	l := buildLock(cfg.Lock, m, cpus, cfg.Tuning)
+	w0 := m.AllocatedWords()
+	var l simlock.Lock = buildLock(cfg.Lock, m, cpus, cfg.Tuning)
+	if lockWords := m.AllocatedWords() - w0; lockWords > 0 {
+		m.LabelRange(machine.Addr(w0), lockWords, "lock")
+	}
+	if cfg.WrapLock != nil {
+		l = cfg.WrapLock(l)
+	}
 
 	// Shared critical-section vector: one simulated line per
 	// intsPerLine elements (at least one line so even CriticalWork=0
@@ -61,6 +75,7 @@ func NewBench(cfg NewBenchConfig) NewBenchResult {
 	var csVec machine.Addr
 	if csLines > 0 {
 		csVec = m.Alloc(0, csLines)
+		m.LabelRange(csVec, csLines, "cs_data")
 	}
 
 	hc := newHandoffCounter()
@@ -109,6 +124,7 @@ func NewBench(cfg NewBenchConfig) NewBenchResult {
 		CriticalWork: cfg.CriticalWork,
 		TotalTime:    m.Now(),
 		Traffic:      m.Stats(),
+		Lines:        m.LineStats(),
 		FinishTimes:  finish,
 	}
 	if totalAcquires > 0 {

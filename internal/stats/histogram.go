@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram bucket geometry. Values below histSubBuckets get exact
+// buckets; above that, every power-of-two octave [2^k, 2^(k+1)) is split
+// into histSubBuckets linear sub-buckets, bounding the relative quantile
+// error by 1/histSubBuckets (6.25%). The geometry is part of the report
+// format — TestHistogramBucketBoundaries pins it.
+const (
+	histSubBits    = 4
+	histSubBuckets = 1 << histSubBits // 16
+	// histBuckets covers every non-negative int64: exact buckets for
+	// 0..15 plus 16 sub-buckets for each of the 59 octaves 2^4..2^62.
+	histBuckets = histSubBuckets + (63-histSubBits)*histSubBuckets
+)
+
+// Histogram is a streaming log-bucketed histogram of non-negative int64
+// samples (simulated nanoseconds, counters). It records in O(1) per
+// sample with no per-sample allocation, merges with other histograms,
+// and answers p50/p90/p99-style quantile queries with bounded relative
+// error — the distribution machinery mean-only summaries cannot provide.
+// The zero value is ready to use. Negative samples clamp to zero.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// histBucket returns the bucket index for value v.
+func histBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	k := bits.Len64(u) - 1 // k >= histSubBits
+	sub := int(u>>(uint(k)-histSubBits)) - histSubBuckets
+	return histSubBuckets + (k-histSubBits)*histSubBuckets + sub
+}
+
+// histBounds returns the inclusive value range [lo, hi] of bucket i.
+func histBounds(i int) (lo, hi int64) {
+	if i < histSubBuckets {
+		return int64(i), int64(i)
+	}
+	octave := (i - histSubBuckets) / histSubBuckets
+	sub := (i - histSubBuckets) % histSubBuckets
+	width := int64(1) << uint(octave)
+	lo = int64(histSubBuckets+sub) << uint(octave)
+	return lo, lo + width - 1
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.counts[histBucket(v)]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the exact mean of the recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]): the upper
+// bound of the first bucket whose cumulative count reaches q*n, clamped
+// to the observed min/max so Quantile(0) == Min and Quantile(1) == Max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			_, hi := histBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < h.min {
+				hi = h.min
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's samples into h. Mergeable buckets are what let
+// per-lock histograms roll up into run aggregates without replaying
+// events.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+// HistBucket is one non-empty histogram bucket, for export.
+type HistBucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := histBounds(i)
+		out = append(out, HistBucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d",
+		h.n, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.max)
+	return b.String()
+}

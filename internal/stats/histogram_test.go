@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket geometry: values 0..15
+// get exact buckets, then each power-of-two octave splits into 16
+// linear sub-buckets. Report formats depend on this staying stable
+// across PRs — do not change these expectations without versioning the
+// report schema.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+		lo, hi int64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+		{15, 15, 15, 15},
+		{16, 16, 16, 16}, // first octave has width-1 sub-buckets
+		{31, 31, 31, 31},
+		{32, 32, 32, 33}, // octave [32,64): width-2 sub-buckets
+		{33, 32, 32, 33},
+		{63, 47, 62, 63},
+		{64, 48, 64, 67}, // octave [64,128): width-4 sub-buckets
+		{100, 57, 100, 103},
+		{1000, 111, 992, 1023},
+		{1024, 112, 1024, 1087},
+		{1 << 20, 272, 1 << 20, 1<<20 + (1<<16 - 1)},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.bucket {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := histBounds(c.bucket)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("histBounds(%d) = [%d,%d], want [%d,%d]", c.bucket, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Every value maps into its bucket's range, across octave edges.
+	for _, v := range []int64{0, 1, 7, 15, 16, 17, 255, 256, 1 << 30, 1<<62 + 12345} {
+		lo, hi := histBounds(histBucket(v))
+		if v < lo || v > hi {
+			t.Errorf("value %d outside its bucket range [%d,%d]", v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	if h.Count() != 1000 || h.Sum() != 500500 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if math.Abs(h.Mean()-500.5) > 1e-9 {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+	// Quantiles must be within one sub-bucket (6.25%) of the truth.
+	for _, c := range []struct {
+		q     float64
+		exact float64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		got := float64(h.Quantile(c.q))
+		if math.Abs(got-c.exact)/c.exact > 1.0/16 {
+			t.Errorf("Quantile(%v) = %v, want within 6.25%% of %v", c.q, got, c.exact)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 1000 {
+		t.Fatalf("extreme quantiles: p0=%d p100=%d", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample not clamped: %+v", h.String())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for v := int64(0); v < 500; v++ {
+		a.Add(v)
+		all.Add(v)
+	}
+	for v := int64(500); v < 1000; v++ {
+		b.Add(v * 7)
+		all.Add(v * 7)
+	}
+	a.Merge(&b)
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != all.Count() || a.Sum() != all.Sum() ||
+		a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %s vs %s", a.String(), all.String())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("Quantile(%v): merged %d vs direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(3)
+	h.Add(3)
+	h.Add(40)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	if bs[0].Lo != 3 || bs[0].Hi != 3 || bs[0].Count != 2 {
+		t.Fatalf("bucket 0 = %+v", bs[0])
+	}
+	if bs[1].Lo != 40 || bs[1].Hi != 41 || bs[1].Count != 1 {
+		t.Fatalf("bucket 1 = %+v", bs[1])
+	}
+}
+
+func TestQuantileHelpers(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0.5); q != Median(xs) {
+		t.Fatalf("Quantile(0.5) = %v, median = %v", q, Median(xs))
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 1.75 {
+		t.Fatalf("Quantile(0.25) = %v", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("Quantile(nil) = %v", q)
+	}
+	qs := Quantiles(xs, 0, 0.25, 0.5, 1)
+	want := []float64{1, 1.75, 2.5, 4}
+	for i := range qs {
+		if qs[i] != want[i] {
+			t.Fatalf("Quantiles = %v, want %v", qs, want)
+		}
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatalf("Quantiles(nil) = %v", got)
+	}
+}

@@ -87,6 +87,48 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Quantile returns the q-quantile of xs (q in [0,1]) by linear
+// interpolation between order statistics, so Quantile(xs, 0.5) agrees
+// with Median. An empty sample yields 0; q is clamped to [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return sortedQuantile(s, q)
+}
+
+// Quantiles evaluates Quantile at each q with a single sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = sortedQuantile(s, q)
+	}
+	return out
+}
+
+// sortedQuantile interpolates the q-quantile of an ascending non-empty s.
+func sortedQuantile(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i] + (pos-float64(i))*(s[i+1]-s[i])
+}
+
 // Table renders aligned text tables and CSV.
 type Table struct {
 	Title   string

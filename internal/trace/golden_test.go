@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// feed records synthetic events into a fresh recorder.
+func feed(events []Event) *Recorder {
+	r := NewRecorder()
+	for _, e := range events {
+		r.Record(e)
+	}
+	return r
+}
+
+// twoThreadRun is a hand-built two-thread handover on one lock:
+// thread 0 holds 10..30, thread 1 waits 20..40 and holds 40..50.
+func twoThreadRun() *Recorder {
+	return feed([]Event{
+		{Time: 0, TID: 0, CPU: 0, Node: 0, Kind: AcquireStart, Lock: "L"},
+		{Time: 10, TID: 0, CPU: 0, Node: 0, Kind: Acquired, Lock: "L"},
+		{Time: 20, TID: 1, CPU: 4, Node: 1, Kind: AcquireStart, Lock: "L"},
+		{Time: 30, TID: 0, CPU: 0, Node: 0, Kind: Released, Lock: "L"},
+		{Time: 40, TID: 1, CPU: 4, Node: 1, Kind: Acquired, Lock: "L"},
+		{Time: 50, TID: 1, CPU: 4, Node: 1, Kind: Released, Lock: "L"},
+	})
+}
+
+// TestCSVGolden pins the exact CSV rendering. The CSV is a documented
+// output format; change it only deliberately, updating this golden.
+func TestCSVGolden(t *testing.T) {
+	want := `time_ns,tid,cpu,node,kind,lock
+0,0,0,0,acquire-start,L
+10,0,0,0,acquired,L
+20,1,4,1,acquire-start,L
+30,0,0,0,released,L
+40,1,4,1,acquired,L
+50,1,4,1,released,L
+`
+	if got := twoThreadRun().CSV(); got != want {
+		t.Errorf("CSV golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTimelineGolden pins the exact ASCII timeline rendering.
+func TestTimelineGolden(t *testing.T) {
+	want := `timeline 0 .. 50ns  (# holding, - waiting, . other)
+t00 -#####....
+t01 ...----###
+`
+	if got := twoThreadRun().Timeline(10); got != want {
+		t.Errorf("timeline golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// interleavedTwoLocks builds two independent locks whose acquisitions
+// interleave in time: lock A only ever held in node 0, lock B only in
+// node 1. Any cross-lock conflation shows up as spurious node handoffs.
+func interleavedTwoLocks() *Recorder {
+	var events []Event
+	tm := sim.Time(0)
+	step := func(tid, node int, kind Kind, lock string) {
+		events = append(events, Event{Time: tm, TID: tid, CPU: node * 4, Node: node, Kind: kind, Lock: lock})
+		tm++
+	}
+	for i := 0; i < 3; i++ {
+		step(0, 0, AcquireStart, "A")
+		step(0, 0, Acquired, "A")
+		step(1, 1, AcquireStart, "B")
+		step(1, 1, Acquired, "B")
+		step(0, 0, Released, "A")
+		step(1, 1, Released, "B")
+	}
+	return feed(events)
+}
+
+// TestAnalyzeSeparatesLocks is the regression test for the historical
+// bug where Analyze ignored Event.Lock: two interleaved locks pinned to
+// different nodes produced alternating lastNode values and thus a 100%
+// node-handoff ratio. Attribution must be per lock, aggregate a sum.
+func TestAnalyzeSeparatesLocks(t *testing.T) {
+	rec := interleavedTwoLocks()
+	agg := rec.Analyze()
+	if agg.Acquisitions != 6 {
+		t.Fatalf("aggregate acquisitions = %d, want 6", agg.Acquisitions)
+	}
+	// Each lock has 3 acquisitions -> 2 within-lock handoffs; none
+	// change node.
+	if agg.Handoffs != 4 {
+		t.Errorf("aggregate handoffs = %d, want 4 (2 per lock)", agg.Handoffs)
+	}
+	if agg.NodeHandoffs != 0 {
+		t.Errorf("aggregate node handoffs = %d, want 0 (locks never move)", agg.NodeHandoffs)
+	}
+
+	by := rec.AnalyzeByLock()
+	if len(by) != 2 {
+		t.Fatalf("AnalyzeByLock returned %d locks, want 2", len(by))
+	}
+	for name, want := range map[string]int{"A": 0, "B": 1} {
+		s := by[name]
+		if s.Acquisitions != 3 || s.Handoffs != 2 || s.NodeHandoffs != 0 {
+			t.Errorf("lock %s: %+v", name, s)
+		}
+		if s.PerThread[want] != 3 {
+			t.Errorf("lock %s per-thread = %v", name, s.PerThread)
+		}
+		// The handoff matrix concentrates on the lock's own diagonal.
+		if s.NodeMatrix[want][want] != 2 {
+			t.Errorf("lock %s matrix = %v", name, s.NodeMatrix)
+		}
+	}
+	// Aggregate matrix is the element-wise sum.
+	if agg.NodeMatrix[0][0] != 2 || agg.NodeMatrix[1][1] != 2 ||
+		agg.NodeMatrix[0][1] != 0 || agg.NodeMatrix[1][0] != 0 {
+		t.Errorf("aggregate matrix = %v", agg.NodeMatrix)
+	}
+}
+
+// TestStatsHistograms checks the wait/hold distributions feed from the
+// event stream: known synthetic intervals land in the histograms.
+func TestStatsHistograms(t *testing.T) {
+	s := twoThreadRun().Analyze()
+	if s.WaitHist.Count() != 2 || s.HoldHist.Count() != 2 {
+		t.Fatalf("hist counts: wait=%d hold=%d", s.WaitHist.Count(), s.HoldHist.Count())
+	}
+	// Waits are 10 and 20 ns; holds are 20 and 10 ns.
+	if s.WaitHist.Min() != 10 || s.WaitHist.Max() != 20 {
+		t.Errorf("wait hist min/max = %d/%d", s.WaitHist.Min(), s.WaitHist.Max())
+	}
+	if s.WaitQuantile(1) != 20 || s.HoldQuantile(1) != 20 {
+		t.Errorf("q100: wait=%v hold=%v", s.WaitQuantile(1), s.HoldQuantile(1))
+	}
+	if s.Wait != 30 || s.Hold != 30 {
+		t.Errorf("totals: wait=%v hold=%v", s.Wait, s.Hold)
+	}
+	// Zero-value Stats answers quantiles without blowing up.
+	var zero Stats
+	if zero.WaitQuantile(0.5) != 0 || zero.HoldQuantile(0.5) != 0 {
+		t.Error("zero Stats quantiles")
+	}
+}
+
+// TestAnalyzerStreamingMatchesRecorder double-wraps a live lock so the
+// same event stream hits a buffering Recorder and a streaming Analyzer;
+// both must agree on every statistic.
+func TestAnalyzerStreamingMatchesRecorder(t *testing.T) {
+	rec := run(t, "HBO_GT_SD", 4, 20)
+	an := NewAnalyzer()
+	for _, e := range rec.Events() {
+		an.Record(e)
+	}
+	a, b := rec.Analyze(), an.Aggregate()
+	if a.Acquisitions != b.Acquisitions || a.Wait != b.Wait || a.Hold != b.Hold ||
+		a.Handoffs != b.Handoffs || a.NodeHandoffs != b.NodeHandoffs {
+		t.Fatalf("streaming mismatch: %+v vs %+v", a, b)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.WaitQuantile(q) != b.WaitQuantile(q) {
+			t.Fatalf("wait q%v mismatch", q)
+		}
+	}
+}

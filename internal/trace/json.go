@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one entry of the Chrome trace-event format ("JSON
+// array format") that Perfetto and chrome://tracing load. Timestamps
+// and durations are microseconds.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level object Perfetto expects.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tracePID is the single synthetic process all tracks live in.
+const tracePID = 1
+
+// usec converts simulated nanoseconds to trace microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1000 }
+
+// TraceJSON writes the recorded events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each
+// simulated thread gets one track carrying complete ("X") slices for
+// its wait and hold intervals, and a node handoff — the next
+// acquisition landing in a different node than the previous one —
+// appears as an instant ("i") event on the acquiring thread's track.
+// Output is deterministic for a fixed event stream.
+func (r *Recorder) TraceJSON(w io.Writer) error {
+	var evs []traceEvent
+
+	// Thread-name metadata, one per tid, in tid order.
+	tids := map[int]bool{}
+	for _, e := range r.events {
+		tids[e.TID] = true
+	}
+	var sortedTIDs []int
+	for tid := range tids {
+		sortedTIDs = append(sortedTIDs, tid)
+	}
+	sort.Ints(sortedTIDs)
+	evs = append(evs, traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]string{"name": "locktrace"},
+	})
+	for _, tid := range sortedTIDs {
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]string{"name": fmt.Sprintf("thread %d", tid)},
+		})
+	}
+	meta := len(evs)
+
+	// Wait/hold slices and handoff instants, attributed per lock.
+	type key struct {
+		lock string
+		tid  int
+	}
+	open := map[key]*pendAcq{}
+	lastNode := map[string]int{}
+	for _, e := range r.events {
+		k := key{e.Lock, e.TID}
+		switch e.Kind {
+		case AcquireStart:
+			open[k] = &pendAcq{start: e.Time}
+		case Acquired:
+			if p := open[k]; p != nil {
+				p.acquired = e.Time
+				p.have = true
+				dur := usec(int64(e.Time - p.start))
+				evs = append(evs, traceEvent{
+					Name: "wait " + e.Lock, Cat: "wait", Ph: "X",
+					TS: usec(int64(p.start)), Dur: &dur,
+					PID: tracePID, TID: e.TID,
+					Args: map[string]string{"lock": e.Lock, "node": fmt.Sprint(e.Node)},
+				})
+			}
+			if last, ok := lastNode[e.Lock]; ok && last != e.Node {
+				evs = append(evs, traceEvent{
+					Name: fmt.Sprintf("handoff %s n%d->n%d", e.Lock, last, e.Node),
+					Cat:  "handoff", Ph: "i", TS: usec(int64(e.Time)),
+					PID: tracePID, TID: e.TID, S: "g",
+					Args: map[string]string{"from": fmt.Sprint(last), "to": fmt.Sprint(e.Node)},
+				})
+			}
+			lastNode[e.Lock] = e.Node
+		case Released:
+			if p := open[k]; p != nil && p.have {
+				dur := usec(int64(e.Time - p.acquired))
+				evs = append(evs, traceEvent{
+					Name: "hold " + e.Lock, Cat: "hold", Ph: "X",
+					TS: usec(int64(p.acquired)), Dur: &dur,
+					PID: tracePID, TID: e.TID,
+					Args: map[string]string{"lock": e.Lock, "node": fmt.Sprint(e.Node)},
+				})
+				delete(open, k)
+			}
+		}
+	}
+
+	// Slices are emitted at interval *end*, so nested critical sections
+	// (two traced locks) can appear out of start order; sort the data
+	// events by timestamp (stably, so equal stamps keep stream order)
+	// to guarantee non-decreasing ts per thread track.
+	data := evs[meta:]
+	sort.SliceStable(data, func(i, j int) bool { return data[i].TS < data[j].TS })
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}

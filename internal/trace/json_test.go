@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// perfettoFile mirrors the trace-event JSON shape for decoding in tests.
+type perfettoFile struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`
+		Dur  *float64          `json:"dur"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func exportJSON(t *testing.T, r *Recorder) perfettoFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.TraceJSON(&buf); err != nil {
+		t.Fatalf("TraceJSON: %v", err)
+	}
+	var f perfettoFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("TraceJSON emitted invalid JSON: %v", err)
+	}
+	return f
+}
+
+func TestTraceJSONValidAndMonotonic(t *testing.T) {
+	// 8 threads on 4-CPU nodes span two nodes; MCS's FIFO handovers
+	// guarantee cross-node handoff instants appear.
+	const threads = 8
+	rec := run(t, "MCS", threads, 15)
+	f := exportJSON(t, rec)
+	if f.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+
+	var threadNames, waits, holds, handoffs int
+	lastTS := map[int]float64{}
+	for _, e := range f.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			threadNames++
+			continue
+		case e.Ph == "M":
+			continue
+		}
+		// Data events: timestamps must never go backwards on a track.
+		if prev, ok := lastTS[e.TID]; ok && e.TS < prev {
+			t.Fatalf("tid %d: ts %v after %v", e.TID, e.TS, prev)
+		}
+		lastTS[e.TID] = e.TS
+		switch e.Cat {
+		case "wait":
+			waits++
+			if e.Ph != "X" || e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("malformed wait slice: %+v", e)
+			}
+		case "hold":
+			holds++
+			if e.Ph != "X" || e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("malformed hold slice: %+v", e)
+			}
+		case "handoff":
+			handoffs++
+			if e.Ph != "i" || e.Args["from"] == e.Args["to"] {
+				t.Fatalf("malformed handoff instant: %+v", e)
+			}
+		}
+	}
+	if threadNames != threads {
+		t.Errorf("thread_name metadata for %d threads, want %d", threadNames, threads)
+	}
+	if waits != threads*15 || holds != threads*15 {
+		t.Errorf("waits=%d holds=%d, want %d each", waits, holds, threads*15)
+	}
+	if handoffs == 0 {
+		t.Error("no node-handoff instants; 8 threads span 2 nodes")
+	}
+}
+
+// TestTraceJSONNestedLocks checks the exporter keeps per-thread
+// timestamps monotonic even when one thread's critical sections nest
+// (hold slices finish out of start order).
+func TestTraceJSONNestedLocks(t *testing.T) {
+	rec := feed([]Event{
+		{Time: 0, TID: 0, Kind: AcquireStart, Lock: "outer"},
+		{Time: 5, TID: 0, Kind: Acquired, Lock: "outer"},
+		{Time: 10, TID: 0, Kind: AcquireStart, Lock: "inner"},
+		{Time: 15, TID: 0, Kind: Acquired, Lock: "inner"},
+		{Time: 20, TID: 0, Kind: Released, Lock: "inner"},
+		{Time: 25, TID: 0, Kind: Released, Lock: "outer"},
+	})
+	f := exportJSON(t, rec)
+	last := -1.0
+	var names []string
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < last {
+			t.Fatalf("ts %v after %v (%s)", e.TS, last, e.Name)
+		}
+		last = e.TS
+		names = append(names, e.Name)
+	}
+	want := "wait outer,hold outer,wait inner,hold inner"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("event order %q, want %q", got, want)
+	}
+}
+
+func TestTraceJSONDeterministic(t *testing.T) {
+	rec := twoThreadRun()
+	var a, b bytes.Buffer
+	if err := rec.TraceJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.TraceJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("TraceJSON not byte-deterministic for identical input")
+	}
+}

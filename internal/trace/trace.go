@@ -1,6 +1,13 @@
 // Package trace records lock events from simulated runs and renders
 // them as per-thread timelines, wait/hold statistics and CSV — the
 // observability layer for studying handover behaviour lock by lock.
+//
+// Events flow through the Sink interface. Recorder is a buffering Sink
+// for runs small enough to keep every event (timelines, CSV, Perfetto
+// export need the raw stream); Analyzer is a streaming Sink that folds
+// events into per-lock statistics — histograms, handoff matrices,
+// traffic-free O(1) state — so arbitrarily long runs never buffer an
+// unbounded event slice.
 package trace
 
 import (
@@ -11,6 +18,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/simlock"
+	"repro/internal/stats"
 )
 
 // Kind classifies a lock event.
@@ -46,7 +54,15 @@ type Event struct {
 	Lock string
 }
 
-// Recorder accumulates events from any number of wrapped locks.
+// Sink consumes a stream of lock events. Record is called in event
+// order from the (single-threaded) simulation, so implementations need
+// no locking.
+type Sink interface {
+	Record(Event)
+}
+
+// Recorder is a Sink that buffers every event for rendering (timeline,
+// CSV, Perfetto export) and after-the-fact analysis.
 type Recorder struct {
 	events []Event
 }
@@ -57,44 +73,54 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Events returns the recorded events in occurrence order.
 func (r *Recorder) Events() []Event { return r.events }
 
-// record appends one event.
-func (r *Recorder) record(e Event) { r.events = append(r.events, e) }
+// Record appends one event, implementing Sink.
+func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
 
-// Wrap returns a lock that forwards to l and records every event.
-func Wrap(l simlock.Lock, r *Recorder) simlock.Lock {
-	return &traced{inner: l, rec: r}
+// Wrap returns a lock that forwards to l and reports every event to s.
+func Wrap(l simlock.Lock, s Sink) simlock.Lock {
+	return &traced{inner: l, sink: s}
 }
 
 type traced struct {
 	inner simlock.Lock
-	rec   *Recorder
+	sink  Sink
 }
 
 func (t *traced) Name() string { return t.inner.Name() }
 
 func (t *traced) Acquire(p *machine.Proc, tid int) {
-	t.rec.record(Event{p.Now(), tid, p.CPU(), p.Node(), AcquireStart, t.inner.Name()})
+	t.sink.Record(Event{p.Now(), tid, p.CPU(), p.Node(), AcquireStart, t.inner.Name()})
 	t.inner.Acquire(p, tid)
-	t.rec.record(Event{p.Now(), tid, p.CPU(), p.Node(), Acquired, t.inner.Name()})
+	t.sink.Record(Event{p.Now(), tid, p.CPU(), p.Node(), Acquired, t.inner.Name()})
 }
 
 func (t *traced) Release(p *machine.Proc, tid int) {
 	t.inner.Release(p, tid)
-	t.rec.record(Event{p.Now(), tid, p.CPU(), p.Node(), Released, t.inner.Name()})
+	t.sink.Record(Event{p.Now(), tid, p.CPU(), p.Node(), Released, t.inner.Name()})
 }
 
-// Stats summarizes a recorded run.
+// Stats summarizes the acquisitions of one lock (or, via Aggregate, the
+// sum over all locks).
 type Stats struct {
 	Acquisitions int
 	// Wait and Hold are total times across all acquisitions.
 	Wait sim.Time
 	Hold sim.Time
+	// WaitHist and HoldHist are the full wait/hold distributions in
+	// nanoseconds — p50/p90/p99 live here; means hide the starvation
+	// tails that distinguish the HBO variants.
+	WaitHist *stats.Histogram
+	HoldHist *stats.Histogram
 	// PerThread counts acquisitions per thread id.
 	PerThread map[int]int
 	// NodeHandoffs counts consecutive acquisitions landing in
 	// different nodes; Handoffs counts all consecutive pairs.
 	Handoffs     int
 	NodeHandoffs int
+	// NodeMatrix[from][to] counts handoffs from an acquisition in node
+	// `from` to the next acquisition in node `to` (the diagonal is the
+	// node-local traffic the NUCA-aware locks engineer for).
+	NodeMatrix [][]int
 }
 
 // MeanWait returns average time from acquire-start to acquired.
@@ -121,43 +147,181 @@ func (s Stats) HandoffRatio() float64 {
 	return float64(s.NodeHandoffs) / float64(s.Handoffs)
 }
 
-// Analyze computes statistics across all recorded events.
-func (r *Recorder) Analyze() Stats {
-	s := Stats{PerThread: map[int]int{}}
-	type pend struct {
-		start    sim.Time
-		acquired sim.Time
-		have     bool
+// WaitQuantile returns the q-quantile of the wait distribution, ns.
+func (s Stats) WaitQuantile(q float64) sim.Time {
+	if s.WaitHist == nil {
+		return 0
 	}
-	open := map[int]*pend{} // by tid
-	lastNode := -1
-	for _, e := range r.events {
-		switch e.Kind {
-		case AcquireStart:
-			open[e.TID] = &pend{start: e.Time}
-		case Acquired:
-			if p := open[e.TID]; p != nil {
-				p.acquired = e.Time
-				p.have = true
-				s.Wait += e.Time - p.start
+	return sim.Time(s.WaitHist.Quantile(q))
+}
+
+// HoldQuantile returns the q-quantile of the hold distribution, ns.
+func (s Stats) HoldQuantile(q float64) sim.Time {
+	if s.HoldHist == nil {
+		return 0
+	}
+	return sim.Time(s.HoldHist.Quantile(q))
+}
+
+// newStats returns an empty Stats with its containers allocated.
+func newStats() Stats {
+	return Stats{
+		WaitHist:  &stats.Histogram{},
+		HoldHist:  &stats.Histogram{},
+		PerThread: map[int]int{},
+	}
+}
+
+// growMatrix extends m to cover nodes 0..n (square, n+1 wide).
+func growMatrix(m [][]int, n int) [][]int {
+	if n < len(m) {
+		return m
+	}
+	for len(m) <= n {
+		m = append(m, nil)
+	}
+	for i := range m {
+		for len(m[i]) < len(m) {
+			m[i] = append(m[i], 0)
+		}
+	}
+	return m
+}
+
+// Analyzer is a streaming Sink that folds events into per-lock Stats
+// without retaining them. State is O(locks × threads), so it can absorb
+// runs far too long for a buffering Recorder.
+type Analyzer struct {
+	locks map[string]*lockAnalysis
+}
+
+type pendAcq struct {
+	start    sim.Time
+	acquired sim.Time
+	have     bool
+}
+
+type lockAnalysis struct {
+	stats    Stats
+	open     map[int]*pendAcq // by tid
+	lastNode int
+}
+
+// NewAnalyzer returns an empty streaming analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{locks: map[string]*lockAnalysis{}}
+}
+
+// Record folds one event into the per-lock state, implementing Sink.
+// Events from different locks never mix: each lock tracks its own
+// pending acquisitions and last-owner node.
+func (a *Analyzer) Record(e Event) {
+	la := a.locks[e.Lock]
+	if la == nil {
+		la = &lockAnalysis{stats: newStats(), open: map[int]*pendAcq{}, lastNode: -1}
+		a.locks[e.Lock] = la
+	}
+	s := &la.stats
+	switch e.Kind {
+	case AcquireStart:
+		la.open[e.TID] = &pendAcq{start: e.Time}
+	case Acquired:
+		if p := la.open[e.TID]; p != nil {
+			p.acquired = e.Time
+			p.have = true
+			s.Wait += e.Time - p.start
+			s.WaitHist.Add(int64(e.Time - p.start))
+		}
+		s.Acquisitions++
+		s.PerThread[e.TID]++
+		if la.lastNode >= 0 {
+			s.Handoffs++
+			hi := la.lastNode
+			if e.Node > hi {
+				hi = e.Node
 			}
-			s.Acquisitions++
-			s.PerThread[e.TID]++
-			if lastNode >= 0 {
-				s.Handoffs++
-				if e.Node != lastNode {
-					s.NodeHandoffs++
-				}
+			s.NodeMatrix = growMatrix(s.NodeMatrix, hi)
+			s.NodeMatrix[la.lastNode][e.Node]++
+			if e.Node != la.lastNode {
+				s.NodeHandoffs++
 			}
-			lastNode = e.Node
-		case Released:
-			if p := open[e.TID]; p != nil && p.have {
-				s.Hold += e.Time - p.acquired
-				delete(open, e.TID)
+		}
+		la.lastNode = e.Node
+	case Released:
+		if p := la.open[e.TID]; p != nil && p.have {
+			s.Hold += e.Time - p.acquired
+			s.HoldHist.Add(int64(e.Time - p.acquired))
+			delete(la.open, e.TID)
+		}
+	}
+}
+
+// Locks returns the analyzed lock names, sorted.
+func (a *Analyzer) Locks() []string {
+	names := make([]string, 0, len(a.locks))
+	for n := range a.locks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByLock returns the per-lock statistics keyed by lock name.
+func (a *Analyzer) ByLock() map[string]Stats {
+	out := make(map[string]Stats, len(a.locks))
+	for n, la := range a.locks {
+		out[n] = la.stats
+	}
+	return out
+}
+
+// Aggregate sums the per-lock statistics: counters add, histograms
+// merge, handoff matrices overlay. Handoffs remain within-lock pairs —
+// an acquisition of lock A never counts as a handoff of lock B.
+func (a *Analyzer) Aggregate() Stats {
+	agg := newStats()
+	for _, name := range a.Locks() {
+		s := a.locks[name].stats
+		agg.Acquisitions += s.Acquisitions
+		agg.Wait += s.Wait
+		agg.Hold += s.Hold
+		agg.Handoffs += s.Handoffs
+		agg.NodeHandoffs += s.NodeHandoffs
+		agg.WaitHist.Merge(s.WaitHist)
+		agg.HoldHist.Merge(s.HoldHist)
+		for tid, n := range s.PerThread {
+			agg.PerThread[tid] += n
+		}
+		if len(s.NodeMatrix) > len(agg.NodeMatrix) {
+			agg.NodeMatrix = growMatrix(agg.NodeMatrix, len(s.NodeMatrix)-1)
+		}
+		for i, row := range s.NodeMatrix {
+			for j, v := range row {
+				agg.NodeMatrix[i][j] += v
 			}
 		}
 	}
-	return s
+	return agg
+}
+
+// Analyze computes aggregate statistics across all recorded events.
+// Events are attributed per lock first (so wrapping several locks in
+// one recorder never interleaves their handoff chains), then summed.
+func (r *Recorder) Analyze() Stats {
+	return r.analyzer().Aggregate()
+}
+
+// AnalyzeByLock computes per-lock statistics keyed by lock name.
+func (r *Recorder) AnalyzeByLock() map[string]Stats {
+	return r.analyzer().ByLock()
+}
+
+func (r *Recorder) analyzer() *Analyzer {
+	a := NewAnalyzer()
+	for _, e := range r.events {
+		a.Record(e)
+	}
+	return a
 }
 
 // CSV renders the raw events.
