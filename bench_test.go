@@ -11,11 +11,13 @@
 package hbo_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	hbo "repro"
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 // benchOptions keeps each benchmark iteration affordable.
@@ -106,3 +108,82 @@ func BenchmarkNativeContended(b *testing.B) {
 
 func BenchmarkExt1AllAlgorithms(b *testing.B)   { runExperiment(b, "ext1") }
 func BenchmarkExt2HierarchicalCMP(b *testing.B) { runExperiment(b, "ext2") }
+
+// runExperimentParallel benchmarks one experiment at a fixed
+// worker-pool width (results are byte-identical across widths; only the
+// wall clock should move).
+func runExperimentParallel(b *testing.B, id string, workers int) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	o := benchOptions()
+	o.Parallel = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(o)
+		if len(tables) == 0 || tables[0].NumRows() == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+// parWidths are the worker-pool widths the fan-out benches compare:
+// sequential, the host's GOMAXPROCS, and a fixed 8 so results are
+// comparable across machines.
+func parWidths() []int {
+	ws := []int{1, par.DefaultWorkers(), 8}
+	seen := map[int]bool{}
+	out := ws[:0]
+	for _, w := range ws {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BenchmarkFig6Parallel sweeps the Figure 6 speedup experiment (the
+// apps x locks x seeds grid) across worker-pool widths.
+func BenchmarkFig6Parallel(b *testing.B) {
+	for _, w := range parWidths() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runExperimentParallel(b, "fig6", w)
+		})
+	}
+}
+
+// BenchmarkTable4Parallel sweeps the Table 4 multi-seed Raytrace runs
+// across worker-pool widths.
+func BenchmarkTable4Parallel(b *testing.B) {
+	for _, w := range parWidths() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runExperimentParallel(b, "table4", w)
+		})
+	}
+}
+
+// BenchmarkAllExperiments runs the entire suite — the workload behind
+// `hbobench -experiment all` — sequentially and with the worker pool.
+// The parallel/sequential ratio is the headline fan-out speedup (on a
+// multi-core host; a 1-CPU machine reports parity).
+func BenchmarkAllExperiments(b *testing.B) {
+	for _, w := range parWidths() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := benchOptions()
+			o.Parallel = w
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, e := range experiments.All() {
+					if tables := e.Run(o); len(tables) == 0 {
+						b.Fatalf("experiment %s produced no output", e.ID)
+					}
+				}
+			}
+		})
+	}
+}

@@ -12,14 +12,25 @@
 //	hbobench -experiment all -out results  # also write per-table files
 //	hbobench -json                         # machine-readable run report
 //	hbobench -list                         # show available experiments
+//	hbobench -parallel 1                   # force a sequential run
+//	hbobench -cpuprofile cpu.pprof         # profile with go tool pprof
 //
 // Flags -seeds, -scale, -threads and -quick trade fidelity for speed.
+//
+// Every simulation cell — one (lock, seed, thread-count) run — is
+// deterministic and independent, so cells fan out over a worker pool of
+// -parallel goroutines (default: one per CPU). Results merge back in a
+// fixed canonical order: output is byte-identical for any -parallel
+// value, including 1.
 //
 // -json runs the new microbenchmark (the Table 2 operating point) with
 // the full observability stack attached and emits a JSON report with
 // per-lock wait/hold quantiles (p50/p90/p99), node-handoff matrices and
 // per-cache-line local/global traffic. Identical seeds produce
 // byte-identical reports.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run for
+// ad-hoc performance work on the simulator itself.
 package main
 
 import (
@@ -27,23 +38,29 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "experiment id or 'all'")
-		outDir  = flag.String("out", "", "also write each table to <dir>/<id>-<n>.{txt,csv}")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut = flag.Bool("json", false, "emit a JSON run report of the new microbenchmark")
-		seed    = flag.Uint64("seed", 11, "seed for the -json report run")
-		quick   = flag.Bool("quick", false, "reduced sweeps/iterations")
-		seeds   = flag.Int("seeds", 3, "repetitions where variance is reported")
-		scale   = flag.Int("scale", 100, "application work divisor (1 = paper scale)")
-		threads = flag.Int("threads", 0, "override thread count (0 = paper default)")
+		exp      = flag.String("experiment", "all", "experiment id or 'all'")
+		outDir   = flag.String("out", "", "also write each table to <dir>/<id>-<n>.{txt,csv}")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit a JSON run report of the new microbenchmark")
+		seed     = flag.Uint64("seed", 11, "seed for the -json report run")
+		quick    = flag.Bool("quick", false, "reduced sweeps/iterations")
+		seeds    = flag.Int("seeds", 3, "repetitions where variance is reported")
+		scale    = flag.Int("scale", 100, "application work divisor (1 = paper scale)")
+		threads  = flag.Int("threads", 0, "override thread count (0 = paper default)")
+		parallel = flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for independent simulation cells (1 = sequential)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -54,11 +71,42 @@ func main() {
 		return
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-set accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			}
+		}()
+	}
+
 	opts := experiments.Options{
-		Seeds:   *seeds,
-		Scale:   *scale,
-		Quick:   *quick,
-		Threads: *threads,
+		Seeds:    *seeds,
+		Scale:    *scale,
+		Quick:    *quick,
+		Threads:  *threads,
+		Parallel: *parallel,
 	}
 
 	if *jsonOut {

@@ -9,23 +9,73 @@
 //	locktrace -lock MCS -csv > events.csv
 //	locktrace -lock HBO -json > report.json   # machine-readable report
 //	locktrace -lock RH -trace out.json        # open in ui.perfetto.dev
+//	locktrace -lock MCS,CLH,HBO -json         # compare several algorithms
+//
+// -lock accepts a comma-separated list (or "all"). Each algorithm's run
+// is an independent deterministic simulation, so multi-lock invocations
+// fan out over a -parallel worker pool and print results in the order
+// listed — output is identical for any -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/simlock"
 	"repro/internal/trace"
 )
 
+// runResult is everything one lock's scenario produces.
+type runResult struct {
+	rec *trace.Recorder
+	m   *machine.Machine
+}
+
+// runScenario executes the contended scenario for one lock algorithm.
+func runScenario(lockName string, threads, iters, cs, think int, seed uint64) runResult {
+	cfg := machine.WildFire()
+	cfg.Seed = seed
+	m := machine.New(cfg)
+	cpus := make([]int, threads)
+	next := make([]int, cfg.Nodes)
+	for i := range cpus {
+		n := i % cfg.Nodes
+		cpus[i] = n*cfg.CPUsPerNode + next[n]
+		next[n]++
+	}
+
+	rec := trace.NewRecorder()
+	w0 := m.AllocatedWords()
+	inner := simlock.New(lockName, m, 0, cpus, simlock.DefaultTuning())
+	if lockWords := m.AllocatedWords() - w0; lockWords > 0 {
+		m.LabelRange(machine.Addr(w0), lockWords, "lock")
+	}
+	l := trace.Wrap(inner, rec)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(seed*31 + uint64(tid))
+			for i := 0; i < iters; i++ {
+				l.Acquire(p, tid)
+				p.Work(sim.Time(cs))
+				l.Release(p, tid)
+				p.Work(rng.Timen(sim.Time(think)) + 100)
+			}
+		})
+	}
+	m.Run()
+	return runResult{rec: rec, m: m}
+}
+
 func main() {
 	var (
-		lockName = flag.String("lock", "HBO_GT_SD", "lock algorithm (see -list)")
+		lockName = flag.String("lock", "HBO_GT_SD", "lock algorithm, comma-separated list, or 'all' (see -list)")
 		threads  = flag.Int("threads", 8, "contending threads")
 		iters    = flag.Int("iters", 20, "acquisitions per thread")
 		cs       = flag.Int("cs", 1000, "critical-section work, ns")
@@ -36,6 +86,7 @@ func main() {
 		traceOut = flag.String("trace", "", "also write a Perfetto/Chrome trace-event file")
 		list     = flag.Bool("list", false, "list lock algorithms and exit")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for multi-lock runs (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -46,41 +97,37 @@ func main() {
 		return
 	}
 
+	var locks []string
+	if *lockName == "all" {
+		locks = simlock.AllNames()
+	} else {
+		for _, n := range strings.Split(*lockName, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				locks = append(locks, n)
+			}
+		}
+	}
+	if len(locks) == 0 {
+		fmt.Fprintln(os.Stderr, "locktrace: no lock named")
+		os.Exit(2)
+	}
+	if *traceOut != "" && len(locks) > 1 {
+		fmt.Fprintln(os.Stderr, "locktrace: -trace needs a single -lock")
+		os.Exit(2)
+	}
+
 	cfg := machine.WildFire()
-	cfg.Seed = *seed
 	if *threads > cfg.TotalCPUs() {
 		fmt.Fprintf(os.Stderr, "locktrace: at most %d threads\n", cfg.TotalCPUs())
 		os.Exit(2)
 	}
-	m := machine.New(cfg)
-	cpus := make([]int, *threads)
-	next := make([]int, cfg.Nodes)
-	for i := range cpus {
-		n := i % cfg.Nodes
-		cpus[i] = n*cfg.CPUsPerNode + next[n]
-		next[n]++
-	}
 
-	rec := trace.NewRecorder()
-	w0 := m.AllocatedWords()
-	inner := simlock.New(*lockName, m, 0, cpus, simlock.DefaultTuning())
-	if lockWords := m.AllocatedWords() - w0; lockWords > 0 {
-		m.LabelRange(machine.Addr(w0), lockWords, "lock")
-	}
-	l := trace.Wrap(inner, rec)
-	for tid := 0; tid < *threads; tid++ {
-		tid := tid
-		m.Spawn(cpus[tid], func(p *machine.Proc) {
-			rng := sim.NewRNG(*seed*31 + uint64(tid))
-			for i := 0; i < *iters; i++ {
-				l.Acquire(p, tid)
-				p.Work(sim.Time(*cs))
-				l.Release(p, tid)
-				p.Work(rng.Timen(sim.Time(*think)) + 100)
-			}
-		})
-	}
-	m.Run()
+	// Fan the independent per-lock simulations out, then print results
+	// in the listed order.
+	results := make([]runResult, len(locks))
+	par.ForEach(*parallel, len(locks), func(i int) {
+		results[i] = runScenario(locks[i], *threads, *iters, *cs, *think, *seed)
+	})
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -88,7 +135,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
 			os.Exit(1)
 		}
-		if err := rec.TraceJSON(f); err == nil {
+		if err := results[0].rec.TraceJSON(f); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -101,15 +148,16 @@ func main() {
 	}
 
 	if *csv {
-		fmt.Print(rec.CSV())
+		for i, r := range results {
+			if len(results) > 1 {
+				fmt.Printf("# lock: %s\n", locks[i])
+			}
+			fmt.Print(r.rec.CSV())
+		}
 		return
 	}
 
-	s := rec.Analyze()
-
 	if *jsonOut {
-		lr := experiments.BuildLockReport(*lockName, s, *threads, m.Stats(), m.LineStats())
-		lr.TotalTimeNS = int64(m.Now())
 		rep := &experiments.Report{
 			Schema:     experiments.ReportSchema,
 			Tool:       "locktrace",
@@ -126,7 +174,11 @@ func main() {
 				"cs_ns":    *cs,
 				"think_ns": *think,
 			},
-			Locks: []experiments.LockReport{lr},
+		}
+		for i, r := range results {
+			lr := experiments.BuildLockReport(locks[i], r.rec.Analyze(), *threads, r.m.Stats(), r.m.LineStats())
+			lr.TotalTimeNS = int64(r.m.Now())
+			rep.Locks = append(rep.Locks, lr)
 		}
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
@@ -135,8 +187,21 @@ func main() {
 		return
 	}
 
-	fmt.Printf("lock: %s   threads: %d x %d acquisitions\n\n", *lockName, *threads, *iters)
-	fmt.Print(rec.Timeline(*width))
+	for i, r := range results {
+		printSummary(locks[i], r, *threads, *iters, *width)
+		if i < len(results)-1 {
+			fmt.Println()
+		}
+	}
+}
+
+// printSummary renders the human-readable timeline and statistics for
+// one lock's run.
+func printSummary(lockName string, r runResult, threads, iters, width int) {
+	s := r.rec.Analyze()
+	m := r.m
+	fmt.Printf("lock: %s   threads: %d x %d acquisitions\n\n", lockName, threads, iters)
+	fmt.Print(r.rec.Timeline(width))
 	fmt.Printf("\nacquisitions:  %d\n", s.Acquisitions)
 	fmt.Printf("mean wait:     %v\n", s.MeanWait())
 	fmt.Printf("wait p50/p90/p99: %v / %v / %v\n",
@@ -148,7 +213,7 @@ func main() {
 	fmt.Printf("local txns:    %v (per node, total %d)\n", traffic.Local, traffic.TotalLocal())
 	fmt.Printf("global txns:   %d\n", traffic.Global)
 	perThread := make([]int, 0, len(s.PerThread))
-	for tid := 0; tid < *threads; tid++ {
+	for tid := 0; tid < threads; tid++ {
 		perThread = append(perThread, s.PerThread[tid])
 	}
 	fmt.Printf("per-thread:    %v\n", perThread)

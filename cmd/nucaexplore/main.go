@@ -9,6 +9,10 @@
 //   - Throttle ablation: HBO vs HBO_GT vs HBO_GT_SD global traffic as
 //     remote contention grows.
 //
+// Every cell is an independent deterministic simulation, so each study
+// fans its cells out over a -parallel worker pool; results land in
+// fixed slots and the table is identical for any pool width.
+//
 // Usage:
 //
 //	nucaexplore -study ratio|nodes|throttle
@@ -20,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/simlock"
 	"repro/internal/stats"
@@ -29,15 +34,16 @@ func main() {
 	study := flag.String("study", "ratio", "ratio | nodes | throttle")
 	threads := flag.Int("threads", 16, "contending threads")
 	iters := flag.Int("iters", 200, "lock acquisitions per thread")
+	parallel := flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for independent cells (1 = sequential)")
 	flag.Parse()
 
 	switch *study {
 	case "ratio":
-		ratioStudy(*threads, *iters)
+		ratioStudy(*threads, *iters, *parallel)
 	case "nodes":
-		nodeStudy(*threads, *iters)
+		nodeStudy(*threads, *iters, *parallel)
 	case "throttle":
-		throttleStudy(*threads, *iters)
+		throttleStudy(*threads, *iters, *parallel)
 	default:
 		fmt.Fprintf(os.Stderr, "nucaexplore: unknown study %q\n", *study)
 		os.Exit(2)
@@ -77,6 +83,24 @@ func contend(cfg machine.Config, lockName string, threads, iters int) (sim.Time,
 	return m.Now() / sim.Time(threads*iters), m.Stats().Global
 }
 
+// cell is one contend() outcome in a study's slot-indexed grid.
+type cell struct {
+	per  sim.Time
+	glob uint64
+}
+
+// runGrid fans rows x cols independent cells over the worker pool.
+// cfgAt returns the machine and lock for cell (row, col).
+func runGrid(workers, rows, cols int, cfgAt func(r, c int) (machine.Config, string), threads, iters int) []cell {
+	out := make([]cell, rows*cols)
+	par.ForEach(workers, len(out), func(i int) {
+		cfg, name := cfgAt(i/cols, i%cols)
+		per, glob := contend(cfg, name, threads, iters)
+		out[i] = cell{per: per, glob: glob}
+	})
+	return out
+}
+
 // withRatio scales the remote latencies so remote/local cache-to-cache
 // equals the requested NUCA ratio.
 func withRatio(ratio float64) machine.Config {
@@ -90,15 +114,19 @@ func withRatio(ratio float64) machine.Config {
 	return cfg
 }
 
-func ratioStudy(threads, iters int) {
+func ratioStudy(threads, iters, workers int) {
+	ratios := []float64{1, 2, 3.5, 6, 10}
+	locks := []string{"TATAS_EXP", "MCS", "HBO_GT_SD"}
+	cells := runGrid(workers, len(ratios), len(locks), func(r, c int) (machine.Config, string) {
+		return withRatio(ratios[r]), locks[c]
+	}, threads, iters)
 	t := stats.NewTable(
 		"NUCA-ratio sweep: time per acquisition (µs); NUCA-aware locking pays off once the ratio is substantial",
 		"NUCA ratio", "TATAS_EXP", "MCS", "HBO_GT_SD", "HBO_GT_SD/MCS")
-	for _, ratio := range []float64{1, 2, 3.5, 6, 10} {
-		cfg := withRatio(ratio)
-		te, _ := contend(cfg, "TATAS_EXP", threads, iters)
-		mc, _ := contend(cfg, "MCS", threads, iters)
-		hb, _ := contend(cfg, "HBO_GT_SD", threads, iters)
+	for r, ratio := range ratios {
+		te := cells[r*len(locks)+0].per
+		mc := cells[r*len(locks)+1].per
+		hb := cells[r*len(locks)+2].per
 		t.AddRow(stats.F(ratio, 1),
 			stats.F(float64(te)/1000, 2),
 			stats.F(float64(mc)/1000, 2),
@@ -108,37 +136,42 @@ func ratioStudy(threads, iters int) {
 	fmt.Print(t.String())
 }
 
-func nodeStudy(threads, iters int) {
+func nodeStudy(threads, iters, workers int) {
+	nodeCounts := []int{2, 4, 8}
+	locks := []string{"TATAS_EXP", "MCS", "HBO_GT_SD"}
+	cells := runGrid(workers, len(nodeCounts), len(locks), func(r, c int) (machine.Config, string) {
+		cfg := machine.WildFire()
+		cfg.Nodes = nodeCounts[r]
+		cfg.CPUsPerNode = 32 / nodeCounts[r]
+		cfg.Seed = 9
+		return cfg, locks[c]
+	}, threads, iters)
 	t := stats.NewTable(
 		"Node-count sweep (fixed 32 CPUs): hierarchical NUCA from CMP-like nodes",
 		"Nodes x CPUs", "TATAS_EXP", "MCS", "HBO_GT_SD")
-	for _, nodes := range []int{2, 4, 8} {
-		cfg := machine.WildFire()
-		cfg.Nodes = nodes
-		cfg.CPUsPerNode = 32 / nodes
-		cfg.Seed = 9
-		te, _ := contend(cfg, "TATAS_EXP", threads, iters)
-		mc, _ := contend(cfg, "MCS", threads, iters)
-		hb, _ := contend(cfg, "HBO_GT_SD", threads, iters)
+	for r, nodes := range nodeCounts {
 		t.AddRow(fmt.Sprintf("%dx%d", nodes, 32/nodes),
-			stats.F(float64(te)/1000, 2),
-			stats.F(float64(mc)/1000, 2),
-			stats.F(float64(hb)/1000, 2))
+			stats.F(float64(cells[r*len(locks)+0].per)/1000, 2),
+			stats.F(float64(cells[r*len(locks)+1].per)/1000, 2),
+			stats.F(float64(cells[r*len(locks)+2].per)/1000, 2))
 	}
 	fmt.Print(t.String())
 }
 
-func throttleStudy(threads, iters int) {
+func throttleStudy(threads, iters, workers int) {
+	locks := []string{"TATAS", "TATAS_EXP", "HBO", "HBO_GT", "HBO_GT_SD"}
+	cells := runGrid(workers, len(locks), 1, func(r, _ int) (machine.Config, string) {
+		cfg := machine.WildFire()
+		cfg.Seed = 9
+		return cfg, locks[r]
+	}, threads, iters)
 	t := stats.NewTable(
 		"Throttle ablation: global transactions per acquisition",
 		"Lock", "Global/acq", "Time/acq (µs)")
-	for _, name := range []string{"TATAS", "TATAS_EXP", "HBO", "HBO_GT", "HBO_GT_SD"} {
-		cfg := machine.WildFire()
-		cfg.Seed = 9
-		per, glob := contend(cfg, name, threads, iters)
+	for r, name := range locks {
 		t.AddRow(name,
-			stats.F(float64(glob)/float64(threads*iters), 2),
-			stats.F(float64(per)/1000, 2))
+			stats.F(float64(cells[r].glob)/float64(threads*iters), 2),
+			stats.F(float64(cells[r].per)/1000, 2))
 	}
 	fmt.Print(t.String())
 }

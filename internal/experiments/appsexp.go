@@ -28,81 +28,142 @@ func appRun(spec apps.Spec, lock string, threads, scale int, seed uint64, preemp
 // 32-processor runs; the WildFire model has exactly 32 CPUs).
 func Table3(o Options) []*stats.Table {
 	scale := o.scale()
+	specs := apps.AllSpecs()
+	modeled := make([]int, len(specs))
+	o.parfor(len(specs), func(i int) {
+		if !specs[i].Studied {
+			return
+		}
+		res := appRun(specs[i], "TATAS_EXP", 32, scale, 3, false, 0)
+		modeled[i] = res.LockCalls * scale
+	})
 	t := stats.NewTable(
 		"Table 3: SPLASH-2 programs and lock statistics (32-thread runs; ▶ = studied further)",
 		"Program", "Problem Size", "Total Locks", "Lock Calls", "Modeled Calls (scaled)")
-	for _, spec := range apps.AllSpecs() {
+	for i, spec := range specs {
 		name := spec.Name
+		cell := "-"
 		if spec.Studied {
 			name = "▶ " + name
-		}
-		modeled := "-"
-		if spec.Studied {
-			res := appRun(spec, "TATAS_EXP", 32, scale, 3, false, 0)
-			modeled = fmt.Sprint(res.LockCalls * scale)
+			cell = fmt.Sprint(modeled[i])
 		}
 		t.AddRow(name, spec.Problem,
 			fmt.Sprint(spec.TotalLocks),
 			fmt.Sprint(spec.LockCalls),
-			modeled)
+			cell)
 	}
 	return []*stats.Table{t}
 }
 
-// Table4 reports Raytrace execution time for 1, 28 and 30 CPUs. The
-// 30-CPU runs enable the preemption injector (fully subscribed machine)
-// and a 200-second limit, reproducing the paper's "> 200 s" entries.
-func Table4(o Options) []*stats.Table {
+// raytraceRuns fans out the Table 4 / Cmp4 cell grid: for every lock a
+// 1-CPU run plus per-seed 28-CPU and 30-CPU runs (the latter with the
+// preemption injector and a 200-second limit, reproducing the paper's
+// "> 200 s" entries).
+type raytraceRuns struct {
+	one  float64
+	t28  []float64
+	t30  []float64
+	ab30 []bool
+}
+
+func runRaytrace(o Options, names []string) []raytraceRuns {
 	scale := o.scale()
 	seeds := o.seeds()
 	spec := apps.SpecByName("Raytrace")
+	res := make([]raytraceRuns, len(names))
+	for i := range res {
+		res[i] = raytraceRuns{
+			t28:  make([]float64, seeds),
+			t30:  make([]float64, seeds),
+			ab30: make([]bool, seeds),
+		}
+	}
+	runsPer := 1 + 2*seeds
+	o.parfor(len(names)*runsPer, func(i int) {
+		li, r := i/runsPer, i%runsPer
+		name := names[li]
+		switch {
+		case r == 0:
+			res[li].one = appRun(spec, name, 1, scale, 1, false, 0).Seconds
+		case r <= seeds:
+			s := r - 1
+			res[li].t28[s] = appRun(spec, name, 28, scale, uint64(s+1), false, 0).Seconds
+		default:
+			s := r - seeds - 1
+			r30 := appRun(spec, name, 30, scale, uint64(s+1), true, 200)
+			res[li].t30[s] = r30.Seconds
+			res[li].ab30[s] = r30.Aborted
+		}
+	})
+	return res
+}
+
+func (r raytraceRuns) aborted30() bool {
+	for _, a := range r.ab30 {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+// Table4 reports Raytrace execution time for 1, 28 and 30 CPUs.
+func Table4(o Options) []*stats.Table {
+	names := lockNames()
+	res := runRaytrace(o, names)
 	t := stats.NewTable(
 		"Table 4: Raytrace performance, seconds (variance)",
 		"Lock Type", "1 CPU", "28 CPUs", "30 CPUs")
-	for _, name := range lockNames() {
-		one := appRun(spec, name, 1, scale, 1, false, 0)
-
-		var t28, t30 []float64
-		aborted30 := false
-		for s := 0; s < seeds; s++ {
-			t28 = append(t28, appRun(spec, name, 28, scale, uint64(s+1), false, 0).Seconds)
-			r30 := appRun(spec, name, 30, scale, uint64(s+1), true, 200)
-			if r30.Aborted {
-				aborted30 = true
-			}
-			t30 = append(t30, r30.Seconds)
-		}
-		cell30 := meanVar(t30)
-		if aborted30 {
+	for i, name := range names {
+		cell30 := meanVar(res[i].t30)
+		if res[i].aborted30() {
 			cell30 = "> 200 s"
 		}
-		t.AddRow(name, stats.F(one.Seconds, 2), meanVar(t28), cell30)
+		t.AddRow(name, stats.F(res[i].one, 2), meanVar(res[i].t28), cell30)
 	}
 	return []*stats.Table{t}
 }
 
-// table5Data runs all apps × locks at 28 threads, returning exec-time
-// samples and the traffic of the first seed.
+// table5Data runs all apps × locks × seeds at 28 threads — the single
+// biggest cell grid in the suite — returning exec-time samples and the
+// traffic of the first seed.
 func table5Data(o Options) (times map[string]map[string][]float64, traffic map[string]map[string][2]float64) {
 	scale := o.scale()
 	seeds := o.seeds()
 	threads := o.threads(28)
+	specs := apps.Specs()
+	names := lockNames()
+	tms := make([][][]float64, len(specs))  // [spec][lock][seed]
+	trf := make([][][2]float64, len(specs)) // [spec][lock], seed 0 only
+	for si := range specs {
+		tms[si] = make([][]float64, len(names))
+		trf[si] = make([][2]float64, len(names))
+		for li := range names {
+			tms[si][li] = make([]float64, seeds)
+		}
+	}
+	cellsPer := len(names) * seeds
+	o.parfor(len(specs)*cellsPer, func(i int) {
+		si := i / cellsPer
+		li := (i % cellsPer) / seeds
+		s := i % seeds
+		r := appRun(specs[si], names[li], threads, scale, uint64(s+1), false, 0)
+		tms[si][li][s] = r.Seconds
+		if s == 0 {
+			trf[si][li] = [2]float64{
+				float64(r.Traffic.TotalLocal()) * float64(scale),
+				float64(r.Traffic.Global) * float64(scale),
+			}
+		}
+	})
 	times = map[string]map[string][]float64{}
 	traffic = map[string]map[string][2]float64{}
-	for _, spec := range apps.Specs() {
+	for si, spec := range specs {
 		times[spec.Name] = map[string][]float64{}
 		traffic[spec.Name] = map[string][2]float64{}
-		for _, name := range lockNames() {
-			for s := 0; s < seeds; s++ {
-				r := appRun(spec, name, threads, scale, uint64(s+1), false, 0)
-				times[spec.Name][name] = append(times[spec.Name][name], r.Seconds)
-				if s == 0 {
-					traffic[spec.Name][name] = [2]float64{
-						float64(r.Traffic.TotalLocal()) * float64(scale),
-						float64(r.Traffic.Global) * float64(scale),
-					}
-				}
-			}
+		for li, name := range names {
+			times[spec.Name][name] = tms[si][li]
+			traffic[spec.Name][name] = trf[si][li]
 		}
 	}
 	return times, traffic
@@ -190,17 +251,27 @@ func fig7Procs(o Options) []int {
 func Fig7(o Options) []*stats.Table {
 	scale := o.scale()
 	spec := apps.SpecByName("Raytrace")
-	cols := append([]string{"Processors"}, lockNames()...)
+	names := lockNames()
+	procs := fig7Procs(o)
+	base := make([]float64, len(names))
+	cells := make([]float64, len(procs)*len(names))
+	// One grid: row 0 is the 1-CPU baseline per lock, the rest the sweep.
+	o.parfor(len(names)*(1+len(procs)), func(i int) {
+		li := i % len(names)
+		if i < len(names) {
+			base[li] = appRun(spec, names[li], 1, scale, 1, false, 0).Seconds
+			return
+		}
+		pi := i/len(names) - 1
+		p := procs[pi]
+		cells[pi*len(names)+li] = appRun(spec, names[li], p, scale, uint64(p), false, 0).Seconds
+	})
+	cols := append([]string{"Processors"}, names...)
 	t := stats.NewTable("Figure 7: speedup for Raytrace", cols...)
-	base := map[string]float64{}
-	for _, name := range lockNames() {
-		base[name] = appRun(spec, name, 1, scale, 1, false, 0).Seconds
-	}
-	for _, p := range fig7Procs(o) {
+	for pi, p := range procs {
 		row := []string{fmt.Sprint(p)}
-		for _, name := range lockNames() {
-			r := appRun(spec, name, p, scale, uint64(p), false, 0)
-			row = append(row, stats.F(base[name]/r.Seconds, 2))
+		for li := range names {
+			row = append(row, stats.F(base[li]/cells[pi*len(names)+li], 2))
 		}
 		t.AddRow(row...)
 	}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/apps"
 	"repro/internal/microbench"
 	"repro/internal/paper"
 	"repro/internal/simlock"
@@ -17,17 +16,24 @@ func Cmp1(o Options) []*stats.Table {
 	if o.Quick {
 		rounds = 2
 	}
+	names := paper.LockOrder
+	scs := microbench.Scenarios()
+	cells := make([]float64, len(names)*len(scs))
+	o.parfor(len(cells), func(i int) {
+		name, sc := names[i/len(scs)], scs[i%len(scs)]
+		cells[i] = float64(microbench.Uncontested(wildfire(1), name, sc, rounds))
+	})
 	t := stats.NewTable(
 		"Table 1 comparison: measured vs paper, ns (delta %)",
 		"Lock", "Same Proc", "paper", "Same Node", "paper", "Remote Node", "paper")
-	for _, name := range paper.LockOrder {
+	for ni, name := range names {
 		ref := paper.Table1[name]
 		row := []string{name}
-		for i, sc := range microbench.Scenarios() {
-			ns := float64(microbench.Uncontested(wildfire(1), name, sc, rounds))
+		for si := range scs {
+			ns := cells[ni*len(scs)+si]
 			row = append(row,
-				fmt.Sprintf("%.0f (%+.0f%%)", ns, 100*(ns-ref[i])/ref[i]),
-				stats.F(ref[i], 0))
+				fmt.Sprintf("%.0f (%+.0f%%)", ns, 100*(ns-ref[si])/ref[si]),
+				stats.F(ref[si], 0))
 		}
 		t.AddRow(row...)
 	}
@@ -38,37 +44,42 @@ func Cmp1(o Options) []*stats.Table {
 func Cmp2(o Options) []*stats.Table {
 	threads, iters, private := newBenchDefaults(o)
 	type traffic struct{ local, global float64 }
-	res := map[string]traffic{}
-	for _, name := range paper.LockOrder {
+	names := paper.LockOrder
+	res := make([]traffic, len(names))
+	o.parfor(len(names), func(i int) {
 		r := microbench.NewBench(microbench.NewBenchConfig{
 			Machine:      wildfire(11),
-			Lock:         name,
+			Lock:         names[i],
 			Threads:      threads,
 			Iterations:   iters,
 			CriticalWork: 1500,
 			PrivateWork:  private,
 			Tuning:       simlock.DefaultTuning(),
 		})
-		res[name] = traffic{float64(r.Traffic.TotalLocal()), float64(r.Traffic.Global)}
+		res[i] = traffic{float64(r.Traffic.TotalLocal()), float64(r.Traffic.Global)}
+	})
+	var base traffic
+	for i, name := range names {
+		if name == "TATAS_EXP" {
+			base = res[i]
+		}
 	}
-	base := res["TATAS_EXP"]
 	t := stats.NewTable(
 		"Table 2 comparison: normalized traffic, measured vs paper",
 		"Lock", "Local", "paper", "Global", "paper")
-	for _, name := range paper.LockOrder {
+	for i, name := range names {
 		ref := paper.Table2[name]
 		t.AddRow(name,
-			stats.F(res[name].local/base.local, 2), stats.F(ref[0], 2),
-			stats.F(res[name].global/base.global, 2), stats.F(ref[1], 2))
+			stats.F(res[i].local/base.local, 2), stats.F(ref[0], 2),
+			stats.F(res[i].global/base.global, 2), stats.F(ref[1], 2))
 	}
 	return []*stats.Table{t}
 }
 
 // Cmp4 prints the Table 4 Raytrace comparison.
 func Cmp4(o Options) []*stats.Table {
-	scale := o.scale()
-	seeds := o.seeds()
-	spec := apps.SpecByName("Raytrace")
+	names := paper.LockOrder
+	res := runRaytrace(o, names)
 	t := stats.NewTable(
 		"Table 4 comparison: Raytrace seconds, measured vs paper",
 		"Lock", "1 CPU", "paper", "28 CPUs", "paper", "30 CPUs", "paper")
@@ -78,29 +89,15 @@ func Cmp4(o Options) []*stats.Table {
 		}
 		return stats.F(v, 2)
 	}
-	for _, name := range paper.LockOrder {
+	for i, name := range names {
 		ref := paper.Table4[name]
-		one := appRun(spec, name, 1, scale, 1, false, 0)
-		var s28 []float64
-		cell30 := ""
-		aborted := false
-		var s30 []float64
-		for s := 0; s < seeds; s++ {
-			s28 = append(s28, appRun(spec, name, 28, scale, uint64(s+1), false, 0).Seconds)
-			r30 := appRun(spec, name, 30, scale, uint64(s+1), true, 200)
-			if r30.Aborted {
-				aborted = true
-			}
-			s30 = append(s30, r30.Seconds)
-		}
-		if aborted {
+		cell30 := stats.F(stats.Summarize(res[i].t30).Mean, 2)
+		if res[i].aborted30() {
 			cell30 = "> 200 s"
-		} else {
-			cell30 = stats.F(stats.Summarize(s30).Mean, 2)
 		}
 		t.AddRow(name,
-			stats.F(one.Seconds, 2), fmtRef(ref[0]),
-			stats.F(stats.Summarize(s28).Mean, 2), fmtRef(ref[1]),
+			stats.F(res[i].one, 2), fmtRef(ref[0]),
+			stats.F(stats.Summarize(res[i].t28).Mean, 2), fmtRef(ref[1]),
 			cell30, fmtRef(ref[2]))
 	}
 	return []*stats.Table{t}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/simlock"
 	"repro/internal/stats"
 )
@@ -25,6 +26,11 @@ type Options struct {
 	Quick bool
 	// Threads overrides the default 28-thread runs when positive.
 	Threads int
+	// Parallel is the worker-pool width used to fan independent
+	// simulation cells across CPUs (0 or 1 = sequential). Cells merge
+	// back in a fixed canonical order, so tables and JSON reports are
+	// byte-identical for any width.
+	Parallel int
 }
 
 // DefaultOptions returns the settings used for the recorded results.
@@ -51,6 +57,20 @@ func (o Options) threads(def int) int {
 		return o.Threads
 	}
 	return def
+}
+
+func (o Options) parallel() int {
+	if o.Parallel < 1 {
+		return 1
+	}
+	return o.Parallel
+}
+
+// parfor fans fn(i) for i in [0, n) over the configured worker pool.
+// Each call must write only to its own result slot so that assembly in
+// index order reproduces the sequential output exactly.
+func (o Options) parfor(n int, fn func(i int)) {
+	par.ForEach(o.parallel(), n, fn)
 }
 
 // wildfire returns the standard experiment machine, seeded.

@@ -19,6 +19,22 @@ func Ext1(o Options) []*stats.Table {
 	if o.Quick {
 		works = []int{1000}
 	}
+	names := simlock.AllNames()
+	type cell struct{ time, hand float64 }
+	cells := make([]cell, len(names)*len(works))
+	o.parfor(len(cells), func(i int) {
+		name, cw := names[i/len(works)], works[i%len(works)]
+		r := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      wildfire(uint64(cw) + 23),
+			Lock:         name,
+			Threads:      threads,
+			Iterations:   iters,
+			CriticalWork: cw,
+			PrivateWork:  private,
+			Tuning:       simlock.DefaultTuning(),
+		})
+		cells[i] = cell{float64(r.IterationTime), r.HandoffRatio}
+	})
 	cols := []string{"Lock"}
 	for _, cw := range works {
 		cols = append(cols, fmt.Sprintf("cw=%d µs/iter", cw), fmt.Sprintf("cw=%d handoff", cw))
@@ -26,25 +42,59 @@ func Ext1(o Options) []*stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Extension 1: all algorithms on the new microbenchmark (%d processors)", threads),
 		cols...)
-	for _, name := range simlock.AllNames() {
+	for ni, name := range names {
 		row := []string{name}
-		for _, cw := range works {
-			r := microbench.NewBench(microbench.NewBenchConfig{
-				Machine:      wildfire(uint64(cw) + 23),
-				Lock:         name,
-				Threads:      threads,
-				Iterations:   iters,
-				CriticalWork: cw,
-				PrivateWork:  private,
-				Tuning:       simlock.DefaultTuning(),
-			})
-			row = append(row,
-				stats.F(float64(r.IterationTime)/1000, 2),
-				stats.F(r.HandoffRatio, 3))
+		for wi := range works {
+			c := cells[ni*len(works)+wi]
+			row = append(row, stats.F(c.time/1000, 2), stats.F(c.hand, 3))
 		}
 		t.AddRow(row...)
 	}
 	return []*stats.Table{t}
+}
+
+// ext2Run contends one lock on the hierarchical CMP-server machine and
+// returns its Extension 2 row values.
+func ext2Run(name string, iters int) (usPerAcq, nodeRatio, clusterRatio float64, global uint64) {
+	cfg := machine.CMPServer()
+	cfg.Seed = 29
+	m := machine.New(cfg)
+	threads := 16
+	cpus := make([]int, threads)
+	for i := range cpus {
+		cpus[i] = (i * 2) % cfg.TotalCPUs()
+	}
+	l := simlock.New(name, m, 0, cpus, simlock.DefaultTuning())
+	shared := m.Alloc(0, 2)
+	last, hand, nodeSw, clusterSw := -1, 0, 0, 0
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(uint64(tid) + 41)
+			for i := 0; i < iters; i++ {
+				l.Acquire(p, tid)
+				if last >= 0 {
+					hand++
+					if last != p.Node() {
+						nodeSw++
+					}
+					if m.ClusterOf(last) != m.ClusterOf(p.Node()) {
+						clusterSw++
+					}
+				}
+				last = p.Node()
+				p.Store(shared, p.Load(shared)+1)
+				p.Store(shared+1, p.Load(shared+1)+1)
+				l.Release(p, tid)
+				p.Work(rng.Timen(3000) + 1000)
+			}
+		})
+	}
+	m.Run()
+	return float64(m.Now()) / float64(threads*iters) / 1000,
+		float64(nodeSw) / float64(hand),
+		float64(clusterSw) / float64(hand),
+		m.Stats().Global
 }
 
 // Ext2 contends a lock on the hierarchical CMP-server machine (8 nodes
@@ -57,52 +107,67 @@ func Ext2(o Options) []*stats.Table {
 		iters = 40
 	}
 	locks := []string{"TATAS_EXP", "MCS", "TICKET", "HBO", "HBO_GT_SD", "HBO_HIER", "COHORT"}
+	type cell struct {
+		us, node, cluster float64
+		global            uint64
+	}
+	cells := make([]cell, len(locks))
+	o.parfor(len(locks), func(i int) {
+		us, n, c, g := ext2Run(locks[i], iters)
+		cells[i] = cell{us, n, c, g}
+	})
 	t := stats.NewTable(
 		"Extension 2: hierarchical CMP server (8 nodes x 4 CPUs, clusters of 2)",
 		"Lock", "µs/acquisition", "Node handoff", "Cluster handoff", "Global txns")
-	for _, name := range locks {
-		cfg := machine.CMPServer()
-		cfg.Seed = 29
-		m := machine.New(cfg)
-		threads := 16
-		cpus := make([]int, threads)
-		for i := range cpus {
-			cpus[i] = (i * 2) % cfg.TotalCPUs()
-		}
-		l := simlock.New(name, m, 0, cpus, simlock.DefaultTuning())
-		shared := m.Alloc(0, 2)
-		last, hand, nodeSw, clusterSw := -1, 0, 0, 0
-		for tid := 0; tid < threads; tid++ {
-			tid := tid
-			m.Spawn(cpus[tid], func(p *machine.Proc) {
-				rng := sim.NewRNG(uint64(tid) + 41)
-				for i := 0; i < iters; i++ {
-					l.Acquire(p, tid)
-					if last >= 0 {
-						hand++
-						if last != p.Node() {
-							nodeSw++
-						}
-						if m.ClusterOf(last) != m.ClusterOf(p.Node()) {
-							clusterSw++
-						}
-					}
-					last = p.Node()
-					p.Store(shared, p.Load(shared)+1)
-					p.Store(shared+1, p.Load(shared+1)+1)
-					l.Release(p, tid)
-					p.Work(rng.Timen(3000) + 1000)
-				}
-			})
-		}
-		m.Run()
+	for i, name := range locks {
 		t.AddRow(name,
-			stats.F(float64(m.Now())/float64(threads*iters)/1000, 2),
-			stats.F(float64(nodeSw)/float64(hand), 3),
-			stats.F(float64(clusterSw)/float64(hand), 3),
-			fmt.Sprint(m.Stats().Global))
+			stats.F(cells[i].us, 2),
+			stats.F(cells[i].node, 3),
+			stats.F(cells[i].cluster, 3),
+			fmt.Sprint(cells[i].global))
 	}
 	return []*stats.Table{t}
+}
+
+// ext3Run measures one Extension 3 configuration: µs/acquisition with
+// the guarded words spread over one line each, or compacted onto one.
+func ext3Run(o Options, name string, collocate bool, iters int) sim.Time {
+	const dataWords = 3
+	cfg := wildfire(31)
+	if collocate {
+		cfg.WordsPerLine = 1 + dataWords
+	}
+	m := machine.New(cfg)
+	threads := o.threads(16)
+	cpus := make([]int, threads)
+	next := make([]int, cfg.Nodes)
+	for i := range cpus {
+		n := i % cfg.Nodes
+		cpus[i] = n*cfg.CPUsPerNode + next[n]
+		next[n]++
+	}
+	// Allocations are line-aligned, so with WordsPerLine = 1+dataWords
+	// the guarded words share one line; with the default they spread
+	// over dataWords lines.
+	l := simlock.New(name, m, 0, cpus, simlock.DefaultTuning())
+	data := m.Alloc(0, dataWords)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			rng := sim.NewRNG(uint64(tid) + 61)
+			for i := 0; i < iters; i++ {
+				l.Acquire(p, tid)
+				for w := 0; w < dataWords; w++ {
+					a := data + machine.Addr(w)
+					p.Store(a, p.Load(a)+1)
+				}
+				l.Release(p, tid)
+				p.Work(rng.Timen(4000) + 1000)
+			}
+		})
+	}
+	m.Run()
+	return m.Now() / sim.Time(threads*iters)
 }
 
 // Ext3 studies data layout: compacting the guarded data onto a single
@@ -116,50 +181,16 @@ func Ext3(o Options) []*stats.Table {
 	if o.Quick {
 		iters = 40
 	}
-	const dataWords = 3
-	run := func(name string, collocate bool) sim.Time {
-		cfg := wildfire(31)
-		if collocate {
-			cfg.WordsPerLine = 1 + dataWords
-		}
-		m := machine.New(cfg)
-		threads := o.threads(16)
-		cpus := make([]int, threads)
-		next := make([]int, cfg.Nodes)
-		for i := range cpus {
-			n := i % cfg.Nodes
-			cpus[i] = n*cfg.CPUsPerNode + next[n]
-			next[n]++
-		}
-		// Allocations are line-aligned, so with WordsPerLine = 1+dataWords
-		// the guarded words share one line; with the default they spread
-		// over dataWords lines.
-		l := simlock.New(name, m, 0, cpus, simlock.DefaultTuning())
-		data := m.Alloc(0, dataWords)
-		for tid := 0; tid < threads; tid++ {
-			tid := tid
-			m.Spawn(cpus[tid], func(p *machine.Proc) {
-				rng := sim.NewRNG(uint64(tid) + 61)
-				for i := 0; i < iters; i++ {
-					l.Acquire(p, tid)
-					for w := 0; w < dataWords; w++ {
-						a := data + machine.Addr(w)
-						p.Store(a, p.Load(a)+1)
-					}
-					l.Release(p, tid)
-					p.Work(rng.Timen(4000) + 1000)
-				}
-			})
-		}
-		m.Run()
-		return m.Now() / sim.Time(threads*iters)
-	}
+	names := []string{"TATAS", "TATAS_EXP", "MCS", "HBO", "HBO_GT_SD"}
+	cells := make([]sim.Time, 2*len(names)) // [2*i] spread, [2*i+1] compacted
+	o.parfor(len(cells), func(i int) {
+		cells[i] = ext3Run(o, names[i/2], i%2 == 1, iters)
+	})
 	t := stats.NewTable(
 		"Extension 3: compacting guarded data onto one line (µs/acquisition)",
 		"Lock", "Spread", "Compacted", "Speedup")
-	for _, name := range []string{"TATAS", "TATAS_EXP", "MCS", "HBO", "HBO_GT_SD"} {
-		apart := run(name, false)
-		together := run(name, true)
+	for i, name := range names {
+		apart, together := cells[2*i], cells[2*i+1]
 		t.AddRow(name,
 			stats.F(float64(apart)/1000, 2),
 			stats.F(float64(together)/1000, 2),

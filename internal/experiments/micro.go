@@ -15,16 +15,22 @@ func Table1(o Options) []*stats.Table {
 	if o.Quick {
 		rounds = 2
 	}
+	names := lockNames()
+	scs := microbench.Scenarios()
+	cells := make([]float64, len(names)*len(scs))
+	o.parfor(len(cells), func(i int) {
+		name, sc := names[i/len(scs)], scs[i%len(scs)]
+		cells[i] = float64(microbench.Uncontested(wildfire(1), name, sc, rounds))
+	})
 	t := stats.NewTable(
 		"Table 1: uncontested acquire-release latency",
 		"Lock Type", "Same Processor", "Same Node", "Remote Node")
-	for _, name := range lockNames() {
-		var cells []string
-		for _, sc := range microbench.Scenarios() {
-			ns := microbench.Uncontested(wildfire(1), name, sc, rounds)
-			cells = append(cells, fmtNS(float64(ns)))
+	for ni, name := range names {
+		row := []string{name}
+		for si := range scs {
+			row = append(row, fmtNS(cells[ni*len(scs)+si]))
 		}
-		t.AddRow(append([]string{name}, cells...)...)
+		t.AddRow(row...)
 	}
 	return []*stats.Table{t}
 }
@@ -50,22 +56,30 @@ func Fig3(o Options) []*stats.Table {
 		iters = 40
 	}
 	procs := fig3Procs(o)
-	cols := append([]string{"Processors"}, lockNames()...)
+	names := lockNames()
+	type cell struct{ time, hand float64 }
+	cells := make([]cell, len(procs)*len(names))
+	o.parfor(len(cells), func(i int) {
+		p, name := procs[i/len(names)], names[i%len(names)]
+		res := microbench.Traditional(microbench.TraditionalConfig{
+			Machine:    wildfire(uint64(p)),
+			Lock:       name,
+			Threads:    p,
+			Iterations: iters,
+			Tuning:     simlock.DefaultTuning(),
+		})
+		cells[i] = cell{float64(res.IterationTime), res.HandoffRatio}
+	})
+	cols := append([]string{"Processors"}, names...)
 	tTime := stats.NewTable("Figure 3 (left): iteration time, µs", cols...)
 	tHand := stats.NewTable("Figure 3 (right): node handoff ratio", cols...)
-	for _, p := range procs {
+	for pi, p := range procs {
 		timeRow := []string{fmt.Sprint(p)}
 		handRow := []string{fmt.Sprint(p)}
-		for _, name := range lockNames() {
-			res := microbench.Traditional(microbench.TraditionalConfig{
-				Machine:    wildfire(uint64(p)),
-				Lock:       name,
-				Threads:    p,
-				Iterations: iters,
-				Tuning:     simlock.DefaultTuning(),
-			})
-			timeRow = append(timeRow, stats.F(float64(res.IterationTime)/1000, 2))
-			handRow = append(handRow, stats.F(res.HandoffRatio, 3))
+		for ni := range names {
+			c := cells[pi*len(names)+ni]
+			timeRow = append(timeRow, stats.F(c.time/1000, 2))
+			handRow = append(handRow, stats.F(c.hand, 3))
 		}
 		tTime.AddRow(timeRow...)
 		tHand.AddRow(handRow...)
@@ -95,25 +109,34 @@ func fig5Work(o Options) []int {
 // Fig5 runs the new microbenchmark against critical-work size.
 func Fig5(o Options) []*stats.Table {
 	threads, iters, private := newBenchDefaults(o)
-	cols := append([]string{"CriticalWork"}, lockNames()...)
+	works := fig5Work(o)
+	names := lockNames()
+	type cell struct{ time, hand float64 }
+	cells := make([]cell, len(works)*len(names))
+	o.parfor(len(cells), func(i int) {
+		cw, name := works[i/len(names)], names[i%len(names)]
+		res := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      wildfire(uint64(cw) + 7),
+			Lock:         name,
+			Threads:      threads,
+			Iterations:   iters,
+			CriticalWork: cw,
+			PrivateWork:  private,
+			Tuning:       simlock.DefaultTuning(),
+		})
+		cells[i] = cell{float64(res.IterationTime), res.HandoffRatio}
+	})
+	cols := append([]string{"CriticalWork"}, names...)
 	tTime := stats.NewTable(
 		fmt.Sprintf("Figure 5 (left): iteration time, µs (%d processors)", threads), cols...)
 	tHand := stats.NewTable("Figure 5 (right): node handoff ratio", cols...)
-	for _, cw := range fig5Work(o) {
+	for wi, cw := range works {
 		timeRow := []string{fmt.Sprint(cw)}
 		handRow := []string{fmt.Sprint(cw)}
-		for _, name := range lockNames() {
-			res := microbench.NewBench(microbench.NewBenchConfig{
-				Machine:      wildfire(uint64(cw) + 7),
-				Lock:         name,
-				Threads:      threads,
-				Iterations:   iters,
-				CriticalWork: cw,
-				PrivateWork:  private,
-				Tuning:       simlock.DefaultTuning(),
-			})
-			timeRow = append(timeRow, stats.F(float64(res.IterationTime)/1000, 2))
-			handRow = append(handRow, stats.F(res.HandoffRatio, 3))
+		for ni := range names {
+			c := cells[wi*len(names)+ni]
+			timeRow = append(timeRow, stats.F(c.time/1000, 2))
+			handRow = append(handRow, stats.F(c.hand, 3))
 		}
 		tTime.AddRow(timeRow...)
 		tHand.AddRow(handRow...)
@@ -126,33 +149,38 @@ func Fig5(o Options) []*stats.Table {
 func Table2(o Options) []*stats.Table {
 	threads, iters, private := newBenchDefaults(o)
 	type traffic struct{ local, global float64 }
-	res := map[string]traffic{}
-	for _, name := range lockNames() {
+	names := lockNames()
+	res := make([]traffic, len(names))
+	o.parfor(len(names), func(i int) {
 		r := microbench.NewBench(microbench.NewBenchConfig{
 			Machine:      wildfire(11),
-			Lock:         name,
+			Lock:         names[i],
 			Threads:      threads,
 			Iterations:   iters,
 			CriticalWork: 1500,
 			PrivateWork:  private,
 			Tuning:       simlock.DefaultTuning(),
 		})
-		res[name] = traffic{
+		res[i] = traffic{
 			local:  float64(r.Traffic.TotalLocal()),
 			global: float64(r.Traffic.Global),
 		}
+	})
+	var base traffic
+	for i, name := range names {
+		if name == "TATAS_EXP" {
+			base = res[i]
+		}
 	}
-	base := res["TATAS_EXP"]
 	t := stats.NewTable(
 		fmt.Sprintf("Table 2: normalized traffic, critical work 1500, %d processors "+
 			"(TATAS_EXP absolute: %.2fM local, %.2fM global)",
 			threads, base.local/1e6, base.global/1e6),
 		"Lock Type", "Local Transactions", "Global Transactions")
-	for _, name := range lockNames() {
-		r := res[name]
+	for i, name := range names {
 		t.AddRow(name,
-			stats.F(r.local/base.local, 2),
-			stats.F(r.global/base.global, 2))
+			stats.F(res[i].local/base.local, 2),
+			stats.F(res[i].global/base.global, 2))
 	}
 	return []*stats.Table{t}
 }
@@ -164,20 +192,25 @@ func Fig8(o Options) []*stats.Table {
 	if !o.Quick {
 		iters *= 2 // fairness needs enough acquisitions per thread
 	}
-	t := stats.NewTable(
-		fmt.Sprintf("Figure 8: fairness — completion-time spread, %%, %d processors", threads),
-		"Lock Type", "First-to-last spread %")
-	for _, name := range lockNames() {
+	names := lockNames()
+	spreads := make([]float64, len(names))
+	o.parfor(len(names), func(i int) {
 		r := microbench.NewBench(microbench.NewBenchConfig{
 			Machine:      wildfire(13),
-			Lock:         name,
+			Lock:         names[i],
 			Threads:      threads,
 			Iterations:   iters,
 			CriticalWork: 1500,
 			PrivateWork:  private,
 			Tuning:       simlock.DefaultTuning(),
 		})
-		t.AddRow(name, stats.F(r.FinishSpreadPercent(), 1))
+		spreads[i] = r.FinishSpreadPercent()
+	})
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 8: fairness — completion-time spread, %%, %d processors", threads),
+		"Lock Type", "First-to-last spread %")
+	for i, name := range names {
+		t.AddRow(name, stats.F(spreads[i], 1))
 	}
 	return []*stats.Table{t}
 }

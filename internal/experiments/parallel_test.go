@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelMatchesSequential runs every experiment with a sequential
+// runner and an 8-wide worker pool and requires byte-identical rendered
+// tables: parallelism must never change results, only wall-clock.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism sweep is not short")
+	}
+	seq := quick()
+	par := quick()
+	par.Parallel = 8
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			a := e.Run(seq)
+			b := e.Run(par)
+			if len(a) != len(b) {
+				t.Fatalf("table count %d (sequential) vs %d (parallel)", len(a), len(b))
+			}
+			for i := range a {
+				sa, sb := a[i].String(), b[i].String()
+				if sa != sb {
+					t.Errorf("table %d diverges under -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", i, sa, sb)
+				}
+			}
+		})
+	}
+}
+
+// TestMicroReportParallelByteIdentical is the JSON-report half of the
+// determinism contract: hbo-run-report/v1 bytes must not depend on the
+// worker-pool width.
+func TestMicroReportParallelByteIdentical(t *testing.T) {
+	seq := quick()
+	par := quick()
+	par.Parallel = 8
+	var a, b bytes.Buffer
+	if err := MicroReport(seq, 11).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := MicroReport(par, 11).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSON run reports differ between -parallel 1 and -parallel 8:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -209,11 +209,13 @@ func MicroReport(o Options, seed uint64) *Report {
 			"private_work":  private,
 		},
 	}
-	for _, name := range lockNames() {
+	names := lockNames()
+	rep.Locks = make([]LockReport, len(names))
+	o.parfor(len(names), func(i int) {
 		an := trace.NewAnalyzer()
 		res := microbench.NewBench(microbench.NewBenchConfig{
 			Machine:      cfg,
-			Lock:         name,
+			Lock:         names[i],
 			Threads:      threads,
 			Iterations:   iters,
 			CriticalWork: 1500,
@@ -222,11 +224,11 @@ func MicroReport(o Options, seed uint64) *Report {
 			WrapLock:     func(l simlock.Lock) simlock.Lock { return trace.Wrap(l, an) },
 		})
 		st := an.Aggregate()
-		lr := BuildLockReport(name, st, threads, res.Traffic, res.Lines)
+		lr := BuildLockReport(names[i], st, threads, res.Traffic, res.Lines)
 		lr.IterationTimeNS = int64(res.IterationTime)
 		lr.TotalTimeNS = int64(res.TotalTime)
-		rep.Locks = append(rep.Locks, lr)
-	}
+		rep.Locks[i] = lr
+	})
 	return rep
 }
 

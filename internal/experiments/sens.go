@@ -38,18 +38,27 @@ func fig9Caps(o Options) []int {
 // Fig9 varies HBO_GT_SD's REMOTE_BACKOFF_CAP, normalizing against MCS
 // (values < 1 mean faster than MCS).
 func Fig9(o Options) []*stats.Table {
-	mcs := sensBench(o, "MCS", simlock.DefaultTuning(), 17)
-	t := stats.NewTable(
-		"Figure 9: HBO_GT_SD sensitivity to REMOTE_BACKOFF_CAP (time normalized to MCS)",
-		"RemoteBackoffCap", "HBO_GT_SD / MCS")
-	for _, cap := range fig9Caps(o) {
+	caps := fig9Caps(o)
+	vals := make([]float64, 1+len(caps)) // slot 0: the MCS baseline
+	o.parfor(len(vals), func(i int) {
+		if i == 0 {
+			vals[0] = sensBench(o, "MCS", simlock.DefaultTuning(), 17)
+			return
+		}
+		cap := caps[i-1]
 		tun := simlock.DefaultTuning()
 		tun.RemoteBackoffCap = cap
 		if tun.RemoteBackoffBase > cap {
 			tun.RemoteBackoffBase = cap
 		}
-		v := sensBench(o, "HBO_GT_SD", tun, 17)
-		t.AddRow(fmt.Sprint(cap), stats.F(v/mcs, 2))
+		vals[i] = sensBench(o, "HBO_GT_SD", tun, 17)
+	})
+	mcs := vals[0]
+	t := stats.NewTable(
+		"Figure 9: HBO_GT_SD sensitivity to REMOTE_BACKOFF_CAP (time normalized to MCS)",
+		"RemoteBackoffCap", "HBO_GT_SD / MCS")
+	for i, cap := range caps {
+		t.AddRow(fmt.Sprint(cap), stats.F(vals[i+1]/mcs, 2))
 	}
 	return []*stats.Table{t}
 }
@@ -65,17 +74,21 @@ func fig10Limits(o Options) []int {
 // Fig10 varies HBO_GT_SD's GET_ANGRY_LIMIT, normalizing against HBO_GT
 // (the same lock without starvation detection).
 func Fig10(o Options) []*stats.Table {
-	gt := sensBench(o, "HBO_GT", simlock.DefaultTuning(), 19)
-	t := stats.NewTable(
-		"Figure 10: HBO_GT_SD sensitivity to GET_ANGRY_LIMIT (time normalized to HBO_GT)",
-		"GetAngryLimit", "HBO_GT_SD / HBO_GT", "Fairness spread %")
+	limits := fig10Limits(o)
 	iters := 30
 	if o.Quick {
 		iters = 10
 	}
-	for _, lim := range fig10Limits(o) {
+	type cell struct{ time, spread float64 }
+	var gt float64
+	cells := make([]cell, len(limits))
+	o.parfor(1+len(limits), func(i int) {
+		if i == 0 {
+			gt = sensBench(o, "HBO_GT", simlock.DefaultTuning(), 19)
+			return
+		}
 		tun := simlock.DefaultTuning()
-		tun.GetAngryLimit = lim
+		tun.GetAngryLimit = limits[i-1]
 		r := microbench.NewBench(microbench.NewBenchConfig{
 			Machine:      wildfire(19),
 			Lock:         "HBO_GT_SD",
@@ -85,9 +98,15 @@ func Fig10(o Options) []*stats.Table {
 			PrivateWork:  4000,
 			Tuning:       tun,
 		})
+		cells[i-1] = cell{float64(r.TotalTime), r.FinishSpreadPercent()}
+	})
+	t := stats.NewTable(
+		"Figure 10: HBO_GT_SD sensitivity to GET_ANGRY_LIMIT (time normalized to HBO_GT)",
+		"GetAngryLimit", "HBO_GT_SD / HBO_GT", "Fairness spread %")
+	for i, lim := range limits {
 		t.AddRow(fmt.Sprint(lim),
-			stats.F(float64(r.TotalTime)/gt, 2),
-			stats.F(r.FinishSpreadPercent(), 1))
+			stats.F(cells[i].time/gt, 2),
+			stats.F(cells[i].spread, 1))
 	}
 	return []*stats.Table{t}
 }

@@ -1,0 +1,56 @@
+// Package par fans independent work items over a bounded worker pool.
+//
+// Every cell of an experiment sweep — one (driver, seed, thread-count)
+// simulation — is deterministic and self-contained: it builds its own
+// machine, engine and RNG from a config value and touches no shared
+// state. Cells can therefore run concurrently as long as results are
+// merged back in a fixed canonical order. Callers index results by item
+// so output is byte-identical for any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool width the CLIs default to: one worker per
+// schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n), at most workers at a time.
+// workers <= 1 runs inline on the calling goroutine (fully sequential,
+// no pool). fn must confine its writes to per-i state; a panic in any
+// item propagates and crashes the program, matching sequential
+// behavior.
+func ForEach(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		const n = 257
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential mode out of order: %v", got)
+		}
+	}
+}
+
+func TestForEachResultsIndependentOfWorkers(t *testing.T) {
+	compute := func(workers int) []int {
+		out := make([]int, 64)
+		ForEach(workers, len(out), func(i int) { out[i] = i * i })
+		return out
+	}
+	want := compute(1)
+	for _, w := range []int{2, 8, 64} {
+		got := compute(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

@@ -11,8 +11,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 )
 
 // Time is simulated time in nanoseconds.
@@ -49,23 +49,70 @@ type event struct {
 	fn  func()
 }
 
+// before orders events by timestamp, ties broken by schedule order.
+func (a event) before(b event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// eventHeap is a hand-rolled binary min-heap over event values. It
+// replaces container/heap on the hottest path in the tree: heap.Push
+// boxes every event into an interface{} (one allocation per Schedule)
+// and dispatches sift compares through the heap.Interface method table.
+// The monomorphic version allocates only when the backing array grows,
+// and that storage is recycled across engines via heapPool.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push appends ev and sifts it up.
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the backing array does not pin the event's closure.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s[r].before(s[c]) {
+			c = r
+		}
+		if !s[c].before(s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
+	return top
+}
+
+// heapPool recycles event-heap backing arrays across engine lifetimes.
+// Experiment sweeps construct one engine per simulation cell; reusing
+// the storage keeps Schedule allocation-free from the second run on.
+var heapPool = sync.Pool{
+	New: func() interface{} {
+		h := make(eventHeap, 0, 1024)
+		return &h
+	},
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
@@ -77,6 +124,7 @@ type Engine struct {
 	ctl     chan struct{} // process -> engine: parked or finished
 	running int           // live processes
 	stopped bool
+	limited bool // stopped was set by the time limit, not Stop
 	killed  bool
 	limit   Time // 0 = no limit
 	procs   []*Process
@@ -87,14 +135,23 @@ type killSignal struct{}
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{ctl: make(chan struct{})}
+	return &Engine{ctl: make(chan struct{}), events: *heapPool.Get().(*eventHeap)}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// SetLimit makes Run stop once the clock passes t (0 disables the limit).
-func (e *Engine) SetLimit(t Time) { e.limit = t }
+// SetLimit makes Run stop once the clock passes t (0 disables the
+// limit). After a limit-induced stop, raising or clearing the limit
+// re-arms the engine so Run can resume where it left off; a stop
+// requested via Stop is never undone.
+func (e *Engine) SetLimit(t Time) {
+	e.limit = t
+	if e.limited && (t == 0 || t > e.now) {
+		e.limited = false
+		e.stopped = false
+	}
+}
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -102,13 +159,17 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called (or the time limit hit).
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// Schedule runs fn at now+d. Scheduling in the past (d < 0) panics.
+// Schedule runs fn at now+d. Scheduling in the past (d < 0) panics, as
+// does scheduling on an engine that has been shut down.
 func (e *Engine) Schedule(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: schedule %v in the past", d))
 	}
+	if e.killed {
+		panic("sim: Schedule after Shutdown (the engine cannot be reused)")
+	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + d, seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now + d, seq: e.seq, fn: fn})
 }
 
 // Pending returns the number of queued events.
@@ -117,19 +178,32 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Run executes events in timestamp order until no events remain, Stop is
 // called, or the time limit is exceeded. It must be called from the same
 // goroutine that constructed the engine.
+//
+// Hitting the time limit leaves the offending event queued (the heap is
+// only peeked), so raising the limit with SetLimit and calling Run again
+// resumes without losing it.
 func (e *Engine) Run() {
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		if ev.at < e.now {
+		at := e.events[0].at
+		if at < e.now {
 			panic("sim: event time went backwards")
 		}
-		if e.limit > 0 && ev.at > e.limit {
+		if e.limit > 0 && at > e.limit {
 			e.now = e.limit
 			e.stopped = true
+			e.limited = true
 			return
 		}
-		e.now = ev.at
-		ev.fn()
+		e.now = at
+		// Fire the whole same-timestamp batch under the checks above:
+		// equal-time events cannot trip the limit or move time backwards,
+		// so only the stop flag needs re-testing between them. (An event
+		// may advance the clock via the Sleep fast path; the batch ends
+		// then because remaining events sort strictly later.)
+		for len(e.events) > 0 && e.events[0].at == at && e.now == at && !e.stopped {
+			ev := e.events.pop()
+			ev.fn()
+		}
 	}
 }
 
@@ -137,12 +211,13 @@ func (e *Engine) Run() {
 // goroutine but only ever executes while the engine has handed control to
 // it, so process code may freely touch engine state without locking.
 type Process struct {
-	e       *Engine
-	id      int
-	resume  chan struct{}
-	started bool
-	done    bool
-	blocked bool // parked with no wake event (waiting on Wake)
+	e         *Engine
+	id        int
+	resume    chan struct{}
+	handoffFn func() // p.handoff bound once; a fresh method value allocates
+	started   bool
+	done      bool
+	blocked   bool // parked with no wake event (waiting on Wake)
 }
 
 // ID returns the identifier given at Spawn.
@@ -156,9 +231,14 @@ func (p *Process) Now() Time { return p.e.now }
 
 // Spawn creates a process whose body starts executing at the current time
 // (after previously scheduled same-time events). The body must only
-// interact with simulated time via the Process methods.
+// interact with simulated time via the Process methods. Spawning on an
+// engine that has been shut down panics.
 func (e *Engine) Spawn(id int, body func(p *Process)) *Process {
+	if e.killed {
+		panic("sim: Spawn after Shutdown (the engine cannot be reused)")
+	}
 	p := &Process{e: e, id: id, resume: make(chan struct{})}
+	p.handoffFn = p.handoff
 	e.running++
 	e.procs = append(e.procs, p)
 	e.Schedule(0, func() {
@@ -185,11 +265,15 @@ func (e *Engine) Spawn(id int, body func(p *Process)) *Process {
 	return p
 }
 
-// Shutdown unwinds every process that has not finished. It must be called
-// after Run returns; the engine cannot be used afterwards. Simulations
-// that stop early (Stop or a time limit) should call Shutdown to avoid
-// leaking the goroutines backing parked processes.
+// Shutdown unwinds every process that has not finished and releases the
+// engine's event storage. It must be called after Run returns; the
+// engine cannot be used afterwards (Spawn and Schedule panic).
+// Simulations that stop early (Stop or a time limit) should call
+// Shutdown to avoid leaking the goroutines backing parked processes.
 func (e *Engine) Shutdown() {
+	if e.killed {
+		return
+	}
 	e.killed = true
 	e.stopped = true
 	for _, p := range e.procs {
@@ -203,6 +287,16 @@ func (e *Engine) Shutdown() {
 			p.handoff()
 		}
 	}
+	// Recycle the heap storage for the next engine. Clear any events
+	// still queued (e.g. after a time-limit stop) so their closures are
+	// not pinned while the array sits in the pool.
+	h := e.events
+	for i := range h {
+		h[i] = event{}
+	}
+	h = h[:0]
+	e.events = nil
+	heapPool.Put(&h)
 }
 
 // handoff transfers control to p and waits for it to park or finish.
@@ -229,7 +323,21 @@ func (p *Process) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	p.e.Schedule(d, p.handoff)
+	e := p.e
+	wake := e.now + d
+	// Fast path: if no queued event fires before (or at) the wake time,
+	// the engine would pop our wake event straight back to us — two
+	// channel round-trips for nothing. Advance the clock in place
+	// instead. This fires exactly when the wake event would have been
+	// the next event popped, so the global event order (and therefore
+	// determinism) is unchanged; pending equal-time events keep priority
+	// because they were scheduled earlier.
+	if !e.stopped && (len(e.events) == 0 || wake < e.events[0].at) &&
+		(e.limit == 0 || wake <= e.limit) {
+		e.now = wake
+		return
+	}
+	e.Schedule(d, p.handoffFn)
 	p.park()
 }
 
@@ -252,7 +360,7 @@ func (p *Process) Wake(d Time) {
 		panic("sim: wake of non-blocked process")
 	}
 	p.blocked = false
-	p.e.Schedule(d, p.handoff)
+	p.e.Schedule(d, p.handoffFn)
 }
 
 // Running returns the number of processes that have not finished.

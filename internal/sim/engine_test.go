@@ -292,6 +292,118 @@ func TestSleepCompletionOrderProperty(t *testing.T) {
 	}
 }
 
+// TestLimitKeepsOvershootingEvent: hitting the time limit must leave
+// the not-yet-due event queued so a later SetLimit+Run resume sees it
+// (the old pop-then-check loop silently dropped it).
+func TestLimitKeepsOvershootingEvent(t *testing.T) {
+	e := NewEngine()
+	e.SetLimit(100)
+	fired := Time(-1)
+	e.Schedule(150, func() { fired = e.Now() })
+	e.Run()
+	if e.Now() != 100 || !e.Stopped() {
+		t.Fatalf("Now = %v, Stopped = %v after limit", e.Now(), e.Stopped())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after limit stop, want 1 (event kept)", e.Pending())
+	}
+	if fired != -1 {
+		t.Fatalf("event fired at %v despite the limit", fired)
+	}
+	e.SetLimit(200) // re-arms a limit-induced stop
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("resumed event fired at %v, want 150", fired)
+	}
+}
+
+// TestEarlyStopReleasesAllProcesses: a simulation cut short by the time
+// limit must not leak the goroutines backing still-sleeping processes
+// once Shutdown runs.
+func TestEarlyStopReleasesAllProcesses(t *testing.T) {
+	e := NewEngine()
+	e.SetLimit(50)
+	const n = 16
+	for i := 0; i < n; i++ {
+		e.Spawn(i, func(p *Process) {
+			for {
+				p.Sleep(40) // always has a wake event pending at the stop
+			}
+		})
+	}
+	e.Run()
+	if e.Running() != n {
+		t.Fatalf("Running = %d before Shutdown, want %d", e.Running(), n)
+	}
+	e.Shutdown()
+	if e.Running() != 0 {
+		t.Fatalf("Running = %d after Shutdown, want 0 (leaked processes)", e.Running())
+	}
+}
+
+func TestScheduleAfterShutdownPanics(t *testing.T) {
+	e := NewEngine()
+	e.Run()
+	e.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling on a shut-down engine")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestSpawnAfterShutdownPanics(t *testing.T) {
+	e := NewEngine()
+	e.Run()
+	e.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic spawning on a shut-down engine")
+		}
+	}()
+	e.Spawn(0, func(p *Process) {})
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	e := NewEngine()
+	e.Spawn(0, func(p *Process) { p.Sleep(10) })
+	e.Run()
+	e.Shutdown()
+	e.Shutdown() // second call must be a no-op, not a double unwind
+	if e.Running() != 0 {
+		t.Fatalf("Running = %d", e.Running())
+	}
+}
+
+// TestSleepFastPathMatchesEventOrder: a process's self-resumed sleeps
+// must interleave with scheduled events and other processes exactly as
+// the event queue dictates.
+func TestSleepFastPathMatchesEventOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(25, func() { got = append(got, -1) })
+	e.Spawn(0, func(p *Process) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10) // wakes at 10,20,30,40,50; event at 25 must cut in
+			got = append(got, i)
+		}
+	})
+	e.Run()
+	want := []int{0, 1, -1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", e.Now())
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		t    Time
