@@ -1,0 +1,132 @@
+// Command lockcheck runs the schedule-exploring lock-correctness
+// harness (internal/check) over the simulated lock family, and
+// optionally the differential twin comparison against the native locks.
+//
+// Usage:
+//
+//	lockcheck                          # default budget, all simlock locks
+//	lockcheck -schedules 100           # small budget (the CI smoke run)
+//	lockcheck -locks HBO_GT_SD,MCS     # subset
+//	lockcheck -twins                   # add the native-twin comparison
+//	lockcheck -selftest                # prove the oracles catch known bugs
+//	lockcheck -json report.json        # also write the JSON report
+//
+// The explorer is deterministic: the same -seed explores the same
+// schedule set for each lock and produces a byte-identical JSON report.
+// The -twins layer runs real goroutines and is therefore not
+// bit-reproducible; it is excluded from the report unless requested.
+// Exit status is non-zero when any oracle fails, any twin diverges, or
+// -selftest finds an oracle asleep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/simlock"
+)
+
+func main() {
+	var (
+		schedules = flag.Int("schedules", 1000, "distinct schedules to explore per lock")
+		maxRuns   = flag.Int("maxruns", 0, "cap on runs per lock (0 = 4x schedules)")
+		seed      = flag.Uint64("seed", 1, "exploration seed (same seed = same schedules = same report)")
+		locks     = flag.String("locks", "", "comma-separated lock names (default: all simulated locks)")
+		twins     = flag.Bool("twins", false, "also run the native-twin differential comparison")
+		selftest  = flag.Bool("selftest", false, "run the broken-lock oracle self-test and exit")
+		jsonPath  = flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	budget := check.Budget{Schedules: *schedules, MaxRuns: *maxRuns}
+
+	if *selftest {
+		if undetected := check.SelfTest(*seed, budget); len(undetected) > 0 {
+			fmt.Fprintf(os.Stderr, "lockcheck: oracles MISSED injected bugs in: %s\n",
+				strings.Join(undetected, ", "))
+			os.Exit(1)
+		}
+		fmt.Println("selftest: all injected bugs detected")
+		return
+	}
+
+	var names []string
+	if *locks != "" {
+		names = strings.Split(*locks, ",")
+		for _, n := range names {
+			// Fail fast on typos instead of panicking mid-run.
+			found := false
+			for _, known := range simlock.AllNames() {
+				if n == known {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "lockcheck: unknown lock %q (known: %s)\n",
+					n, strings.Join(simlock.AllNames(), ", "))
+				os.Exit(2)
+			}
+		}
+	}
+
+	start := time.Now()
+	rep := check.Explore(names, *seed, budget)
+	for _, lr := range rep.Locks {
+		status := "ok"
+		if !lr.Passed() {
+			status = fmt.Sprintf("FAIL (%d failing runs)", lr.FailedRuns)
+		}
+		fmt.Printf("%-12s %5d distinct schedules in %5d runs  maxwait=%-10s burst=%-3d %s\n",
+			lr.Lock, lr.Distinct, lr.Runs, fmt.Sprintf("%dns", lr.MaxWaitNS), lr.MaxBurst, status)
+		for _, f := range lr.Failures {
+			fmt.Printf("    run %d (seed=%d tiebreak=%d sig=%s):\n",
+				f.Run, f.Seed, f.TieBreak, f.Sig)
+			for _, msg := range f.Failures {
+				fmt.Printf("      %s\n", msg)
+			}
+		}
+	}
+
+	if *twins {
+		results := check.CheckTwins(nil, *seed, check.DefaultTwinStress())
+		rep.Twins = results
+		for _, r := range results {
+			status := "ok"
+			if !r.Passed() {
+				status = "DIVERGED"
+				rep.Passed = false
+			}
+			fmt.Printf("twin %-12s sim(loc=%.2f burst=%d) native(loc=%.2f burst=%d) %s\n",
+				r.Lock, r.SimLocality, r.SimMaxBurst, r.CoreLocality, r.CoreMaxBurst, status)
+			for _, d := range append(append(r.SimFailures, r.CoreFailures...), r.Divergences...) {
+				fmt.Printf("    %s\n", d)
+			}
+		}
+	}
+	fmt.Printf("checked %d locks in %.1fs\n", len(rep.Locks), time.Since(start).Seconds())
+
+	if *jsonPath != "" {
+		w := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lockcheck: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "lockcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if !rep.Passed {
+		os.Exit(1)
+	}
+}

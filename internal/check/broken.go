@@ -1,0 +1,140 @@
+package check
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/simlock"
+)
+
+// This file holds deliberately broken locks. They are the harness's
+// self-test: an oracle that cannot catch a lock with the atomicity
+// removed would not be worth running against the real ones. SelfTest
+// (and TestSelfTest / the lockcheck --selftest flag) runs each of these
+// through the explorer and fails unless the oracles fire.
+
+// brokenTATAS drops the atomic test&set: acquire spins until the word
+// reads free, then claims it with a plain store. Two threads whose loads
+// complete before either store does both enter the critical section —
+// the classic check-then-act race.
+type brokenTATAS struct {
+	addr machine.Addr
+}
+
+// NewBrokenTATAS builds the racy TATAS on machine m (a simlock.Factory).
+func NewBrokenTATAS(m *machine.Machine, home int, cpus []int, tun simlock.Tuning) simlock.Lock {
+	return &brokenTATAS{addr: m.Alloc(home, 1)}
+}
+
+func (l *brokenTATAS) Name() string { return "BROKEN_TATAS_RACE" }
+
+func (l *brokenTATAS) Acquire(p *machine.Proc, tid int) {
+	for {
+		p.SpinUntilZero(l.addr)
+		if p.Load(l.addr) == 0 { // test...
+			p.Store(l.addr, 1) // ...then set, non-atomically
+			return
+		}
+	}
+}
+
+func (l *brokenTATAS) Release(p *machine.Proc, tid int) {
+	p.Store(l.addr, 0)
+}
+
+// brokenHBOSkipCAS is HBO with the slowpath's CAS "optimised" into a
+// load-then-store: after backing off, a waiter that observes the lock
+// free stores its node id without re-checking atomically. The fastpath
+// CAS is intact, so the lock mostly works — the bug only bites when two
+// backed-off waiters wake into the same free window, which is exactly
+// the kind of narrow interleaving the schedule explorer exists to reach.
+type brokenHBOSkipCAS struct {
+	addr machine.Addr
+	tun  simlock.Tuning
+}
+
+// NewBrokenHBOSkipCAS builds the CAS-skipping HBO (a simlock.Factory).
+func NewBrokenHBOSkipCAS(m *machine.Machine, home int, cpus []int, tun simlock.Tuning) simlock.Lock {
+	return &brokenHBOSkipCAS{addr: m.Alloc(home, 1), tun: tun}
+}
+
+func (l *brokenHBOSkipCAS) Name() string { return "BROKEN_HBO_SKIPCAS" }
+
+func (l *brokenHBOSkipCAS) Acquire(p *machine.Proc, tid int) {
+	my := uint64(p.Node()) + 1
+	if p.CAS(l.addr, 0, my) == 0 {
+		return
+	}
+	b := l.tun.BackoffBase
+	for {
+		p.Delay(b)
+		if b < l.tun.BackoffCap {
+			b *= l.tun.BackoffFactor
+		}
+		if p.Load(l.addr) == 0 { // should be a CAS; the skipped
+			p.Store(l.addr, my) // re-check is the injected bug
+			return
+		}
+	}
+}
+
+func (l *brokenHBOSkipCAS) Release(p *machine.Proc, tid int) {
+	p.Store(l.addr, 0)
+}
+
+// BrokenNames lists the injected-bug locks with their factories.
+func BrokenNames() map[string]simlock.Factory {
+	return map[string]simlock.Factory{
+		"BROKEN_TATAS_RACE":  NewBrokenTATAS,
+		"BROKEN_HBO_SKIPCAS": NewBrokenHBOSkipCAS,
+	}
+}
+
+// SelfTest explores every broken lock under the budget and returns the
+// names whose bugs the oracles FAILED to detect (empty = oracles work).
+func SelfTest(seed uint64, b Budget) []string {
+	var undetected []string
+	for _, name := range []string{"BROKEN_TATAS_RACE", "BROKEN_HBO_SKIPCAS"} {
+		lr := ExploreLock(name, BrokenNames()[name], seed, b)
+		if lr.Passed() {
+			undetected = append(undetected, name)
+		}
+	}
+	return undetected
+}
+
+// BrokenCoreTATAS is the native twin of brokenTATAS: every access to the
+// lock word is atomic (so the race detector stays quiet — the injected
+// bug is an atomicity bug, not a data race), but the load and the store
+// are separate operations with a deliberate scheduling point between
+// them, so concurrent acquirers routinely both observe zero and both
+// claim the lock. The twin layer's self-test uses it to prove the
+// native-side oracles catch mutual-exclusion violations too.
+type BrokenCoreTATAS struct {
+	word atomic.Uint64
+}
+
+// NewBrokenCoreTATAS returns the racy native TATAS.
+func NewBrokenCoreTATAS() *BrokenCoreTATAS { return &BrokenCoreTATAS{} }
+
+// Name returns the lock's name.
+func (l *BrokenCoreTATAS) Name() string { return "BROKEN_CORE_TATAS" }
+
+// Acquire test-then-sets non-atomically.
+func (l *BrokenCoreTATAS) Acquire(t *core.Thread) {
+	for {
+		for l.word.Load() != 0 {
+			runtime.Gosched()
+		}
+		// The widened race window: yield between the test and the set so
+		// the bug manifests even on a single-CPU host.
+		runtime.Gosched()
+		l.word.Store(1)
+		return
+	}
+}
+
+// Release unlocks.
+func (l *BrokenCoreTATAS) Release(t *core.Thread) { l.word.Store(0) }

@@ -1,0 +1,297 @@
+// Package check is a schedule-exploring differential correctness
+// harness for the lock implementations in this repository.
+//
+// Three layers of checking cover the two lock families:
+//
+//   - A schedule explorer perturbs the deterministic sim engine's
+//     event tie-breaking (machine.Config.TieBreakSeed) and simulation
+//     seeds to enumerate distinct interleavings, and runs every
+//     internal/simlock algorithm under mutual-exclusion,
+//     deadlock/livelock-freedom and bounded-starvation oracles. Each
+//     interleaving is fingerprinted by the sequence of critical-section
+//     entries (thread, node, wait time), so coverage is measured in
+//     *distinct* schedules, not raw runs.
+//   - The simulated machine runs with its always-on coherence invariant
+//     probes enabled (machine.Config.Probes): MESI single-writer and
+//     valid-state checks fire at every access completion, and the
+//     per-line traffic attribution is checked to conserve against the
+//     machine totals after every schedule.
+//   - A differential twin layer (twin.go) stress-runs each native
+//     internal/core lock under the same oracles with real goroutines
+//     (race-detector clean) and cross-checks qualitative behaviour —
+//     fairness bursts, node-handoff locality, quiescence, survival of
+//     injected lock-word corruption — against its simlock twin,
+//     failing on algorithmic divergence.
+//
+// Everything is deterministic for a fixed seed: the same seed explores
+// the same schedule set and produces byte-identical JSON reports. The
+// cmd/lockcheck command drives the harness with a configurable budget;
+// broken.go provides deliberately buggy locks that double as an
+// end-to-end self-test of the oracles.
+//
+// The approach follows Chabbi et al. (Correctness of Hierarchical MCS
+// Locks with Timeout), which model-checks hierarchical locks precisely
+// because their interleaving bugs hide from ordinary stress tests, and
+// Dice & Kogan's invariant-driven stress methodology for compact
+// NUMA-aware locks.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+// ScheduleConfig describes one simulated schedule: a machine shape plus
+// a contention scenario and oracle budgets.
+type ScheduleConfig struct {
+	Machine    machine.Config
+	Threads    int
+	Iterations int      // per thread
+	CSWork     sim.Time // critical-section compute
+	MaxThink   sim.Time // uniform random think-time bound (0 = none)
+	LockHome   int      // node homing the lock variable
+	Tuning     simlock.Tuning
+	// Watchdog bounds the simulated run time; a schedule that does not
+	// complete within it is reported as a progress (deadlock/livelock)
+	// failure. 0 disables the watchdog.
+	Watchdog sim.Time
+	// MaxWait bounds any single acquire's wait time (the
+	// bounded-starvation oracle). 0 disables the check.
+	MaxWait sim.Time
+}
+
+// DefaultScheduleConfig returns the explorer's per-schedule scenario: a
+// small 2-node machine and a short contended run, cheap enough that a
+// budget of thousands of schedules per lock stays fast. seed and
+// tiebreak select the interleaving.
+func DefaultScheduleConfig(seed, tiebreak uint64) ScheduleConfig {
+	cfg := machine.WildFire()
+	cfg.CPUsPerNode = 2
+	cfg.Seed = seed
+	cfg.TieBreakSeed = tiebreak
+	return ScheduleConfig{
+		Machine:    cfg,
+		Threads:    4,
+		Iterations: 6,
+		CSWork:     300,
+		MaxThink:   1500,
+		Tuning:     exploreTuning(),
+		Watchdog:   200 * sim.Millisecond,
+		MaxWait:    50 * sim.Millisecond,
+	}
+}
+
+// exploreTuning shrinks the backoff constants so slowpaths, restarts and
+// the GT_SD starvation detector are all exercised within short runs.
+func exploreTuning() simlock.Tuning {
+	tun := simlock.DefaultTuning()
+	tun.BackoffBase = 16
+	tun.BackoffCap = 256
+	tun.RemoteBackoffBase = 128
+	tun.RemoteBackoffCap = 1024
+	tun.GetAngryLimit = 2
+	return tun
+}
+
+// ScheduleResult is the outcome of one schedule run.
+type ScheduleResult struct {
+	// Sig fingerprints the interleaving: an FNV-1a hash over the
+	// sequence of (thread, node, wait) critical-section entries. The
+	// wait component matters: FIFO locks service every arrival
+	// permutation in the same thread order, so acquisition order alone
+	// would collapse their whole interleaving space to a handful of
+	// signatures. In a deterministic simulator the wait time is an
+	// exact function of the event interleaving, so including it
+	// distinguishes schedules that take different paths to the same
+	// service order without ever splitting a genuinely identical run.
+	Sig          uint64
+	Acquisitions int
+	PerThread    []int
+	MaxWait      sim.Time
+	Elapsed      sim.Time
+	// Locality is the fraction of consecutive acquisitions served
+	// within the same node (NUCA-aware locks push it up).
+	Locality float64
+	// MaxBurst is the longest run of consecutive acquisitions by a
+	// single thread (FIFO locks push it down under contention).
+	MaxBurst int
+	// Failures lists every oracle violation, in detection order.
+	Failures []string
+}
+
+// Failed reports whether any oracle fired.
+func (r *ScheduleResult) Failed() bool { return len(r.Failures) > 0 }
+
+func (r *ScheduleResult) fail(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// FNV-1a 64-bit constants for schedule fingerprints.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+
+// roundRobinCPUs spreads threads across nodes the way the paper's
+// microbenchmarks do.
+func roundRobinCPUs(cfg machine.Config, threads int) []int {
+	cpus := make([]int, threads)
+	perNode := make([]int, cfg.Nodes)
+	for t := 0; t < threads; t++ {
+		n := t % cfg.Nodes
+		for perNode[n] >= cfg.CPUsPerNode {
+			n = (n + 1) % cfg.Nodes
+		}
+		cpus[t] = n*cfg.CPUsPerNode + perNode[n]
+		perNode[n]++
+	}
+	return cpus
+}
+
+// RunSchedule executes one schedule of the named simlock algorithm
+// (factory overrides the name lookup when non-nil, which is how the
+// deliberately broken locks are injected) and evaluates every oracle:
+//
+//   - mutual exclusion: a critical-section token that must never be
+//     held twice, plus guarded shared counters that must not lose
+//     updates;
+//   - deadlock/livelock freedom: every thread must finish its
+//     iterations before the sim-time watchdog;
+//   - bounded starvation: no single acquire may wait longer than
+//     MaxWait;
+//   - machine invariants: the always-on coherence probes plus the
+//     post-run directory sweep and traffic-conservation check;
+//   - quiescence: locks exposing a Quiescent probe must return to
+//     their idle state;
+//   - panics in lock code are caught and reported as failures instead
+//     of crashing the harness.
+func RunSchedule(name string, factory simlock.Factory, cfg ScheduleConfig) ScheduleResult {
+	if cfg.Threads < 1 || cfg.Iterations < 1 {
+		panic("check: need at least one thread and iteration")
+	}
+	mcfg := cfg.Machine
+	mcfg.Probes = true
+	if cfg.Watchdog > 0 {
+		mcfg.TimeLimit = cfg.Watchdog
+	}
+	m := machine.New(mcfg)
+	cpus := roundRobinCPUs(mcfg, cfg.Threads)
+	var l simlock.Lock
+	if factory != nil {
+		l = factory(m, cfg.LockHome, cpus, cfg.Tuning)
+	} else {
+		l = simlock.New(name, m, cfg.LockHome, cpus, cfg.Tuning)
+	}
+	const csLines = 2
+	data := m.Alloc(cfg.LockHome, csLines)
+
+	res := ScheduleResult{Sig: fnvOffset, PerThread: make([]int, cfg.Threads)}
+	inCS := 0
+	lastTID, lastNode := -1, -1
+	burst, handoffs, sameNode := 0, 0, 0
+	finished := 0
+
+	for tid := 0; tid < cfg.Threads; tid++ {
+		tid := tid
+		m.Spawn(cpus[tid], func(p *machine.Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					if sim.IsKill(r) {
+						panic(r)
+					}
+					res.fail("panic: %s: %v", name, r)
+				}
+			}()
+			rng := sim.NewRNG(mcfg.Seed*524287 + uint64(tid) + 7)
+			for i := 0; i < cfg.Iterations; i++ {
+				t0 := p.Now()
+				l.Acquire(p, tid)
+				w := p.Now() - t0
+				if w > res.MaxWait {
+					res.MaxWait = w
+				}
+				inCS++
+				if inCS != 1 {
+					res.fail("mutual-exclusion: %d threads in the critical section (tid %d, t=%v)",
+						inCS, tid, p.Now())
+				}
+				res.Sig = fnvMix(res.Sig, uint64(tid)+1)
+				res.Sig = fnvMix(res.Sig, uint64(p.Node())+1)
+				res.Sig = fnvMix(res.Sig, uint64(w))
+				res.Acquisitions++
+				res.PerThread[tid]++
+				if lastTID == tid {
+					burst++
+				} else {
+					burst = 1
+					lastTID = tid
+				}
+				if burst > res.MaxBurst {
+					res.MaxBurst = burst
+				}
+				if lastNode >= 0 {
+					handoffs++
+					if p.Node() == lastNode {
+						sameNode++
+					}
+				}
+				lastNode = p.Node()
+				for w := 0; w < csLines; w++ {
+					a := data + machine.Addr(w)
+					p.Store(a, p.Load(a)+1)
+				}
+				if cfg.CSWork > 0 {
+					p.Work(cfg.CSWork)
+				}
+				inCS--
+				l.Release(p, tid)
+				if cfg.MaxThink > 0 {
+					p.Work(rng.Timen(cfg.MaxThink) + 1)
+				}
+			}
+			finished++
+		})
+	}
+	m.Run()
+	res.Elapsed = m.Now()
+	if handoffs > 0 {
+		res.Locality = float64(sameNode) / float64(handoffs)
+	}
+
+	if finished < cfg.Threads {
+		res.fail("progress: %d/%d threads finished before the %v watchdog (deadlock or livelock)",
+			finished, cfg.Threads, cfg.Watchdog)
+	} else {
+		// Lost updates and full invariants only mean something for runs
+		// that drained; aborted runs legitimately leave waiters parked.
+		want := uint64(cfg.Threads * cfg.Iterations)
+		for w := 0; w < csLines; w++ {
+			if got := m.Peek(data + machine.Addr(w)); got != want {
+				res.fail("lost-update: guarded word %d holds %d, want %d", w, got, want)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			res.fail("invariant: %v", err)
+		}
+		if q, ok := l.(simlock.Quiescer); ok {
+			if err := q.Quiescent(m); err != nil {
+				res.fail("quiescence: %v", err)
+			}
+		}
+	}
+	if err := m.ProbeError(); err != nil {
+		res.fail("probe: %v", err)
+	}
+	if err := m.CheckConservation(); err != nil {
+		res.fail("conservation: %v", err)
+	}
+	if cfg.MaxWait > 0 && res.MaxWait > cfg.MaxWait {
+		res.fail("starvation: a single acquire waited %v (bound %v)", res.MaxWait, cfg.MaxWait)
+	}
+	return res
+}

@@ -1,0 +1,197 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/simlock"
+)
+
+// ReportSchema versions the machine-readable lockcheck report, in the
+// hbo-run-report/v1 idiom. Consumers pin this string; bump it whenever a
+// field changes meaning or layout.
+const ReportSchema = "lockcheck-report/v1"
+
+// Budget bounds one lock's exploration.
+type Budget struct {
+	// Schedules is the target number of distinct interleavings (by
+	// schedule signature) to cover per lock.
+	Schedules int `json:"schedules"`
+	// MaxRuns caps the number of simulations spent reaching the target;
+	// duplicate signatures do not count toward Schedules, so the cap
+	// keeps a lock whose behaviour is insensitive to perturbation (few
+	// reachable interleavings) from running forever. 0 means
+	// 4 × Schedules.
+	MaxRuns int `json:"max_runs"`
+	// MaxFailures stops a lock's exploration early once this many
+	// failing schedules have been recorded (a broken lock fails nearly
+	// every schedule; there is no value in collecting thousands of
+	// copies of the same diagnosis). 0 means 5.
+	MaxFailures int `json:"max_failures"`
+}
+
+// DefaultBudget is the lockcheck command's default: meets the harness's
+// 1000-distinct-schedules-per-lock bar.
+func DefaultBudget() Budget { return Budget{Schedules: 1000} }
+
+func (b Budget) maxRuns() int {
+	if b.MaxRuns > 0 {
+		return b.MaxRuns
+	}
+	return 4 * b.Schedules
+}
+
+func (b Budget) maxFailures() int {
+	if b.MaxFailures > 0 {
+		return b.MaxFailures
+	}
+	return 5
+}
+
+// splitmix64 is the standard seed-stream mixer: successive calls with
+// the same starting state yield the same independent-looking stream, so
+// run n of an exploration is a pure function of (root seed, lock, n).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnvString hashes a lock name into the seed stream so each lock
+// explores an independent but reproducible schedule set.
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h = fnvMix(h, uint64(s[i]))
+	}
+	return h
+}
+
+// FailureRecord pins one failing schedule to the exact coordinates that
+// reproduce it: re-running RunSchedule with this seed pair replays the
+// identical interleaving.
+type FailureRecord struct {
+	Run      int      `json:"run"`
+	Seed     uint64   `json:"seed"`
+	TieBreak uint64   `json:"tiebreak"`
+	Sig      string   `json:"sig"`
+	Failures []string `json:"failures"`
+}
+
+// LockResult is the per-lock section of a lockcheck report.
+type LockResult struct {
+	Lock     string `json:"lock"`
+	Runs     int    `json:"runs"`
+	Distinct int    `json:"distinct_schedules"`
+	// Acquisitions totals critical-section entries over every run.
+	Acquisitions int `json:"acquisitions"`
+	// MaxWaitNS is the worst single-acquire wait seen over all runs.
+	MaxWaitNS int64 `json:"max_wait_ns"`
+	// MaxBurst is the longest same-thread acquisition run seen.
+	MaxBurst int `json:"max_burst"`
+	// MeanLocality averages the same-node handoff fraction over runs.
+	MeanLocality float64 `json:"mean_locality"`
+	// FailedRuns counts runs with at least one oracle violation;
+	// Failures holds the first few with reproduction coordinates.
+	FailedRuns int             `json:"failed_runs"`
+	Failures   []FailureRecord `json:"failures,omitempty"`
+}
+
+// Passed reports whether every explored schedule was clean.
+func (r *LockResult) Passed() bool { return r.FailedRuns == 0 }
+
+// ExploreLock enumerates distinct schedules for one simlock algorithm
+// under the budget. Deterministic: the same (name, seed, budget) always
+// runs the same schedule sequence and returns the same result. factory
+// overrides the registry lookup when non-nil (broken locks).
+func ExploreLock(name string, factory simlock.Factory, seed uint64, b Budget) LockResult {
+	res := LockResult{Lock: name}
+	seen := make(map[uint64]struct{}, b.Schedules)
+	stream := seed ^ fnvString(name)
+	var locSum float64
+	for res.Runs < b.maxRuns() && res.Distinct < b.Schedules &&
+		res.FailedRuns < b.maxFailures() {
+		simSeed := splitmix64(&stream) | 1 // Config.Seed must be non-zero
+		tiebreak := splitmix64(&stream)
+		if res.Runs == 0 {
+			tiebreak = 0 // always include the pure-FIFO baseline order
+		}
+		cfg := DefaultScheduleConfig(simSeed, tiebreak)
+		sr := RunSchedule(name, factory, cfg)
+		res.Runs++
+		if _, dup := seen[sr.Sig]; !dup {
+			seen[sr.Sig] = struct{}{}
+			res.Distinct++
+		}
+		res.Acquisitions += sr.Acquisitions
+		if int64(sr.MaxWait) > res.MaxWaitNS {
+			res.MaxWaitNS = int64(sr.MaxWait)
+		}
+		if sr.MaxBurst > res.MaxBurst {
+			res.MaxBurst = sr.MaxBurst
+		}
+		locSum += sr.Locality
+		if sr.Failed() {
+			res.FailedRuns++
+			res.Failures = append(res.Failures, FailureRecord{
+				Run:      res.Runs - 1,
+				Seed:     simSeed,
+				TieBreak: tiebreak,
+				Sig:      fmt.Sprintf("%016x", sr.Sig),
+				Failures: sr.Failures,
+			})
+		}
+	}
+	if res.Runs > 0 {
+		res.MeanLocality = locSum / float64(res.Runs)
+	}
+	return res
+}
+
+// Report is the machine-readable result of a lockcheck run. All fields
+// are deterministic for a fixed seed, so identical invocations produce
+// byte-identical JSON.
+type Report struct {
+	Schema string       `json:"schema"`
+	Tool   string       `json:"tool"`
+	Seed   uint64       `json:"seed"`
+	Budget Budget       `json:"budget"`
+	Locks  []LockResult `json:"locks"`
+	Twins  []TwinResult `json:"twins,omitempty"`
+	Passed bool         `json:"passed"`
+}
+
+// Explore runs the schedule explorer over the named simlock algorithms
+// (nil means every registered lock) and assembles a report. Twin
+// cross-checks are added separately by CheckTwins because they run real
+// goroutines and are therefore not schedule-deterministic.
+func Explore(names []string, seed uint64, b Budget) *Report {
+	if names == nil {
+		names = simlock.AllNames()
+	}
+	rep := &Report{Schema: ReportSchema, Tool: "lockcheck", Seed: seed, Budget: b, Passed: true}
+	for _, name := range names {
+		lr := ExploreLock(name, nil, seed, b)
+		if !lr.Passed() {
+			rep.Passed = false
+		}
+		rep.Locks = append(rep.Locks, lr)
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON. encoding/json renders
+// struct fields in declaration order, so the bytes are stable for a
+// fixed report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

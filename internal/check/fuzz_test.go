@@ -1,0 +1,75 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+// FuzzMachineConfig drives RunSchedule across fuzzer-chosen machine
+// shapes (node count, CPUs per node, cluster grouping, lock home),
+// contention levels and interleaving seeds, for every registered lock.
+// Raw fuzz inputs are folded into the valid configuration space rather
+// than rejected, so every execution exercises the oracles:
+//
+//   - nodes and CPUs/node fold into 1..4 (asymmetric little machines are
+//     where placement bugs hide; the explorer only ever runs 2x2);
+//   - RH is capped at two nodes, its documented limit;
+//   - threads fold into 1..total CPUs (roundRobinCPUs requires a free
+//     CPU per thread);
+//   - the starvation bound is disabled — tiny single-CPU-per-node shapes
+//     legitimately produce long waits, and the fuzzer is hunting
+//     crashes, invariant violations and lost updates, not tuning
+//     regressions.
+//
+// Any oracle failure or uncaught panic is a fuzz finding.
+func FuzzMachineConfig(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(0), uint8(4), uint8(6), uint8(0), uint64(1), uint64(0))
+	f.Add(uint8(1), uint8(4), uint8(0), uint8(3), uint8(2), uint8(0), uint64(7), uint64(3))
+	f.Add(uint8(4), uint8(2), uint8(2), uint8(5), uint8(4), uint8(3), uint64(11), uint64(9))
+	f.Add(uint8(3), uint8(1), uint8(0), uint8(3), uint8(3), uint8(2), uint64(255), uint64(254))
+	f.Add(uint8(2), uint8(3), uint8(2), uint8(6), uint8(5), uint8(1), uint64(1<<40), uint64(1<<33))
+	names := simlock.AllNames()
+	f.Fuzz(func(t *testing.T, nodes, cpn, cluster, threads, iters, home uint8, seed, tiebreak uint64) {
+		mcfg := machine.WildFire()
+		mcfg.Nodes = int(nodes)%4 + 1
+		mcfg.CPUsPerNode = int(cpn)%4 + 1
+		// ClusterSize folds to {flat, 2}: a 2-node cluster on a 3- or
+		// 4-node machine exercises the Far latency tier.
+		mcfg.ClusterSize = int(cluster) % 3
+		if mcfg.ClusterSize == 1 {
+			mcfg.ClusterSize = 2
+		}
+		mcfg.Seed = seed | 1
+		mcfg.TieBreakSeed = tiebreak
+		for _, name := range names {
+			cfg := ScheduleConfig{
+				Machine:    mcfg,
+				Threads:    int(threads)%(mcfg.Nodes*mcfg.CPUsPerNode) + 1,
+				Iterations: int(iters)%4 + 1,
+				CSWork:     200,
+				MaxThink:   900,
+				LockHome:   int(home) % mcfg.Nodes,
+				Tuning:     exploreTuning(),
+				Watchdog:   500 * sim.Millisecond,
+			}
+			if name == "RH" && cfg.Machine.Nodes > 2 {
+				// The RH lock is defined for exactly two nodes.
+				cfg.Machine.Nodes = 2
+				cfg.Threads = int(threads)%(2*mcfg.CPUsPerNode) + 1
+				cfg.LockHome = int(home) % 2
+			}
+			res := RunSchedule(name, nil, cfg)
+			if res.Failed() {
+				t.Fatalf("%s on %d nodes x %d cpus (cluster %d, threads %d, home %d, seed %d, tiebreak %d): %v",
+					name, cfg.Machine.Nodes, cfg.Machine.CPUsPerNode, cfg.Machine.ClusterSize,
+					cfg.Threads, cfg.LockHome, cfg.Machine.Seed, cfg.Machine.TieBreakSeed, res.Failures)
+			}
+			if res.Acquisitions != cfg.Threads*cfg.Iterations {
+				t.Fatalf("%s: %d acquisitions, want %d", name, res.Acquisitions, cfg.Threads*cfg.Iterations)
+			}
+		}
+	})
+}

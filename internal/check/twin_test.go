@@ -1,0 +1,62 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// twinTestStress shrinks the native runs so the full 13-lock sweep stays
+// fast under -race.
+func twinTestStress() TwinStress {
+	return TwinStress{Threads: 4, Iters: 150, Timeout: 30 * time.Second}
+}
+
+// TestTwinsAllClean: every lock implemented by both families passes the
+// differential comparison — correctness oracles on both sides, probe and
+// injection parity, and no gross qualitative inversion.
+func TestTwinsAllClean(t *testing.T) {
+	results := CheckTwins(nil, 3, twinTestStress())
+	for _, r := range results {
+		t.Logf("%-10s sim(loc=%.2f burst=%d) core(loc=%.2f burst=%d)",
+			r.Lock, r.SimLocality, r.SimMaxBurst, r.CoreLocality, r.CoreMaxBurst)
+		if !r.Passed() {
+			t.Errorf("%s: sim=%v core=%v divergences=%v",
+				r.Lock, r.SimFailures, r.CoreFailures, r.Divergences)
+		}
+	}
+	if len(results) != len(core.AllNames()) {
+		t.Fatalf("compared %d twins, want %d", len(results), len(core.AllNames()))
+	}
+}
+
+// TestCoreStressDetectsBrokenLock: the native-side oracles are not
+// decorative — the atomicity-broken TATAS twin must produce a
+// mutual-exclusion diagnosis (and stay race-detector clean doing it).
+func TestCoreStressDetectsBrokenLock(t *testing.T) {
+	rt := core.NewRuntime(2, 4)
+	out := coreStress(NewBrokenCoreTATAS(), rt, twinTestStress())
+	found := false
+	for _, f := range out.failures {
+		if strings.Contains(f, "mutual-exclusion") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("broken native TATAS not detected; failures = %v", out.failures)
+	}
+}
+
+// TestInjectionSurvivalBothTwins: the corrupted-owner fault is survived
+// by both HBO_GT_SD implementations (the regression the satellite
+// bounds-guard fix closed — before it, the sim twin crashed here).
+func TestInjectionSurvivalBothTwins(t *testing.T) {
+	if !simInjectionSurvives(3) {
+		t.Error("sim HBO_GT_SD did not survive a corrupted lock-word owner")
+	}
+	if !coreInjectionSurvives(10 * time.Second) {
+		t.Error("native HBO_GT_SD did not survive a corrupted lock-word owner")
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // HBO-family lock-word values: 0 is free, otherwise node id + 1.
 const hboFree uint64 = 0
 
@@ -189,6 +191,28 @@ restart:
 
 // Release implements hbo_release: a single store.
 func (l *HBO) Release(t *Thread) { l.word.v.Store(hboFree) }
+
+// InjectWord overwrites the raw lock word — a fault-injection probe for
+// the correctness harness (internal/check), which feeds both HBO twins
+// the same corrupted owner encodings and compares survival. Not part of
+// the lock algorithm.
+func (l *HBO) InjectWord(v uint64) { l.word.v.Store(v) }
+
+// Quiescent verifies the lock's shared state is fully idle: the lock
+// word is free and every per-node throttle word has returned to
+// hboDummy. Call only when no acquires are in flight.
+func (l *HBO) Quiescent() error {
+	if v := l.word.v.Load(); v != hboFree {
+		return fmt.Errorf("%s: lock word %d not free at quiescence", l.name, v)
+	}
+	for n := range l.isSpinning {
+		if v := l.isSpinning[n].v.Load(); v != hboDummy {
+			return fmt.Errorf("%s: is_spinning[%d] = %d at quiescence (node left throttled)",
+				l.name, n, v)
+		}
+	}
+	return nil
+}
 
 func containsInt(s []int, v int) bool {
 	for _, x := range s {

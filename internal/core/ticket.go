@@ -30,6 +30,12 @@ func (l *Ticket) Acquire(t *Thread) {
 			ahead = 1
 		}
 		spinDelay(ahead*16, 1024)
+		// The proportional delay alone never reaches spinDelay's yield
+		// threshold when few waiters are ahead, so a host with fewer
+		// CPUs than contenders would strand a preempted lock holder
+		// behind quantum-burning spinners. One yield per grant probe
+		// guarantees progress; with idle CPUs it is nearly free.
+		runtime.Gosched()
 	}
 }
 

@@ -91,6 +91,16 @@ type Config struct {
 	LinkService sim.Time
 	Preempt     PreemptConfig
 	Seed        uint64
+	// TieBreakSeed, when non-zero, perturbs the engine's equal-timestamp
+	// event ordering (sim.Engine.Perturb): same seed, same schedule. The
+	// correctness harness in internal/check sweeps it to explore distinct
+	// interleavings; 0 keeps the default deterministic FIFO tie-break.
+	TieBreakSeed uint64
+	// Probes enables the always-on coherence invariant probes: every
+	// memory-access completion validates the MESI directory state and the
+	// first violation is recorded (see Machine.ProbeError). Off by
+	// default; the overhead is one extra check per simulated access.
+	Probes bool
 	// TimeLimit aborts the simulation when the clock passes it (0 = off).
 	TimeLimit sim.Time
 }

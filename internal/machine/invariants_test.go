@@ -1,40 +1,12 @@
 package machine
 
 import (
-	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/sim"
 )
-
-// invariantErr checks the directory's structural invariants after a run.
-func (m *Machine) invariantErr() error {
-	for i := range m.lines {
-		l := &m.lines[i]
-		switch l.state {
-		case stateModified:
-			if !l.sharers.empty() {
-				return fmt.Errorf("line %d: Modified with sharers %b", i, l.sharers)
-			}
-			if l.owner < 0 || l.owner >= m.cfg.TotalCPUs() {
-				return fmt.Errorf("line %d: Modified with owner %d", i, l.owner)
-			}
-		case stateShared:
-			if l.sharers.empty() {
-				return fmt.Errorf("line %d: Shared with no sharers", i)
-			}
-		case stateUncached:
-			if !l.sharers.empty() {
-				return fmt.Errorf("line %d: Uncached with sharers %b", i, l.sharers)
-			}
-		}
-		if len(l.waiters) != 0 {
-			return fmt.Errorf("line %d: %d waiters left parked", i, len(l.waiters))
-		}
-	}
-	return nil
-}
 
 // TestCoherenceInvariantsUnderRandomOps drives random loads, stores and
 // RMWs from every CPU, then validates the directory and that each
@@ -51,6 +23,8 @@ func TestCoherenceInvariantsUnderRandomOps(t *testing.T) {
 		cfg := WildFire()
 		cfg.CPUsPerNode = 4
 		cfg.Seed = sc.Seed
+		cfg.Probes = true
+		cfg.TieBreakSeed = sc.Seed * 3
 		m := New(cfg)
 		words := int(sc.Words%6) + 1
 		addrs := make([]Addr, words)
@@ -95,7 +69,7 @@ func TestCoherenceInvariantsUnderRandomOps(t *testing.T) {
 			})
 		}
 		m.Run()
-		if err := m.invariantErr(); err != nil {
+		if err := m.CheckInvariants(); err != nil {
 			t.Log(err)
 			return false
 		}
@@ -109,6 +83,104 @@ func TestCoherenceInvariantsUnderRandomOps(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption corrupts the directory in each of
+// the ways CheckInvariants guards against and verifies each is reported.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func() (*Machine, Addr) {
+		m := New(func() Config { c := WildFire(); c.CPUsPerNode = 2; return c }())
+		a := m.Alloc(0, 1)
+		m.Spawn(0, func(p *Proc) { p.Store(a, 1) })
+		m.Run()
+		return m, a
+	}
+	cases := []struct {
+		name    string
+		corrupt func(m *Machine, a Addr)
+		want    string
+	}{
+		{"modified-with-sharers", func(m *Machine, a Addr) {
+			m.lineOf(a).sharers.add(1)
+		}, "Modified with sharers"},
+		{"owner-out-of-range", func(m *Machine, a Addr) {
+			m.lineOf(a).owner = 999
+		}, "owner 999 out of range"},
+		{"shared-without-sharers", func(m *Machine, a Addr) {
+			m.lineOf(a).state = stateShared
+		}, "Shared with no sharers"},
+		{"uncached-with-sharers", func(m *Machine, a Addr) {
+			l := m.lineOf(a)
+			l.state = stateUncached
+			l.sharers.add(0)
+		}, "Uncached with sharers"},
+		{"attribution-drift", func(m *Machine, a Addr) {
+			m.lineOf(a).traf.local++
+		}, "local traffic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, a := build()
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("clean machine failed: %v", err)
+			}
+			tc.corrupt(m, a)
+			err := m.CheckInvariants()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("corruption %s not detected: err = %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestProbesLatchViolationMidRun: with Probes on, a mid-run directory
+// corruption is caught at the next access completion, not just at the
+// end-of-run sweep.
+func TestProbesLatchViolationMidRun(t *testing.T) {
+	cfg := WildFire()
+	cfg.CPUsPerNode = 2
+	cfg.Probes = true
+	m := New(cfg)
+	a := m.Alloc(0, 1)
+	m.Spawn(0, func(p *Proc) {
+		p.Store(a, 1)
+		m.lineOf(a).sharers.add(1) // corrupt: Modified line gains a sharer
+		p.Load(a)
+	})
+	m.Run()
+	if m.ProbeError() == nil {
+		t.Fatal("probes missed a Modified-with-sharers corruption")
+	}
+}
+
+// TestConservationHoldsAfterReset: ResetStats zeroes both sides of the
+// attribution ledger, so conservation holds across a warmup reset.
+func TestConservationHoldsAfterReset(t *testing.T) {
+	cfg := WildFire()
+	cfg.CPUsPerNode = 2
+	m := New(cfg)
+	a := m.Alloc(0, 1)
+	b := m.Alloc(1, 1)
+	m.Spawn(0, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Store(a, uint64(i))
+			p.Load(b)
+		}
+	})
+	m.Spawn(2, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Store(b, uint64(i))
+			p.Load(a)
+		}
+	})
+	m.Run()
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	if err := m.CheckConservation(); err != nil {
+		t.Fatalf("after ResetStats: %v", err)
 	}
 }
 

@@ -108,6 +108,7 @@ type Machine struct {
 	procs          []*Proc
 	active         int // procs still running
 	preemptedUntil []sim.Time
+	probeFailure   error // first violation latched by the invariant probes
 }
 
 // New builds a machine from cfg. It panics on an invalid configuration
@@ -119,6 +120,9 @@ func New(cfg Config) *Machine {
 	eng := sim.NewEngine()
 	if cfg.TimeLimit > 0 {
 		eng.SetLimit(cfg.TimeLimit)
+	}
+	if cfg.TieBreakSeed != 0 {
+		eng.Perturb(cfg.TieBreakSeed)
 	}
 	m := &Machine{
 		cfg:            cfg,

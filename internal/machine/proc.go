@@ -112,6 +112,7 @@ func (p *Proc) readAccess(a Addr) uint64 {
 		if m.cached(p.cpu, a) {
 			p.proc.Sleep(lat.OpOverhead + lat.LoadHit)
 			if m.cached(p.cpu, a) {
+				m.probeAfterRead(p.cpu, a)
 				return m.words[a]
 			}
 			continue // lost the line while the hit retired; re-fetch
@@ -149,6 +150,7 @@ func (p *Proc) readAccess(a Addr) uint64 {
 			l.state = stateShared
 		}
 		l.sharers.add(p.cpu)
+		m.probeAfterRead(p.cpu, a)
 		return m.words[a]
 	}
 }
@@ -165,6 +167,7 @@ func (p *Proc) writeAccess(a Addr) *uint64 {
 		if l.state == stateModified && l.owner == p.cpu {
 			p.proc.Sleep(lat.OpOverhead + lat.StoreOwned)
 			if l.state == stateModified && l.owner == p.cpu {
+				m.probeAfterWrite(p.cpu, a)
 				return &m.words[a]
 			}
 			continue // ownership stolen while the op retired; redo
@@ -202,6 +205,7 @@ func (p *Proc) writeAccess(a Addr) *uint64 {
 		l.state = stateModified
 		l.owner = p.cpu
 		m.wakeWaiters(l)
+		m.probeAfterWrite(p.cpu, a)
 		return &m.words[a]
 	}
 }

@@ -45,13 +45,22 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 type event struct {
 	at  Time
+	pri uint64 // tie-break priority (0 unless the engine is perturbed)
 	seq uint64
 	fn  func()
 }
 
-// before orders events by timestamp, ties broken by schedule order.
+// before orders events by timestamp, ties broken first by the perturbed
+// priority and then by schedule order. With no perturbation every pri is
+// zero, so the order degenerates to the classic FIFO tie-break.
 func (a event) before(b event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
 }
 
 // eventHeap is a hand-rolled binary min-heap over event values. It
@@ -128,10 +137,23 @@ type Engine struct {
 	killed  bool
 	limit   Time // 0 = no limit
 	procs   []*Process
+	// tiebreak, when non-nil, assigns each scheduled event a random
+	// priority that reorders equal-timestamp events (see Perturb).
+	tiebreak *RNG
 }
 
 // killSignal unwinds a process body during Shutdown.
 type killSignal struct{}
+
+// IsKill reports whether a recovered panic value is the engine's
+// internal shutdown signal. Process bodies that install their own
+// recover (e.g. the correctness harness, which converts lock panics
+// into recorded failures) must re-panic such values so Shutdown can
+// unwind them normally.
+func IsKill(r any) bool {
+	_, ok := r.(killSignal)
+	return ok
+}
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -153,6 +175,22 @@ func (e *Engine) SetLimit(t Time) {
 	}
 }
 
+// Perturb makes equal-timestamp events fire in a pseudo-random order
+// drawn from seed instead of the default schedule (FIFO) order. Every
+// linearization it produces is one the FIFO engine could legally have
+// produced under a different arrival order, so simulations stay valid —
+// they just take a different path through the tie-break space. The
+// schedule-exploring checker in internal/check uses this to enumerate
+// distinct interleavings; the same seed always yields the same order.
+// A zero seed restores the default FIFO tie-break. Call before Run.
+func (e *Engine) Perturb(seed uint64) {
+	if seed == 0 {
+		e.tiebreak = nil
+		return
+	}
+	e.tiebreak = NewRNG(seed)
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -169,7 +207,11 @@ func (e *Engine) Schedule(d Time, fn func()) {
 		panic("sim: Schedule after Shutdown (the engine cannot be reused)")
 	}
 	e.seq++
-	e.events.push(event{at: e.now + d, seq: e.seq, fn: fn})
+	var pri uint64
+	if e.tiebreak != nil {
+		pri = e.tiebreak.Uint64()
+	}
+	e.events.push(event{at: e.now + d, pri: pri, seq: e.seq, fn: fn})
 }
 
 // Pending returns the number of queued events.

@@ -1,6 +1,10 @@
 package simlock
 
-import "repro/internal/machine"
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
 
 // Lock-word values for the HBO family. The paper cas-es the acquiring
 // thread's node_id into the lock; we shift node ids by one so FREE can
@@ -154,7 +158,11 @@ start:
 				if getAngry >= l.tun.GetAngryLimit {
 					getAngry = 0
 					owner := int(tmp) - 1
-					if owner != p.Node() && !contains(stopped, owner) {
+					// Bounds-guard the decoded owner before indexing
+					// is_spinning: a corrupted lock word must not take
+					// down the whole machine (twin of core/hbo.go).
+					if owner >= 0 && owner < len(l.isSpinning) &&
+						owner != p.Node() && !contains(stopped, owner) {
 						stopped = append(stopped, owner)
 						p.Store(l.isSpinning[owner], uint64(l.addr))
 					}
@@ -183,6 +191,31 @@ restart:
 // Release is hbo_release (Figure 1, lines 62–65).
 func (l *hbo) Release(p *machine.Proc, tid int) {
 	p.Store(l.addr, hboFree)
+}
+
+// InjectWord overwrites the raw lock word without simulated cost — a
+// fault-injection probe for the correctness harness (internal/check),
+// which feeds both HBO twins the same corrupted owner encodings and
+// compares survival. Not part of the lock algorithm.
+func (l *hbo) InjectWord(m *machine.Machine, v uint64) {
+	m.Poke(l.addr, v)
+}
+
+// Quiescent verifies the lock's shared state is fully idle: the lock
+// word is free and every per-node is_spinning word has returned to
+// hboDummy (a stale GT/GT_SD store would permanently throttle a node).
+// Call only when no acquires are in flight.
+func (l *hbo) Quiescent(m *machine.Machine) error {
+	if v := m.Peek(l.addr); v != hboFree {
+		return fmt.Errorf("%s: lock word %d not free at quiescence", l.name, v)
+	}
+	for n, a := range l.isSpinning {
+		if v := m.Peek(a); v != hboDummy {
+			return fmt.Errorf("%s: is_spinning[%d] = %d at quiescence (node left throttled)",
+				l.name, n, v)
+		}
+	}
+	return nil
 }
 
 func contains(s []int, v int) bool {

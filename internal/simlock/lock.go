@@ -23,6 +23,21 @@ type Lock interface {
 	Release(p *machine.Proc, tid int)
 }
 
+// Quiescer is implemented by locks whose auxiliary shared state (e.g.
+// the HBO family's per-node is_spinning words) must return to a known
+// idle value once no acquires are in flight. The correctness harness
+// checks it after every schedule.
+type Quiescer interface {
+	Quiescent(m *machine.Machine) error
+}
+
+// WordInjector is implemented by locks that expose raw lock-word
+// injection, so the correctness harness can feed both twins of an
+// algorithm identical corrupted states and compare survival.
+type WordInjector interface {
+	InjectWord(m *machine.Machine, v uint64)
+}
+
 // Tuning collects the backoff constants that the paper tunes "by trial
 // and error for each individual architecture". Units are iterations of
 // the empty delay loop (machine.Latencies.BackoffUnit each).

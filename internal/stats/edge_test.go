@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for the quantile and merge paths: empty inputs,
+// single samples, NaN quantile arguments, and merges involving empty
+// histograms. The NaN cases are regression tests — sortedQuantile used
+// to index with int(NaN) (a panic) and Histogram.Quantile computed
+// uint64(NaN*n) (architecture-dependent).
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram summary not all zero: %s", h.String())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(42)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+	if h.Mean() != 42 {
+		t.Fatalf("single-sample Mean = %v, want 42", h.Mean())
+	}
+}
+
+func TestHistogramQuantileNaN(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	h.Add(20)
+	h.Add(30)
+	// NaN behaves like q <= 0: the observed minimum, deterministically.
+	if got := h.Quantile(math.NaN()); got != 10 {
+		t.Fatalf("Quantile(NaN) = %d, want 10", got)
+	}
+}
+
+func TestHistogramMergeEmptyCases(t *testing.T) {
+	var full Histogram
+	for _, v := range []int64{5, 7, 9} {
+		full.Add(v)
+	}
+	before := full.String()
+
+	// Merging an empty histogram in must not disturb min/max/count.
+	var empty Histogram
+	full.Merge(&empty)
+	full.Merge(nil)
+	if full.String() != before {
+		t.Fatalf("merge of empty changed %q to %q", before, full.String())
+	}
+
+	// Merging into an empty histogram must adopt the source's min, even
+	// though the empty side's zero-value min field (0) is smaller.
+	var dst Histogram
+	dst.Merge(&full)
+	if dst.Min() != 5 || dst.Max() != 9 || dst.Count() != 3 {
+		t.Fatalf("empty.Merge(full) = %s, want min=5 max=9 n=3", dst.String())
+	}
+	if dst.Quantile(0.5) != full.Quantile(0.5) {
+		t.Fatalf("merged median %d != source median %d", dst.Quantile(0.5), full.Quantile(0.5))
+	}
+}
+
+func TestQuantileNaNArg(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	// NaN propagates as NaN instead of panicking on int(NaN).
+	if got := Quantile(xs, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(xs, NaN) = %v, want NaN", got)
+	}
+	got := Quantiles(xs, 0.5, math.NaN(), 1)
+	if got[0] != 2 || !math.IsNaN(got[1]) || got[2] != 3 {
+		t.Fatalf("Quantiles mixed NaN = %v, want [2 NaN 3]", got)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %v, want 0", got)
+	}
+	for _, q := range []float64{-0.5, 0, 0.3, 1, 7} {
+		if got := Quantile([]float64{4}, q); got != 4 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 4", q, got)
+		}
+	}
+}

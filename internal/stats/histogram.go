@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -103,11 +104,14 @@ func (h *Histogram) Mean() float64 {
 // Quantile returns an estimate of the q-quantile (q in [0,1]): the upper
 // bound of the first bucket whose cumulative count reaches q*n, clamped
 // to the observed min/max so Quantile(0) == Min and Quantile(1) == Max.
+// A NaN q behaves like q <= 0 and returns Min: every comparison below is
+// false for NaN, and uint64(NaN*n) is architecture-dependent, so without
+// the guard the result would differ across platforms.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if q <= 0 || math.IsNaN(q) {
 		return h.min
 	}
 	if q >= 1 {

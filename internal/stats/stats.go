@@ -114,7 +114,13 @@ func Quantiles(xs []float64, qs ...float64) []float64 {
 }
 
 // sortedQuantile interpolates the q-quantile of an ascending non-empty s.
+// A NaN q propagates as NaN: the comparisons below are all false for NaN,
+// and int(NaN) is an out-of-range index, so without the explicit guard a
+// NaN would panic instead of following float semantics.
 func sortedQuantile(s []float64, q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if q <= 0 {
 		return s[0]
 	}
