@@ -11,6 +11,8 @@
 //	hbobench -experiment ext2              # beyond-the-paper studies
 //	hbobench -experiment all -out results  # also write per-table files
 //	hbobench -json                         # machine-readable run report
+//	hbobench -faults                       # degraded-mode JSON report
+//	hbobench -experiment deg1              # degradation curve tables
 //	hbobench -list                         # show available experiments
 //	hbobench -parallel 1                   # force a sequential run
 //	hbobench -cpuprofile cpu.pprof         # profile with go tool pprof
@@ -29,6 +31,13 @@
 // per-cache-line local/global traffic. Identical seeds produce
 // byte-identical reports.
 //
+// -faults emits the same report for a degraded machine: the fault plan
+// named by -fault-schedule (spike, storm, pause, nack, or all) at
+// -fault-intensity, seeded by -fault-seed, with timed acquires where
+// the lock supports them. The report's "fault" section records those
+// replay coordinates; rerunning with the same triple reproduces the
+// report byte for byte.
+//
 // -cpuprofile and -memprofile write pprof profiles of the run for
 // ad-hoc performance work on the simulator itself.
 package main
@@ -40,9 +49,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/par"
 )
 
@@ -54,6 +65,10 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut  = flag.Bool("json", false, "emit a JSON run report of the new microbenchmark")
 		seed     = flag.Uint64("seed", 11, "seed for the -json report run")
+		faults   = flag.Bool("faults", false, "emit a degraded-mode JSON report (implies -json)")
+		fSched   = flag.String("fault-schedule", "all", "fault schedule for -faults: "+strings.Join(fault.Schedules(), ", "))
+		fIntens  = flag.Float64("fault-intensity", 0.75, "fault intensity for -faults, in [0, 1]")
+		fSeed    = flag.Uint64("fault-seed", 11, "fault-plan seed for -faults")
 		quick    = flag.Bool("quick", false, "reduced sweeps/iterations")
 		seeds    = flag.Int("seeds", 3, "repetitions where variance is reported")
 		scale    = flag.Int("scale", 100, "application work divisor (1 = paper scale)")
@@ -107,6 +122,19 @@ func main() {
 		Quick:    *quick,
 		Threads:  *threads,
 		Parallel: *parallel,
+	}
+
+	if *faults {
+		rep, err := experiments.DegradedReport(opts, *fSeed, *fSched, *fIntens)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *jsonOut {

@@ -8,6 +8,7 @@
 //	lockcheck -schedules 100           # small budget (the CI smoke run)
 //	lockcheck -locks HBO_GT_SD,MCS     # subset
 //	lockcheck -twins                   # add the native-twin comparison
+//	lockcheck -faults                  # re-explore under every fault class
 //	lockcheck -selftest                # prove the oracles catch known bugs
 //	lockcheck -json report.json        # also write the JSON report
 //
@@ -15,6 +16,13 @@
 // schedule set for each lock and produces a byte-identical JSON report.
 // The -twins layer runs real goroutines and is therefore not
 // bit-reproducible; it is excluded from the report unless requested.
+//
+// -faults repeats the exploration on degraded machines, once per fault
+// class (spike, storm, pause, nack, all), driving locks with a timed
+// path through their abort-and-retry loop under a tight budget. Every
+// oracle — mutual exclusion, quiescence, progress, fairness — must
+// still hold on a sick machine.
+//
 // Exit status is non-zero when any oracle fails, any twin diverges, or
 // -selftest finds an oracle asleep.
 package main
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/simlock"
 )
 
@@ -37,10 +46,20 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "exploration seed (same seed = same schedules = same report)")
 		locks     = flag.String("locks", "", "comma-separated lock names (default: all simulated locks)")
 		twins     = flag.Bool("twins", false, "also run the native-twin differential comparison")
+		faults    = flag.Bool("faults", false, "also re-explore every lock under each fault class")
 		selftest  = flag.Bool("selftest", false, "run the broken-lock oracle self-test and exit")
 		jsonPath  = flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *schedules <= 0 {
+		fmt.Fprintf(os.Stderr, "lockcheck: -schedules must be positive (got %d)\n", *schedules)
+		os.Exit(2)
+	}
+	if *maxRuns < 0 {
+		fmt.Fprintf(os.Stderr, "lockcheck: -maxruns must be non-negative (got %d)\n", *maxRuns)
+		os.Exit(2)
+	}
 
 	budget := check.Budget{Schedules: *schedules, MaxRuns: *maxRuns}
 
@@ -71,6 +90,23 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *twins {
+			// The twin comparison needs a native counterpart; reject
+			// sim-only names up front rather than panicking mid-run.
+			for _, n := range names {
+				found := false
+				for _, known := range core.AllNames() {
+					if n == known {
+						found = true
+					}
+				}
+				if !found {
+					fmt.Fprintf(os.Stderr, "lockcheck: lock %q has no native twin (twins: %s)\n",
+						n, strings.Join(core.AllNames(), ", "))
+					os.Exit(2)
+				}
+			}
+		}
 	}
 
 	start := time.Now()
@@ -91,8 +127,29 @@ func main() {
 		}
 	}
 
+	if *faults {
+		results := check.ExploreFaults(names, *seed, budget)
+		rep.Faults = results
+		for _, lr := range results {
+			status := "ok"
+			if !lr.Passed() {
+				status = fmt.Sprintf("FAIL (%d failing runs)", lr.FailedRuns)
+				rep.Passed = false
+			}
+			fmt.Printf("%-22s %5d distinct schedules in %5d runs  aborts=%-6d %s\n",
+				lr.Lock, lr.Distinct, lr.Runs, lr.Aborts, status)
+			for _, f := range lr.Failures {
+				fmt.Printf("    run %d (seed=%d tiebreak=%d sig=%s):\n",
+					f.Run, f.Seed, f.TieBreak, f.Sig)
+				for _, msg := range f.Failures {
+					fmt.Printf("      %s\n", msg)
+				}
+			}
+		}
+	}
+
 	if *twins {
-		results := check.CheckTwins(nil, *seed, check.DefaultTwinStress())
+		results := check.CheckTwins(names, *seed, check.DefaultTwinStress())
 		rep.Twins = results
 		for _, r := range results {
 			status := "ok"

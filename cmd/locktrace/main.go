@@ -10,11 +10,19 @@
 //	locktrace -lock HBO -json > report.json   # machine-readable report
 //	locktrace -lock RH -trace out.json        # open in ui.perfetto.dev
 //	locktrace -lock MCS,CLH,HBO -json         # compare several algorithms
+//	locktrace -lock HBO_GT -fault-schedule pause -timeout 50us
 //
 // -lock accepts a comma-separated list (or "all"). Each algorithm's run
 // is an independent deterministic simulation, so multi-lock invocations
 // fan out over a -parallel worker pool and print results in the order
 // listed — output is identical for any -parallel value.
+//
+// -fault-schedule degrades the machine with one of internal/fault's
+// plans (spike, storm, pause, nack, all) at -fault-intensity, seeded by
+// -fault-seed. -timeout switches locks with a timed path to abortable
+// acquires with that budget (Go duration syntax); aborted waits show as
+// '-' in the timeline, "abort" slices in the Perfetto trace, and abort
+// counts in the JSON report.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -37,10 +46,13 @@ type runResult struct {
 	m   *machine.Machine
 }
 
-// runScenario executes the contended scenario for one lock algorithm.
-func runScenario(lockName string, threads, iters, cs, think int, seed uint64) runResult {
+// runScenario executes the contended scenario for one lock algorithm,
+// optionally on a degraded machine and through the timed acquire path.
+func runScenario(lockName string, threads, iters, cs, think int, seed uint64,
+	fc fault.Config, timeout sim.Time) runResult {
 	cfg := machine.WildFire()
 	cfg.Seed = seed
+	cfg.Fault = fc
 	m := machine.New(cfg)
 	cpus := make([]int, threads)
 	next := make([]int, cfg.Nodes)
@@ -57,12 +69,22 @@ func runScenario(lockName string, threads, iters, cs, think int, seed uint64) ru
 		m.LabelRange(machine.Addr(w0), lockWords, "lock")
 	}
 	l := trace.Wrap(inner, rec)
+	var timed simlock.TimedLock
+	if timeout > 0 {
+		timed, _ = l.(simlock.TimedLock)
+	}
 	for tid := 0; tid < threads; tid++ {
 		tid := tid
 		m.Spawn(cpus[tid], func(p *machine.Proc) {
 			rng := sim.NewRNG(seed*31 + uint64(tid))
 			for i := 0; i < iters; i++ {
-				l.Acquire(p, tid)
+				if timed != nil {
+					for !timed.AcquireTimeout(p, tid, timeout) {
+						p.Delay(100)
+					}
+				} else {
+					l.Acquire(p, tid)
+				}
 				p.Work(sim.Time(cs))
 				l.Release(p, tid)
 				p.Work(rng.Timen(sim.Time(think)) + 100)
@@ -87,8 +109,26 @@ func main() {
 		list     = flag.Bool("list", false, "list lock algorithms and exit")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for multi-lock runs (1 = sequential)")
+		fSched   = flag.String("fault-schedule", "", "degrade the machine: "+strings.Join(fault.Schedules(), ", ")+" (empty = healthy)")
+		fIntens  = flag.Float64("fault-intensity", 0.75, "fault intensity, in (0, 1]")
+		fSeed    = flag.Uint64("fault-seed", 42, "fault-plan seed")
+		timeout  = flag.Duration("timeout", 0, "timed-acquire budget for abortable locks (0 = blocking)")
 	)
 	flag.Parse()
+
+	var fc fault.Config
+	if *fSched != "" {
+		var err error
+		fc, err = fault.Preset(*fSched, *fSeed, *fIntens)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "locktrace: -timeout must be non-negative")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, n := range simlock.AllNames() {
@@ -124,9 +164,10 @@ func main() {
 
 	// Fan the independent per-lock simulations out, then print results
 	// in the listed order.
+	simTimeout := sim.Time(timeout.Nanoseconds())
 	results := make([]runResult, len(locks))
 	par.ForEach(*parallel, len(locks), func(i int) {
-		results[i] = runScenario(locks[i], *threads, *iters, *cs, *think, *seed)
+		results[i] = runScenario(locks[i], *threads, *iters, *cs, *think, *seed, fc, simTimeout)
 	})
 
 	if *traceOut != "" {
@@ -175,9 +216,22 @@ func main() {
 				"think_ns": *think,
 			},
 		}
+		if simTimeout > 0 {
+			rep.Params["timeout_ns"] = int(simTimeout)
+		}
+		if *fSched != "" {
+			rep.Fault = &experiments.FaultReport{Schedule: *fSched, Seed: *fSeed, Intensity: *fIntens}
+		}
 		for i, r := range results {
-			lr := experiments.BuildLockReport(locks[i], r.rec.Analyze(), *threads, r.m.Stats(), r.m.LineStats())
+			st := r.rec.Analyze()
+			lr := experiments.BuildLockReport(locks[i], st, *threads, r.m.Stats(), r.m.LineStats())
 			lr.TotalTimeNS = int64(r.m.Now())
+			lr.Aborts = st.Abandoned
+			lr.AbortRate = st.AbortRate()
+			if *fSched != "" {
+				fs := r.m.FaultStats()
+				lr.FaultStats = &fs
+			}
 			rep.Locks = append(rep.Locks, lr)
 		}
 		if err := rep.WriteJSON(os.Stdout); err != nil {
@@ -203,6 +257,9 @@ func printSummary(lockName string, r runResult, threads, iters, width int) {
 	fmt.Printf("lock: %s   threads: %d x %d acquisitions\n\n", lockName, threads, iters)
 	fmt.Print(r.rec.Timeline(width))
 	fmt.Printf("\nacquisitions:  %d\n", s.Acquisitions)
+	if s.Abandoned > 0 {
+		fmt.Printf("aborted waits: %d (%.1f%% of attempts)\n", s.Abandoned, 100*s.AbortRate())
+	}
 	fmt.Printf("mean wait:     %v\n", s.MeanWait())
 	fmt.Printf("wait p50/p90/p99: %v / %v / %v\n",
 		s.WaitQuantile(0.50), s.WaitQuantile(0.90), s.WaitQuantile(0.99))

@@ -1,11 +1,13 @@
 package check
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/sim"
 	"repro/internal/simlock"
 )
 
@@ -84,16 +86,111 @@ func (l *brokenHBOSkipCAS) Release(p *machine.Proc, tid int) {
 	p.Store(l.addr, 0)
 }
 
+// brokenAbortHBO is an HBO-style lock whose *timeout* path carries two
+// classic abort bugs, while its blocking path is correct:
+//
+//  1. the abort forgets to clear the node's is_spinning throttle word
+//     (the "leaked announcement" bug — the waiter promised to come back
+//     and never did);
+//  2. a last-gasp CAS at the deadline whose win is ignored, so when the
+//     lock frees at exactly the wrong moment it ends up held by nobody.
+//
+// Under fault-free blocking schedules it passes every oracle; only a
+// schedule that actually expires a timed acquire (FaultScheduleConfig
+// arranges this with holder pauses plus a small Timeout) exposes it —
+// bug 1 to the quiescence oracle, bug 2 to the progress watchdog. It is
+// the self-test that the harness's abort-path coverage is real.
+type brokenAbortHBO struct {
+	addr       machine.Addr
+	isSpinning []machine.Addr
+	tun        simlock.Tuning
+}
+
+// NewBrokenAbortHBO builds the abort-leaking HBO (a simlock.Factory).
+func NewBrokenAbortHBO(m *machine.Machine, home int, cpus []int, tun simlock.Tuning) simlock.Lock {
+	l := &brokenAbortHBO{addr: m.Alloc(home, 1), tun: tun}
+	l.isSpinning = make([]machine.Addr, m.Config().Nodes)
+	for n := range l.isSpinning {
+		l.isSpinning[n] = m.Alloc(n, 1)
+	}
+	return l
+}
+
+func (l *brokenAbortHBO) Name() string { return "BROKEN_HBO_LEAK_ABORT" }
+
+func (l *brokenAbortHBO) Acquire(p *machine.Proc, tid int) {
+	l.acquire(p, 0)
+}
+
+// AcquireTimeout implements simlock.TimedLock — incorrectly, on abort.
+func (l *brokenAbortHBO) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	if d <= 0 {
+		l.acquire(p, 0)
+		return true
+	}
+	return l.acquire(p, p.Now()+d)
+}
+
+func (l *brokenAbortHBO) acquire(p *machine.Proc, deadline sim.Time) bool {
+	my := uint64(p.Node()) + 1
+	if p.CAS(l.addr, 0, my) == 0 {
+		return true
+	}
+	// Slowpath: publish the throttle word like HBO_GT's remote path does.
+	p.Store(l.isSpinning[p.Node()], uint64(l.addr))
+	b := l.tun.RemoteBackoffBase
+	for {
+		if deadline != 0 && p.Now() >= deadline {
+			// BUG 1: is_spinning is not cleared — the node stays
+			// announced as a remote spinner forever.
+			// BUG 2: one last CAS whose win is discarded — if the holder
+			// released right here, the lock is now owned by nobody.
+			p.CAS(l.addr, 0, my)
+			return false
+		}
+		p.Delay(b)
+		if b < l.tun.RemoteBackoffCap {
+			b *= l.tun.BackoffFactor
+		}
+		if p.CAS(l.addr, 0, my) == 0 {
+			p.Store(l.isSpinning[p.Node()], 0)
+			return true
+		}
+	}
+}
+
+func (l *brokenAbortHBO) Release(p *machine.Proc, tid int) {
+	p.Store(l.addr, 0)
+}
+
+// Quiescent exposes the leak to the harness's quiescence oracle.
+func (l *brokenAbortHBO) Quiescent(m *machine.Machine) error {
+	if v := m.Peek(l.addr); v != 0 {
+		return fmt.Errorf("%s: lock word %d not free at quiescence", l.Name(), v)
+	}
+	for n, a := range l.isSpinning {
+		if v := m.Peek(a); v != 0 {
+			return fmt.Errorf("%s: is_spinning[%d] = %d at quiescence (leaked by an abort)",
+				l.Name(), n, v)
+		}
+	}
+	return nil
+}
+
 // BrokenNames lists the injected-bug locks with their factories.
 func BrokenNames() map[string]simlock.Factory {
 	return map[string]simlock.Factory{
-		"BROKEN_TATAS_RACE":  NewBrokenTATAS,
-		"BROKEN_HBO_SKIPCAS": NewBrokenHBOSkipCAS,
+		"BROKEN_TATAS_RACE":     NewBrokenTATAS,
+		"BROKEN_HBO_SKIPCAS":    NewBrokenHBOSkipCAS,
+		"BROKEN_HBO_LEAK_ABORT": NewBrokenAbortHBO,
 	}
 }
 
 // SelfTest explores every broken lock under the budget and returns the
 // names whose bugs the oracles FAILED to detect (empty = oracles work).
+// The abort-leak lock runs under the fault-mode configuration (paused
+// holders plus a timed acquire budget) because its bugs live purely in
+// the timeout path.
 func SelfTest(seed uint64, b Budget) []string {
 	var undetected []string
 	for _, name := range []string{"BROKEN_TATAS_RACE", "BROKEN_HBO_SKIPCAS"} {
@@ -101,6 +198,17 @@ func SelfTest(seed uint64, b Budget) []string {
 		if lr.Passed() {
 			undetected = append(undetected, name)
 		}
+	}
+	lr := exploreLock("BROKEN_HBO_LEAK_ABORT", NewBrokenAbortHBO, seed, b,
+		func(s, tb uint64) ScheduleConfig {
+			cfg, err := FaultScheduleConfig("pause", s, tb)
+			if err != nil {
+				panic(err)
+			}
+			return cfg
+		})
+	if lr.Passed() {
+		undetected = append(undetected, "BROKEN_HBO_LEAK_ABORT")
 	}
 	return undetected
 }

@@ -61,6 +61,50 @@ type ScheduleConfig struct {
 	// MaxWait bounds any single acquire's wait time (the
 	// bounded-starvation oracle). 0 disables the check.
 	MaxWait sim.Time
+	// Timeout, when positive and the lock implements simlock.TimedLock,
+	// switches the thread bodies to AcquireTimeout with this budget in a
+	// retry-until-acquired loop; every expiry counts in
+	// ScheduleResult.Aborts. Locks without a timed path fall back to the
+	// blocking acquire. Fault injection is configured through
+	// Machine.Fault.
+	Timeout sim.Time
+}
+
+// Validate rejects configurations RunSchedule cannot execute: it
+// checks the machine shape (machine.Config.Validate covers the fault
+// plan too), the thread/iteration counts, that the lock home is a real
+// node, that the threads fit on the machine (roundRobinCPUs would
+// otherwise search forever for a free CPU), and that every budget is
+// non-negative.
+func (cfg ScheduleConfig) Validate() error {
+	if err := cfg.Machine.Validate(); err != nil {
+		return fmt.Errorf("check: machine config: %w", err)
+	}
+	if cfg.Threads < 1 {
+		return fmt.Errorf("check: Threads = %d, need at least 1", cfg.Threads)
+	}
+	if cfg.Iterations < 1 {
+		return fmt.Errorf("check: Iterations = %d, need at least 1", cfg.Iterations)
+	}
+	if total := cfg.Machine.TotalCPUs(); cfg.Threads > total {
+		return fmt.Errorf("check: %d threads exceed the machine's %d CPUs", cfg.Threads, total)
+	}
+	if cfg.LockHome < 0 || cfg.LockHome >= cfg.Machine.Nodes {
+		return fmt.Errorf("check: LockHome %d out of range [0,%d)", cfg.LockHome, cfg.Machine.Nodes)
+	}
+	for _, f := range []struct {
+		name string
+		v    sim.Time
+	}{
+		{"CSWork", cfg.CSWork}, {"MaxThink", cfg.MaxThink},
+		{"Watchdog", cfg.Watchdog}, {"MaxWait", cfg.MaxWait},
+		{"Timeout", cfg.Timeout},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("check: %s = %v is negative", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // DefaultScheduleConfig returns the explorer's per-schedule scenario: a
@@ -109,9 +153,13 @@ type ScheduleResult struct {
 	// service order without ever splitting a genuinely identical run.
 	Sig          uint64
 	Acquisitions int
-	PerThread    []int
-	MaxWait      sim.Time
-	Elapsed      sim.Time
+	// Aborts counts timed-acquire expiries (Timeout > 0 only); each
+	// aborted attempt was retried until the acquisition succeeded, so
+	// Acquisitions is unaffected.
+	Aborts    int
+	PerThread []int
+	MaxWait   sim.Time
+	Elapsed   sim.Time
 	// Locality is the fraction of consecutive acquisitions served
 	// within the same node (NUCA-aware locks push it up).
 	Locality float64
@@ -170,9 +218,13 @@ func roundRobinCPUs(cfg machine.Config, threads int) []int {
 //     their idle state;
 //   - panics in lock code are caught and reported as failures instead
 //     of crashing the harness.
-func RunSchedule(name string, factory simlock.Factory, cfg ScheduleConfig) ScheduleResult {
-	if cfg.Threads < 1 || cfg.Iterations < 1 {
-		panic("check: need at least one thread and iteration")
+//
+// A configuration that fails Validate returns a zero result and the
+// validation error instead of running (or panicking deep inside
+// machine construction).
+func RunSchedule(name string, factory simlock.Factory, cfg ScheduleConfig) (ScheduleResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ScheduleResult{}, err
 	}
 	mcfg := cfg.Machine
 	mcfg.Probes = true
@@ -189,6 +241,10 @@ func RunSchedule(name string, factory simlock.Factory, cfg ScheduleConfig) Sched
 	}
 	const csLines = 2
 	data := m.Alloc(cfg.LockHome, csLines)
+	timed, _ := l.(simlock.TimedLock)
+	if cfg.Timeout <= 0 {
+		timed = nil
+	}
 
 	res := ScheduleResult{Sig: fnvOffset, PerThread: make([]int, cfg.Threads)}
 	inCS := 0
@@ -210,7 +266,18 @@ func RunSchedule(name string, factory simlock.Factory, cfg ScheduleConfig) Sched
 			rng := sim.NewRNG(mcfg.Seed*524287 + uint64(tid) + 7)
 			for i := 0; i < cfg.Iterations; i++ {
 				t0 := p.Now()
-				l.Acquire(p, tid)
+				if timed != nil {
+					// Retry-until-acquired so the oracle arithmetic
+					// (acquisition counts, lost-update totals) is the same
+					// as the blocking body; the abort path still runs for
+					// real, and the wait below includes aborted attempts.
+					for !timed.AcquireTimeout(p, tid, cfg.Timeout) {
+						res.Aborts++
+						p.Delay(100)
+					}
+				} else {
+					l.Acquire(p, tid)
+				}
 				w := p.Now() - t0
 				if w > res.MaxWait {
 					res.MaxWait = w
@@ -293,5 +360,5 @@ func RunSchedule(name string, factory simlock.Factory, cfg ScheduleConfig) Sched
 	if cfg.MaxWait > 0 && res.MaxWait > cfg.MaxWait {
 		res.fail("starvation: a single acquire waited %v (bound %v)", res.MaxWait, cfg.MaxWait)
 	}
-	return res
+	return res, nil
 }

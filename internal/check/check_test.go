@@ -20,7 +20,10 @@ func TestRunScheduleCleanLocks(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			for _, seeds := range [][2]uint64{{1, 0}, {3, 7}, {11, 13}} {
 				cfg := DefaultScheduleConfig(seeds[0], seeds[1])
-				res := RunSchedule(name, nil, cfg)
+				res, err := RunSchedule(name, nil, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if res.Failed() {
 					t.Fatalf("seed=%d tiebreak=%d: %v", seeds[0], seeds[1], res.Failures)
 				}
@@ -37,8 +40,11 @@ func TestRunScheduleCleanLocks(t *testing.T) {
 // the identical interleaving — same signature, same timings.
 func TestRunScheduleDeterministic(t *testing.T) {
 	for _, name := range []string{"TATAS", "MCS", "HBO_GT_SD"} {
-		a := RunSchedule(name, nil, DefaultScheduleConfig(42, 99))
-		b := RunSchedule(name, nil, DefaultScheduleConfig(42, 99))
+		a, errA := RunSchedule(name, nil, DefaultScheduleConfig(42, 99))
+		b, errB := RunSchedule(name, nil, DefaultScheduleConfig(42, 99))
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
 		if a.Sig != b.Sig || a.Elapsed != b.Elapsed || a.MaxWait != b.MaxWait {
 			t.Fatalf("%s: replay diverged: %+v vs %+v", name, a, b)
 		}
@@ -48,10 +54,16 @@ func TestRunScheduleDeterministic(t *testing.T) {
 // TestTieBreakReachesNewSchedules: perturbing the tie-break from the
 // same simulation seed reaches interleavings FIFO order cannot.
 func TestTieBreakReachesNewSchedules(t *testing.T) {
-	base := RunSchedule("TATAS", nil, DefaultScheduleConfig(5, 0))
+	base, err := RunSchedule("TATAS", nil, DefaultScheduleConfig(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	distinct := 0
 	for tb := uint64(1); tb <= 8; tb++ {
-		r := RunSchedule("TATAS", nil, DefaultScheduleConfig(5, tb))
+		r, err := RunSchedule("TATAS", nil, DefaultScheduleConfig(5, tb))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if r.Sig != base.Sig {
 			distinct++
 		}

@@ -94,6 +94,9 @@ type LockResult struct {
 	MaxBurst int `json:"max_burst"`
 	// MeanLocality averages the same-node handoff fraction over runs.
 	MeanLocality float64 `json:"mean_locality"`
+	// Aborts totals timed-acquire expiries over every run (fault-mode
+	// explorations only; zero and omitted otherwise).
+	Aborts int `json:"aborts,omitempty"`
 	// FailedRuns counts runs with at least one oracle violation;
 	// Failures holds the first few with reproduction coordinates.
 	FailedRuns int             `json:"failed_runs"`
@@ -108,6 +111,14 @@ func (r *LockResult) Passed() bool { return r.FailedRuns == 0 }
 // runs the same schedule sequence and returns the same result. factory
 // overrides the registry lookup when non-nil (broken locks).
 func ExploreLock(name string, factory simlock.Factory, seed uint64, b Budget) LockResult {
+	return exploreLock(name, factory, seed, b, DefaultScheduleConfig)
+}
+
+// exploreLock is ExploreLock with the per-run schedule configuration
+// delegated to cfgFn, so the fault-mode explorer can swap in degraded
+// machines without duplicating the loop.
+func exploreLock(name string, factory simlock.Factory, seed uint64, b Budget,
+	cfgFn func(seed, tiebreak uint64) ScheduleConfig) LockResult {
 	res := LockResult{Lock: name}
 	seen := make(map[uint64]struct{}, b.Schedules)
 	stream := seed ^ fnvString(name)
@@ -119,14 +130,20 @@ func ExploreLock(name string, factory simlock.Factory, seed uint64, b Budget) Lo
 		if res.Runs == 0 {
 			tiebreak = 0 // always include the pure-FIFO baseline order
 		}
-		cfg := DefaultScheduleConfig(simSeed, tiebreak)
-		sr := RunSchedule(name, factory, cfg)
+		cfg := cfgFn(simSeed, tiebreak)
+		sr, err := RunSchedule(name, factory, cfg)
+		if err != nil {
+			// The explorer only generates valid configurations; an error
+			// here is a harness bug, not a lock bug.
+			panic(err)
+		}
 		res.Runs++
 		if _, dup := seen[sr.Sig]; !dup {
 			seen[sr.Sig] = struct{}{}
 			res.Distinct++
 		}
 		res.Acquisitions += sr.Acquisitions
+		res.Aborts += sr.Aborts
 		if int64(sr.MaxWait) > res.MaxWaitNS {
 			res.MaxWaitNS = int64(sr.MaxWait)
 		}
@@ -161,6 +178,10 @@ type Report struct {
 	Budget Budget       `json:"budget"`
 	Locks  []LockResult `json:"locks"`
 	Twins  []TwinResult `json:"twins,omitempty"`
+	// Faults holds the fault-mode exploration (ExploreFaults): one entry
+	// per lock × fault class, named "LOCK@class". Absent unless the
+	// fault mode ran, so fault-free reports keep their exact bytes.
+	Faults []LockResult `json:"faults,omitempty"`
 	Passed bool         `json:"passed"`
 }
 

@@ -1,0 +1,85 @@
+package check
+
+import (
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+// Fault-mode exploration: the same oracles, run on degraded machines.
+// Each fault class from internal/fault gets its own exploration per
+// lock, so a protocol that survives clean interleavings but wedges when
+// the holder's node pauses (or when a coherence transaction NACKs at
+// the wrong moment) still fails loudly, with (seed, tiebreak) replay
+// coordinates.
+
+// denseFactor compresses the fault presets' window timing for the
+// explorer. The presets are calibrated for millisecond-scale benchmark
+// runs; a schedule run lasts tens of microseconds, so without the
+// compression no fault window would ever open inside one.
+const denseFactor = 50
+
+// densify divides every window interval and duration (and the NACK
+// retry delay) by denseFactor, clamping at 1ns.
+func densify(c fault.Config) fault.Config {
+	div := func(t sim.Time) sim.Time {
+		t /= denseFactor
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+	c.Spike.MeanInterval = div(c.Spike.MeanInterval)
+	c.Spike.MeanDuration = div(c.Spike.MeanDuration)
+	c.Storm.MeanInterval = div(c.Storm.MeanInterval)
+	c.Storm.MeanDuration = div(c.Storm.MeanDuration)
+	c.Pause.MeanInterval = div(c.Pause.MeanInterval)
+	c.Pause.MeanDuration = div(c.Pause.MeanDuration)
+	c.NACK.RetryDelay = div(c.NACK.RetryDelay)
+	return c
+}
+
+// FaultScheduleConfig is DefaultScheduleConfig on a degraded machine:
+// the named fault class (one of fault.Schedules()) at full intensity,
+// densified to the explorer's time scale. Timed locks run their
+// abortable path with a small budget (aborts are retried, so the
+// oracle arithmetic is unchanged); the starvation bound is disabled
+// because a paused holder legitimately produces long waits.
+func FaultScheduleConfig(class string, seed, tiebreak uint64) (ScheduleConfig, error) {
+	fc, err := fault.Preset(class, seed, 1.0)
+	if err != nil {
+		return ScheduleConfig{}, err
+	}
+	cfg := DefaultScheduleConfig(seed, tiebreak)
+	cfg.Machine.Fault = densify(fc)
+	cfg.Watchdog = 20 * sim.Millisecond
+	cfg.MaxWait = 0
+	cfg.Timeout = 10 * sim.Microsecond
+	return cfg, nil
+}
+
+// ExploreFaults runs the schedule explorer for every (lock, fault
+// class) pair and returns one LockResult per pair, labelled
+// "LOCK@class". nil names means every registered lock. Deterministic
+// for a fixed (names, seed, budget), like Explore.
+func ExploreFaults(names []string, seed uint64, b Budget) []LockResult {
+	if names == nil {
+		names = simlock.AllNames()
+	}
+	var out []LockResult
+	for _, class := range fault.Schedules() {
+		cfgFn := func(s, tb uint64) ScheduleConfig {
+			cfg, err := FaultScheduleConfig(class, s, tb)
+			if err != nil {
+				panic(err) // class comes from fault.Schedules()
+			}
+			return cfg
+		}
+		for _, name := range names {
+			lr := exploreLock(name, nil, seed^fnvString(class), b, cfgFn)
+			lr.Lock = name + "@" + class
+			out = append(out, lr)
+		}
+	}
+	return out
+}

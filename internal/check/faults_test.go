@@ -1,0 +1,198 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+// TestValidateRejectsBadConfigs: RunSchedule returns an error (instead
+// of panicking or hanging) for every malformed configuration.
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ScheduleConfig)
+	}{
+		{"zero threads", func(c *ScheduleConfig) { c.Threads = 0 }},
+		{"zero iterations", func(c *ScheduleConfig) { c.Iterations = 0 }},
+		{"threads exceed cpus", func(c *ScheduleConfig) { c.Threads = c.Machine.TotalCPUs() + 1 }},
+		{"negative lock home", func(c *ScheduleConfig) { c.LockHome = -1 }},
+		{"lock home out of range", func(c *ScheduleConfig) { c.LockHome = c.Machine.Nodes }},
+		{"negative cs work", func(c *ScheduleConfig) { c.CSWork = -1 }},
+		{"negative timeout", func(c *ScheduleConfig) { c.Timeout = -1 }},
+		{"zero machine nodes", func(c *ScheduleConfig) { c.Machine.Nodes = 0 }},
+		{"bad fault config", func(c *ScheduleConfig) {
+			c.Machine.Fault.NACK.Enabled = true
+			c.Machine.Fault.NACK.Prob = 2
+		}},
+	}
+	for _, tc := range cases {
+		cfg := DefaultScheduleConfig(1, 0)
+		tc.mut(&cfg)
+		if _, err := RunSchedule("TATAS", nil, cfg); err == nil {
+			t.Errorf("%s: RunSchedule accepted the config", tc.name)
+		}
+	}
+}
+
+// TestFaultSchedulesCleanLocks: every registered lock passes every
+// oracle under every fault class. Timed locks run their abortable path;
+// the retries keep the acquisition totals exact.
+func TestFaultSchedulesCleanLocks(t *testing.T) {
+	timed := map[string]bool{}
+	for _, n := range simlock.TimedNames() {
+		timed[n] = true
+	}
+	for _, class := range fault.Schedules() {
+		class := class
+		t.Run(class, func(t *testing.T) {
+			abortsSeen := false
+			for _, name := range simlock.AllNames() {
+				for _, seeds := range [][2]uint64{{1, 0}, {9, 5}} {
+					cfg, err := FaultScheduleConfig(class, seeds[0], seeds[1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := RunSchedule(name, nil, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Failed() {
+						t.Fatalf("%s seed=%d tiebreak=%d: %v", name, seeds[0], seeds[1], res.Failures)
+					}
+					if res.Acquisitions != cfg.Threads*cfg.Iterations {
+						t.Fatalf("%s: acquisitions = %d, want %d",
+							name, res.Acquisitions, cfg.Threads*cfg.Iterations)
+					}
+					if res.Aborts > 0 {
+						abortsSeen = true
+						if !timed[name] {
+							t.Fatalf("%s reported %d aborts but has no timed path", name, res.Aborts)
+						}
+					}
+				}
+			}
+			if class == "pause" && !abortsSeen {
+				t.Error("pause class never expired a timed acquire; the abort path went unexercised")
+			}
+		})
+	}
+}
+
+// TestFaultScheduleDeterministic: a (class, seed, tiebreak) triple
+// replays the identical degraded interleaving.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	for _, name := range []string{"HBO_GT_SD", "MCS"} {
+		cfg, err := FaultScheduleConfig("all", 42, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, errA := RunSchedule(name, nil, cfg)
+		b, errB := RunSchedule(name, nil, cfg)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if a.Sig != b.Sig || a.Elapsed != b.Elapsed || a.Aborts != b.Aborts {
+			t.Fatalf("%s: degraded replay diverged: %+v vs %+v", name, a, b)
+		}
+	}
+}
+
+// TestExploreFaultsDeterministicReport: the fault section makes the
+// report byte-reproducible too, and covers lock × class.
+func TestExploreFaultsDeterministicReport(t *testing.T) {
+	names := []string{"TATAS_EXP", "HBO_GT"}
+	build := func() *Report {
+		rep := Explore(names, 7, smallBudget())
+		rep.Faults = ExploreFaults(names, 7, Budget{Schedules: 6, MaxRuns: 8})
+		for _, lr := range rep.Faults {
+			if !lr.Passed() {
+				rep.Passed = false
+			}
+		}
+		return rep
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("fault reports differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	rep := build()
+	if want := len(names) * len(fault.Schedules()); len(rep.Faults) != want {
+		t.Fatalf("fault section has %d entries, want %d", len(rep.Faults), want)
+	}
+	if !strings.Contains(a.String(), "HBO_GT@pause") {
+		t.Error("fault section lacks the LOCK@class labels")
+	}
+}
+
+// TestBrokenAbortDetected: the abort-leaking HBO passes fault-free
+// blocking exploration (its blocking path is correct) but fails under
+// the pause class with a timed budget — proof the harness genuinely
+// exercises abort paths rather than inferring them.
+func TestBrokenAbortDetected(t *testing.T) {
+	clean := ExploreLock("BROKEN_HBO_LEAK_ABORT", NewBrokenAbortHBO, 1, smallBudget())
+	if !clean.Passed() {
+		t.Fatalf("abort-leak lock failed fault-free blocking schedules: %+v", clean.Failures)
+	}
+	lr := exploreLock("BROKEN_HBO_LEAK_ABORT", NewBrokenAbortHBO, 1, smallBudget(),
+		func(s, tb uint64) ScheduleConfig {
+			cfg, err := FaultScheduleConfig("pause", s, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cfg
+		})
+	if lr.Passed() {
+		t.Fatal("oracles missed the leaked abort")
+	}
+	found := false
+	for _, f := range lr.Failures {
+		for _, msg := range f.Failures {
+			if strings.Contains(msg, "quiescence") || strings.Contains(msg, "progress") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no quiescence/progress diagnosis in %+v", lr.Failures)
+	}
+	// And the harness-wide self-test agrees.
+	if undetected := SelfTest(3, smallBudget()); len(undetected) > 0 {
+		t.Fatalf("SelfTest missed: %v", undetected)
+	}
+}
+
+// TestFaultSchedulesDiffer: the degraded machine actually changes the
+// interleaving (faults are not silently disabled by the harness).
+func TestFaultSchedulesDiffer(t *testing.T) {
+	base, err := RunSchedule("HBO", nil, DefaultScheduleConfig(11, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := FaultScheduleConfig("storm", 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Timeout = 0 // same blocking body; only the machine differs
+	degraded, err := RunSchedule("HBO", nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Sig == degraded.Sig && base.Elapsed == degraded.Elapsed {
+		t.Fatal("storm-degraded run is indistinguishable from the clean run")
+	}
+	if degraded.Elapsed <= base.Elapsed {
+		t.Logf("note: degraded elapsed %v <= clean %v (convoy effects)", degraded.Elapsed, base.Elapsed)
+	}
+	_ = sim.Time(0)
+}

@@ -61,7 +61,12 @@ func FuzzMachineConfig(f *testing.F) {
 				cfg.Threads = int(threads)%(2*mcfg.CPUsPerNode) + 1
 				cfg.LockHome = int(home) % 2
 			}
-			res := RunSchedule(name, nil, cfg)
+			res, err := RunSchedule(name, nil, cfg)
+			if err != nil {
+				// Folded inputs are always valid; an error means the
+				// folding and Validate disagree about the config space.
+				t.Fatalf("%s: folded config rejected: %v", name, err)
+			}
 			if res.Failed() {
 				t.Fatalf("%s on %d nodes x %d cpus (cluster %d, threads %d, home %d, seed %d, tiebreak %d): %v",
 					name, cfg.Machine.Nodes, cfg.Machine.CPUsPerNode, cfg.Machine.ClusterSize,

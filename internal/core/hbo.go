@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // HBO-family lock-word values: 0 is free, otherwise node id + 1.
 const hboFree uint64 = 0
@@ -63,25 +66,51 @@ func (l *HBO) Name() string { return l.name }
 // is a single CAS, so an uncontested HBO acquire costs the same as
 // TATAS — the paper's low-latency design goal.
 func (l *HBO) Acquire(t *Thread) {
+	l.acquire(t, time.Time{})
+}
+
+// AcquireFor is the timed, abortable acquire: the same protocol with
+// the deadline checked at backoff boundaries. d <= 0 means no bound.
+// An abort restores every protocol invariant — the lock word is never
+// claimed, the aborting waiter's throttle word is reset and any nodes
+// the GT_SD anger logic stopped are released — so Quiescent holds
+// after any mix of aborts.
+func (l *HBO) AcquireFor(t *Thread, d time.Duration) bool {
+	if d <= 0 {
+		l.acquire(t, time.Time{})
+		return true
+	}
+	return l.acquire(t, time.Now().Add(d))
+}
+
+// acquire runs the protocol; a zero deadline means unbounded (always
+// returns true).
+func (l *HBO) acquire(t *Thread, deadline time.Time) bool {
 	my := hboNodeVal(t.node)
 	if l.mode != modeHBO {
-		l.spinWhileThrottled(t)
+		if !l.waitThrottled(t, deadline) {
+			return false
+		}
 	}
 	tmp := l.cas(my)
 	if tmp == hboFree {
-		return
+		return true
 	}
-	l.acquireSlowpath(t, tmp)
+	return l.acquireSlowpath(t, tmp, deadline)
 }
 
-// spinWhileThrottled waits while this node's throttle word names us.
-func (l *HBO) spinWhileThrottled(t *Thread) {
+// waitThrottled waits while this node's throttle word names us, giving
+// up at the deadline (zero deadline = wait forever).
+func (l *HBO) waitThrottled(t *Thread, deadline time.Time) bool {
 	y := l.tun.yieldThreshold()
-	spins := 0
+	timed := !deadline.IsZero()
 	for l.isSpinning[t.node].v.Load() == l.tag {
-		spins++
+		if timed && time.Now().After(deadline) {
+			return false
+		}
 		spinDelay(l.tun.BackoffBase, y)
 	}
+	return true
 }
 
 // cas mirrors the paper's cas(L, FREE, my): it returns FREE exactly when
@@ -101,11 +130,13 @@ func (l *HBO) cas(my uint64) uint64 {
 }
 
 // acquireSlowpath implements Figure 1 lines 17–61 (with the Figure 2
-// replacement in GT_SD mode).
-func (l *HBO) acquireSlowpath(t *Thread, tmp uint64) {
+// replacement in GT_SD mode). A zero deadline means unbounded.
+func (l *HBO) acquireSlowpath(t *Thread, tmp uint64, deadline time.Time) bool {
 	my := hboNodeVal(t.node)
 	gt := l.mode != modeHBO
 	y := l.tun.yieldThreshold()
+	timed := !deadline.IsZero()
+	expired := func() bool { return timed && time.Now().After(deadline) }
 
 	getAngry := 0
 	angry := false
@@ -121,10 +152,13 @@ start:
 	if tmp == my { // lock held in our node: gentle backoff
 		b := l.tun.BackoffBase
 		for {
+			if expired() {
+				return false // local waiters publish no auxiliary state
+			}
 			backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
 			tmp = l.cas(my)
 			if tmp == hboFree {
-				return
+				return true
 			}
 			if tmp != my {
 				backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
@@ -142,6 +176,15 @@ start:
 			l.isSpinning[t.node].v.Store(l.tag)
 		}
 		for {
+			if expired() {
+				if gt {
+					// Abort mirrors the successful exit so the abandoned
+					// attempt leaves the protocol idle.
+					l.isSpinning[t.node].v.Store(hboDummy)
+					releaseStopped()
+				}
+				return false
+			}
 			backoff(&b, l.tun.BackoffFactor, bcap, y)
 			tmp = l.cas(my)
 			if tmp == hboFree {
@@ -149,7 +192,7 @@ start:
 					l.isSpinning[t.node].v.Store(hboDummy)
 					releaseStopped()
 				}
-				return
+				return true
 			}
 			if tmp == my {
 				if gt {
@@ -179,12 +222,19 @@ start:
 	}
 
 restart:
+	// No auxiliary state is held here: both jumps to restart reset the
+	// throttle word and the stopped list first.
 	if gt {
-		l.spinWhileThrottled(t)
+		if !l.waitThrottled(t, deadline) {
+			return false
+		}
 	}
 	tmp = l.cas(my)
 	if tmp == hboFree {
-		return
+		return true
+	}
+	if expired() {
+		return false
 	}
 	goto start
 }

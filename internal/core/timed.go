@@ -1,0 +1,85 @@
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// TimedLock is implemented by native locks with a genuinely timed,
+// abortable acquire path. AcquireFor attempts the acquisition for at
+// most d (d <= 0 means no bound, equivalent to Acquire) and reports
+// whether the lock was obtained. An aborted attempt restores every
+// protocol invariant, so a Quiescent probe (where the lock has one)
+// passes after any mix of aborts.
+//
+// This is distinct from the AcquireTimeout helper, which polls a
+// TryLocker from outside: AcquireFor runs *inside* the lock's own
+// waiting loops, so it keeps the algorithm's backoff behaviour (and,
+// for the HBO family, its throttle-word protocol) while waiting.
+// Queue locks are deliberately absent — their enqueue commits the
+// thread, and retracting it needs a full abandonment protocol
+// (Scott & Scherer PPoPP 2001; Chabbi et al.'s HMCS-T), which the
+// native family does not carry. Their simulated counterpart CLH_TRY
+// demonstrates the protocol on the simulated machine.
+type TimedLock interface {
+	Lock
+	AcquireFor(t *Thread, d time.Duration) bool
+}
+
+// TimedNames lists the native locks that implement TimedLock.
+func TimedNames() []string { return []string{"TATAS", "TATAS_EXP", "HBO", "HBO_GT", "HBO_GT_SD"} }
+
+// AcquireFor is the timed TATAS acquire. An abort needs no cleanup: a
+// failed tas writes 1 over an already-set word.
+func (l *TATAS) AcquireFor(t *Thread, d time.Duration) bool {
+	if d <= 0 {
+		l.Acquire(t)
+		return true
+	}
+	deadline := time.Now().Add(d)
+	for {
+		if l.word.v.Swap(1) == 0 {
+			return true
+		}
+		for l.word.v.Load() != 0 {
+			if time.Now().After(deadline) {
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// AcquireFor is the timed TATAS_EXP acquire: the usual exponential
+// backoff with the deadline checked at every backoff boundary.
+func (l *TATASExp) AcquireFor(t *Thread, d time.Duration) bool {
+	if d <= 0 {
+		l.Acquire(t)
+		return true
+	}
+	if l.word.v.Swap(1) == 0 {
+		return true
+	}
+	deadline := time.Now().Add(d)
+	b := l.tun.BackoffBase
+	y := l.tun.yieldThreshold()
+	for {
+		if time.Now().After(deadline) {
+			return false
+		}
+		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
+		if l.word.v.Load() != 0 {
+			continue
+		}
+		if l.word.v.Swap(1) == 0 {
+			return true
+		}
+	}
+}
+
+// Interface checks for the TimedLock implementations.
+var (
+	_ TimedLock = (*TATAS)(nil)
+	_ TimedLock = (*TATASExp)(nil)
+	_ TimedLock = (*HBO)(nil)
+)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTimedNamesMatchImplementations pins which native locks carry the
+// timed path.
+func TestTimedNamesMatchImplementations(t *testing.T) {
+	timed := map[string]bool{}
+	for _, n := range TimedNames() {
+		timed[n] = true
+	}
+	r := newTestRuntime(2, 4)
+	for _, name := range AllNames() {
+		l := New(name, r, DefaultTuning())
+		_, ok := l.(TimedLock)
+		if ok != timed[name] {
+			t.Errorf("%s: TimedLock = %v, TimedNames says %v", name, ok, timed[name])
+		}
+	}
+}
+
+// TestAcquireForUncontended: the timed path takes a free lock, and
+// d <= 0 degrades to the blocking acquire.
+func TestAcquireForUncontended(t *testing.T) {
+	for _, name := range TimedNames() {
+		r := newTestRuntime(2, 1)
+		l := New(name, r, DefaultTuning()).(TimedLock)
+		th := r.RegisterThread(0)
+		if !l.AcquireFor(th, 50*time.Millisecond) {
+			t.Errorf("%s: timed acquire of a free lock failed", name)
+			continue
+		}
+		l.Release(th)
+		if !l.AcquireFor(th, 0) {
+			t.Errorf("%s: AcquireFor(d=0) failed", name)
+			continue
+		}
+		l.Release(th)
+	}
+}
+
+// TestAcquireForExpires: with the lock held past the deadline, the
+// timed acquire aborts, the protocol stays intact (a later blocking
+// acquire works), and the lock quiesces.
+func TestAcquireForExpires(t *testing.T) {
+	for _, name := range TimedNames() {
+		r := newTestRuntime(2, 4)
+		l := New(name, r, DefaultTuning()).(TimedLock)
+		holder := r.RegisterThread(0)
+		waiter := r.RegisterThread(1) // other node: HBO takes the remote slowpath
+		l.Acquire(holder)
+		release := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if l.AcquireFor(waiter, 20*time.Millisecond) {
+				t.Errorf("%s: timed acquire succeeded while held", name)
+				l.Release(waiter)
+				return
+			}
+			close(release)
+			// The abort must leave the lock acquirable.
+			l.Acquire(waiter)
+			l.Release(waiter)
+		}()
+		<-release
+		l.Release(holder)
+		<-done
+		if q, ok := l.(interface{ Quiescent() error }); ok {
+			if err := q.Quiescent(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestAcquireForAbortStorm hammers each timed lock with goroutines that
+// mix short timed attempts (many of which abort) with blocking
+// acquires, under the race detector, and checks mutual exclusion,
+// abort accounting and quiescence.
+func TestAcquireForAbortStorm(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 60
+	)
+	for _, name := range TimedNames() {
+		r := NewRuntime(2, goroutines)
+		tun := DefaultTuning()
+		tun.GetAngryLimit = 2 // exercise GT_SD anger + stopped cleanup
+		l := New(name, r, tun).(TimedLock)
+		var inCS, violations, aborts, acquired atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				th := r.RegisterThread(g % 2)
+				for i := 0; i < iters; i++ {
+					ok := l.AcquireFor(th, time.Duration(50+g*17)*time.Microsecond)
+					if !ok {
+						aborts.Add(1)
+						continue
+					}
+					if inCS.Add(1) != 1 {
+						violations.Add(1)
+					}
+					inCS.Add(-1)
+					l.Release(th)
+					acquired.Add(1)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if violations.Load() != 0 {
+			t.Errorf("%s: %d mutual-exclusion violations", name, violations.Load())
+		}
+		if acquired.Load() == 0 {
+			t.Errorf("%s: every attempt aborted; no acquisition happened", name)
+		}
+		if q, ok := l.(interface{ Quiescent() error }); ok {
+			if err := q.Quiescent(); err != nil {
+				t.Errorf("%s after %d aborts: %v", name, aborts.Load(), err)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simlock"
+)
+
+// TestDegradedReportByteDeterministic is the acceptance criterion for
+// the robustness layer: the same (faultSeed, schedule, intensity)
+// coordinates reproduce the degraded hbo-run-report/v1 byte for byte,
+// at any worker-pool width.
+func TestDegradedReportByteDeterministic(t *testing.T) {
+	render := func(parallel int) []byte {
+		rep, err := DegradedReport(Options{Quick: true, Parallel: parallel}, 42, "all", 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b, wide := render(1), render(1), render(4)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same (seed, schedule, intensity) produced different report bytes")
+	}
+	if !bytes.Equal(a, wide) {
+		t.Fatal("report bytes depend on worker-pool width")
+	}
+	s := string(a)
+	for _, want := range []string{
+		`"experiment": "degraded"`,
+		`"schedule": "all"`,
+		`"intensity": 0.8`,
+		`"fault_stats"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+	// The timed locks must have exercised the abort path under the
+	// composite schedule; the report only serializes nonzero aborts.
+	if !strings.Contains(s, `"aborts"`) {
+		t.Error("no lock reported aborts under the composite fault schedule")
+	}
+}
+
+// TestDegradedReportRejectsBadCoordinates: unknown schedules and
+// out-of-range intensities surface as errors, not bad reports.
+func TestDegradedReportRejectsBadCoordinates(t *testing.T) {
+	if _, err := DegradedReport(Options{Quick: true}, 1, "meteor", 0.5); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+	if _, err := DegradedReport(Options{Quick: true}, 1, "all", -1); err == nil {
+		t.Error("negative intensity accepted")
+	}
+}
+
+// TestDegExperimentsRegistered: the degradation drivers are reachable
+// through the experiment registry and produce well-formed tables.
+func TestDegExperimentsRegistered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation sweeps are slow; run without -short")
+	}
+	nLocks := len(simlock.Names())
+	// deg2 sweeps past two nodes and must drop the two-node-only RH lock.
+	wantCols := map[string]int{"deg1": nLocks + 1, "deg2": nLocks}
+	for id, wantTables := range map[string]int{"deg1": 3, "deg2": 1} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		tables := e.Run(Options{Quick: true, Parallel: 4, Seeds: 1, Scale: 100})
+		if len(tables) != wantTables {
+			t.Fatalf("%s: got %d tables, want %d", id, len(tables), wantTables)
+		}
+		for _, tb := range tables {
+			if len(tb.Columns) != wantCols[id] {
+				t.Errorf("%s table %q: %d cols, want %d", id, tb.Title, len(tb.Columns), wantCols[id])
+			}
+			if tb.NumRows() == 0 {
+				t.Errorf("%s table %q has no rows", id, tb.Title)
+			}
+		}
+	}
+}

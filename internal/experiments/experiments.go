@@ -106,6 +106,8 @@ func All() []Experiment {
 		{"ext1", "Extension: all thirteen algorithms on the new microbenchmark", Ext1},
 		{"ext2", "Extension: hierarchical CMP-server machine", Ext2},
 		{"ext3", "Extension: compacting guarded data onto one cache line", Ext3},
+		{"deg1", "Degradation: fault-intensity sweep on the new microbenchmark", Deg1},
+		{"deg2", "Degradation: node-count sweep under a fixed fault plan", Deg2},
 		{"cmp1", "Comparison: Table 1 measured vs paper", Cmp1},
 		{"cmp2", "Comparison: Table 2 measured vs paper", Cmp2},
 		{"cmp4", "Comparison: Table 4 measured vs paper", Cmp4},

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/microbench"
 	"repro/internal/simlock"
@@ -101,10 +102,14 @@ func aggregateByLabel(ls []machine.LineStats) []LabelTraffic {
 	return out
 }
 
-// LockReport is the per-lock section of a run report.
+// LockReport is the per-lock section of a run report. The abort and
+// fault fields only appear in degraded-mode reports (omitempty), so
+// fault-free reports keep their exact bytes.
 type LockReport struct {
 	Lock            string              `json:"lock"`
 	Acquisitions    int                 `json:"acquisitions"`
+	Aborts          int                 `json:"aborts,omitempty"`
+	AbortRate       float64             `json:"abort_rate,omitempty"`
 	Wait            Quantiles           `json:"wait"`
 	Hold            Quantiles           `json:"hold"`
 	HandoffRatio    float64             `json:"handoff_ratio"`
@@ -115,6 +120,7 @@ type LockReport struct {
 	Traffic         TrafficReport       `json:"traffic"`
 	TrafficByLabel  []LabelTraffic      `json:"traffic_by_label,omitempty"`
 	HotLines        []machine.LineStats `json:"hot_lines,omitempty"`
+	FaultStats      *fault.Stats        `json:"fault_stats,omitempty"`
 }
 
 // BuildLockReport assembles the per-lock report section from trace
@@ -152,9 +158,19 @@ type MachineSummary struct {
 	Preset       string `json:"preset,omitempty"`
 }
 
+// FaultReport records the replay coordinates of a degraded-mode run:
+// re-running the same tool with this (schedule, seed, intensity)
+// triple reproduces the report byte for byte.
+type FaultReport struct {
+	Schedule  string  `json:"schedule"`
+	Seed      uint64  `json:"seed"`
+	Intensity float64 `json:"intensity"`
+}
+
 // Report is the machine-readable result of one observability run. All
 // fields are deterministic for a fixed seed, so identical invocations
-// produce byte-identical JSON.
+// produce byte-identical JSON. Fault is present only for degraded-mode
+// runs (omitempty keeps fault-free reports byte-stable).
 type Report struct {
 	Schema     string         `json:"schema"`
 	Tool       string         `json:"tool"`
@@ -162,6 +178,7 @@ type Report struct {
 	Seed       uint64         `json:"seed"`
 	Machine    MachineSummary `json:"machine"`
 	Params     map[string]int `json:"params,omitempty"`
+	Fault      *FaultReport   `json:"fault,omitempty"`
 	Locks      []LockReport   `json:"locks"`
 }
 

@@ -1,0 +1,394 @@
+// Package fault is a deterministic fault-injection layer for the
+// simulated NUCA machine. It generates seed-driven schedules of four
+// fault classes the paper's healthy Sun WildFire never shows but real
+// NUCA deployments do:
+//
+//   - latency spikes: windows during which all coherence transfers
+//     touching a node are slowed by a multiplicative factor (a thermally
+//     throttled or overloaded node);
+//   - congestion storms: windows during which the global interconnect's
+//     per-crossing occupancy is inflated, so crossings queue (bisection
+//     bandwidth stolen by other traffic);
+//   - node pauses: windows during which every CPU of a node stops
+//     executing (OS or hypervisor preemption at socket granularity —
+//     the scenario that motivates timeout-capable locks, cf. Chabbi et
+//     al.'s HMCS-T and Dice & Kogan's compact NUMA-aware locks);
+//   - transient NACKs: coherence requests that are bounced at the
+//     target and must be retried after a delay, modeling the
+//     retry/NACK behaviour of real directory fabrics under load.
+//
+// Everything is a pure function of (Config.Seed, schedule parameters):
+// window streams are derived with a splitmix64 per (class, node) stream
+// seed and advanced lazily against the monotone simulated clock, so a
+// run with the same (faultSeed, schedule) pair replays byte-identically
+// regardless of host parallelism. A zero Config (no class enabled)
+// injects nothing and costs nothing.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SpikeConfig describes per-node latency-spike windows: at exponentially
+// distributed intervals a node enters a window of exponentially
+// distributed duration during which coherence transfers touching it are
+// Factor times slower.
+type SpikeConfig struct {
+	Enabled      bool
+	MeanInterval sim.Time
+	MeanDuration sim.Time
+	Factor       float64 // latency multiplier while a window is active (>= 1)
+}
+
+// StormConfig describes global-interconnect congestion storms: windows
+// during which every interconnect crossing's service occupancy is
+// inflated by Factor, so crossings queue behind each other.
+type StormConfig struct {
+	Enabled      bool
+	MeanInterval sim.Time
+	MeanDuration sim.Time
+	Factor       float64 // link-occupancy multiplier while active (>= 1)
+}
+
+// PauseConfig describes node pauses: windows during which every CPU of
+// a node is stopped, as if the OS or hypervisor preempted the whole
+// socket. A paused lock holder stalls every waiter — the degradation
+// mode queue locks are most sensitive to.
+type PauseConfig struct {
+	Enabled      bool
+	MeanInterval sim.Time
+	MeanDuration sim.Time
+}
+
+// NACKConfig describes transient NACK-and-retry on coherence misses:
+// each miss is independently bounced with probability Prob (per
+// attempt, at most MaxRetries times) and retried after RetryDelay.
+type NACKConfig struct {
+	Enabled    bool
+	Prob       float64  // per-attempt bounce probability, in [0, 0.9]
+	RetryDelay sim.Time // time between a bounce and the retry
+	MaxRetries int      // bound on consecutive bounces per miss (0 = default 8)
+}
+
+// defaultNACKRetries bounds consecutive NACKs when MaxRetries is 0.
+const defaultNACKRetries = 8
+
+// Config selects and parameterizes the fault classes. The zero value
+// injects nothing. Seed is the fault layer's own seed, independent of
+// the machine's simulation and tie-break seeds, so the same workload
+// can be replayed under different fault schedules and vice versa.
+type Config struct {
+	Seed  uint64
+	Spike SpikeConfig
+	Storm StormConfig
+	Pause PauseConfig
+	NACK  NACKConfig
+}
+
+// Enabled reports whether any fault class is active.
+func (c Config) Enabled() bool {
+	return c.Spike.Enabled || c.Storm.Enabled || c.Pause.Enabled || c.NACK.Enabled
+}
+
+// Validate reports configuration errors. Window means must be positive
+// (the exponential sampler rejects non-positive means), factors must
+// not speed the machine up, and the NACK probability is capped below 1
+// so a miss cannot bounce forever even with a large retry bound.
+func (c Config) Validate() error {
+	check := func(class string, interval, duration sim.Time) error {
+		if interval <= 0 {
+			return fmt.Errorf("fault: %s MeanInterval = %v, need > 0", class, interval)
+		}
+		if duration <= 0 {
+			return fmt.Errorf("fault: %s MeanDuration = %v, need > 0", class, duration)
+		}
+		return nil
+	}
+	if c.Spike.Enabled {
+		if err := check("Spike", c.Spike.MeanInterval, c.Spike.MeanDuration); err != nil {
+			return err
+		}
+		if c.Spike.Factor < 1 {
+			return fmt.Errorf("fault: Spike.Factor = %g, need >= 1", c.Spike.Factor)
+		}
+	}
+	if c.Storm.Enabled {
+		if err := check("Storm", c.Storm.MeanInterval, c.Storm.MeanDuration); err != nil {
+			return err
+		}
+		if c.Storm.Factor < 1 {
+			return fmt.Errorf("fault: Storm.Factor = %g, need >= 1", c.Storm.Factor)
+		}
+	}
+	if c.Pause.Enabled {
+		if err := check("Pause", c.Pause.MeanInterval, c.Pause.MeanDuration); err != nil {
+			return err
+		}
+	}
+	if c.NACK.Enabled {
+		if c.NACK.Prob < 0 || c.NACK.Prob > 0.9 {
+			return fmt.Errorf("fault: NACK.Prob = %g, need in [0, 0.9]", c.NACK.Prob)
+		}
+		if c.NACK.RetryDelay <= 0 {
+			return fmt.Errorf("fault: NACK.RetryDelay = %v, need > 0", c.NACK.RetryDelay)
+		}
+		if c.NACK.MaxRetries < 0 || c.NACK.MaxRetries > 64 {
+			return fmt.Errorf("fault: NACK.MaxRetries = %d, need in [0, 64]", c.NACK.MaxRetries)
+		}
+	}
+	return nil
+}
+
+// Schedules names the built-in fault schedules, one per class plus the
+// combined "all". The order is fixed so reports and sweeps iterate
+// deterministically.
+func Schedules() []string {
+	return []string{"spike", "storm", "pause", "nack", "all"}
+}
+
+// Preset builds the named schedule at the given intensity in (0, 1].
+// Intensity scales both how often windows open and how hard they hit;
+// the base rates are calibrated for the repository's microbenchmark
+// runs (simulated milliseconds to tens of milliseconds). The replay
+// coordinate of a faulty run is exactly (seed, name, intensity).
+func Preset(name string, seed uint64, intensity float64) (Config, error) {
+	if intensity <= 0 || intensity > 1 {
+		return Config{}, fmt.Errorf("fault: intensity %g outside (0, 1]", intensity)
+	}
+	// Rarer at low intensity: mean gap between windows shrinks as
+	// intensity rises.
+	gap := func(base sim.Time) sim.Time { return sim.Time(float64(base) / intensity) }
+	spike := SpikeConfig{
+		Enabled:      true,
+		MeanInterval: gap(500 * sim.Microsecond),
+		MeanDuration: 100 * sim.Microsecond,
+		Factor:       1 + 7*intensity,
+	}
+	storm := StormConfig{
+		Enabled:      true,
+		MeanInterval: gap(800 * sim.Microsecond),
+		MeanDuration: 200 * sim.Microsecond,
+		Factor:       1 + 9*intensity,
+	}
+	pause := PauseConfig{
+		Enabled:      true,
+		MeanInterval: gap(1 * sim.Millisecond),
+		MeanDuration: 150 * sim.Microsecond,
+	}
+	nack := NACKConfig{
+		Enabled:    true,
+		Prob:       0.25 * intensity,
+		RetryDelay: 2 * sim.Microsecond,
+		MaxRetries: defaultNACKRetries,
+	}
+	cfg := Config{Seed: seed}
+	switch name {
+	case "spike":
+		cfg.Spike = spike
+	case "storm":
+		cfg.Storm = storm
+	case "pause":
+		cfg.Pause = pause
+	case "nack":
+		cfg.NACK = nack
+	case "all":
+		cfg.Spike, cfg.Storm, cfg.Pause, cfg.NACK = spike, storm, pause, nack
+	default:
+		return Config{}, fmt.Errorf("fault: unknown schedule %q (have %v)", name, Schedules())
+	}
+	return cfg, nil
+}
+
+// Stats counts the faults a run actually experienced. Windows are
+// counted when first observed active by the machine (a window nobody
+// runs into costs nothing and is not counted), which is deterministic
+// for a deterministic simulation.
+type Stats struct {
+	SpikeWindows uint64 `json:"spike_windows"`
+	StormWindows uint64 `json:"storm_windows"`
+	PauseWindows uint64 `json:"pause_windows"`
+	NACKs        uint64 `json:"nacks"`
+}
+
+// Total sums all fault events.
+func (s Stats) Total() uint64 {
+	return s.SpikeWindows + s.StormWindows + s.PauseWindows + s.NACKs
+}
+
+// splitmix64 derives independent stream seeds from the root seed, the
+// same mixer the check explorer uses for its seed streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func streamSeed(root uint64, class, node int) uint64 {
+	return splitmix64(root ^ splitmix64(uint64(class)*0x100000001b3+uint64(node)+1))
+}
+
+// windowStream lazily generates an unbounded sequence of
+// non-overlapping [start, end) fault windows from its own RNG stream.
+// Queries must come at monotonically non-decreasing times — true inside
+// a discrete-event simulation — so advancing past expired windows never
+// needs to rewind.
+type windowStream struct {
+	rng        *sim.RNG
+	meanGap    sim.Time
+	meanDur    sim.Time
+	start, end sim.Time
+	counted    bool
+	count      *uint64
+}
+
+func newWindowStream(seed uint64, meanGap, meanDur sim.Time, count *uint64) *windowStream {
+	ws := &windowStream{rng: sim.NewRNG(seed | 1), meanGap: meanGap, meanDur: meanDur, count: count}
+	ws.start = clampTime(ws.rng.Exp(meanGap))
+	ws.end = ws.start + clampTime(ws.rng.Exp(meanDur))
+	return ws
+}
+
+// clampTime keeps sampled gaps and durations at >= 1 ns so streams
+// always make progress.
+func clampTime(t sim.Time) sim.Time {
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// active reports whether a window covers now and, if so, when it ends.
+func (ws *windowStream) active(now sim.Time) (sim.Time, bool) {
+	for now >= ws.end {
+		ws.start = ws.end + clampTime(ws.rng.Exp(ws.meanGap))
+		ws.end = ws.start + clampTime(ws.rng.Exp(ws.meanDur))
+		ws.counted = false
+	}
+	if now < ws.start {
+		return 0, false
+	}
+	if !ws.counted {
+		ws.counted = true
+		*ws.count++
+	}
+	return ws.end, true
+}
+
+// Injector evaluates a Config against the simulated clock. The machine
+// holds one injector (nil when no class is enabled) and consults it at
+// its existing latency, queueing, and preemption points; the injector
+// itself schedules nothing, so disabling it reproduces the fault-free
+// event sequence exactly.
+type Injector struct {
+	cfg   Config
+	spike []*windowStream // per node
+	pause []*windowStream // per node
+	storm *windowStream
+	nack  []*sim.RNG // per node
+	stats Stats
+}
+
+// NewInjector builds an injector for a machine with the given node
+// count. cfg must have passed Validate; nodes must be >= 1.
+func NewInjector(cfg Config, nodes int) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if nodes < 1 {
+		panic(fmt.Sprintf("fault: NewInjector with %d nodes", nodes))
+	}
+	in := &Injector{cfg: cfg}
+	if cfg.Spike.Enabled {
+		in.spike = make([]*windowStream, nodes)
+		for n := range in.spike {
+			in.spike[n] = newWindowStream(streamSeed(cfg.Seed, 0, n),
+				cfg.Spike.MeanInterval, cfg.Spike.MeanDuration, &in.stats.SpikeWindows)
+		}
+	}
+	if cfg.Storm.Enabled {
+		in.storm = newWindowStream(streamSeed(cfg.Seed, 1, 0),
+			cfg.Storm.MeanInterval, cfg.Storm.MeanDuration, &in.stats.StormWindows)
+	}
+	if cfg.Pause.Enabled {
+		in.pause = make([]*windowStream, nodes)
+		for n := range in.pause {
+			in.pause[n] = newWindowStream(streamSeed(cfg.Seed, 2, n),
+				cfg.Pause.MeanInterval, cfg.Pause.MeanDuration, &in.stats.PauseWindows)
+		}
+	}
+	if cfg.NACK.Enabled {
+		in.nack = make([]*sim.RNG, nodes)
+		for n := range in.nack {
+			in.nack[n] = sim.NewRNG(streamSeed(cfg.Seed, 3, n) | 1)
+		}
+	}
+	return in
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// LatencyScale returns the multiplier to apply to a coherence transfer
+// touching node at time now (1 when no spike window is active).
+func (in *Injector) LatencyScale(now sim.Time, node int) float64 {
+	if in.spike == nil {
+		return 1
+	}
+	if _, ok := in.spike[node].active(now); ok {
+		return in.cfg.Spike.Factor
+	}
+	return 1
+}
+
+// LinkScale returns the multiplier for the global interconnect's
+// per-crossing occupancy at time now (1 outside storm windows).
+func (in *Injector) LinkScale(now sim.Time) float64 {
+	if in.storm == nil {
+		return 1
+	}
+	if _, ok := in.storm.active(now); ok {
+		return in.cfg.Storm.Factor
+	}
+	return 1
+}
+
+// PausedUntil reports whether node is inside a pause window at time
+// now, and if so when the window ends.
+func (in *Injector) PausedUntil(now sim.Time, node int) (sim.Time, bool) {
+	if in.pause == nil {
+		return 0, false
+	}
+	return in.pause[node].active(now)
+}
+
+// NACKed decides whether one coherence-miss attempt issued from node is
+// bounced. Each call consumes the node's NACK stream, so the decision
+// sequence is a pure function of the fault seed and the (deterministic)
+// order of misses.
+func (in *Injector) NACKed(node int) bool {
+	if in.nack == nil || in.cfg.NACK.Prob <= 0 {
+		return false
+	}
+	hit := in.nack[node].Float64() < in.cfg.NACK.Prob
+	if hit {
+		in.stats.NACKs++
+	}
+	return hit
+}
+
+// RetryDelay returns the configured NACK retry delay.
+func (in *Injector) RetryDelay() sim.Time { return in.cfg.NACK.RetryDelay }
+
+// MaxRetries returns the bound on consecutive NACKs per miss.
+func (in *Injector) MaxRetries() int {
+	if in.cfg.NACK.MaxRetries <= 0 {
+		return defaultNACKRetries
+	}
+	return in.cfg.NACK.MaxRetries
+}
+
+// Stats returns the fault counts observed so far.
+func (in *Injector) Stats() Stats { return in.stats }

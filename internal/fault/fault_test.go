@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", Config{}, ""},
+		{"spike ok", Config{Spike: SpikeConfig{Enabled: true, MeanInterval: 100, MeanDuration: 10, Factor: 2}}, ""},
+		{"spike no interval", Config{Spike: SpikeConfig{Enabled: true, MeanDuration: 10, Factor: 2}}, "MeanInterval"},
+		{"spike no duration", Config{Spike: SpikeConfig{Enabled: true, MeanInterval: 100, Factor: 2}}, "MeanDuration"},
+		{"spike speedup", Config{Spike: SpikeConfig{Enabled: true, MeanInterval: 100, MeanDuration: 10, Factor: 0.5}}, "Factor"},
+		{"storm speedup", Config{Storm: StormConfig{Enabled: true, MeanInterval: 100, MeanDuration: 10, Factor: 0}}, "Factor"},
+		{"pause ok", Config{Pause: PauseConfig{Enabled: true, MeanInterval: 100, MeanDuration: 10}}, ""},
+		{"pause bad", Config{Pause: PauseConfig{Enabled: true, MeanInterval: -1, MeanDuration: 10}}, "MeanInterval"},
+		{"nack ok", Config{NACK: NACKConfig{Enabled: true, Prob: 0.3, RetryDelay: 50}}, ""},
+		{"nack prob high", Config{NACK: NACKConfig{Enabled: true, Prob: 0.95, RetryDelay: 50}}, "Prob"},
+		{"nack no delay", Config{NACK: NACKConfig{Enabled: true, Prob: 0.3}}, "RetryDelay"},
+		{"nack retries", Config{NACK: NACKConfig{Enabled: true, Prob: 0.3, RetryDelay: 50, MaxRetries: 100}}, "MaxRetries"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range Schedules() {
+		cfg, err := Preset(name, 42, 0.5)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if !cfg.Enabled() {
+			t.Fatalf("Preset(%q) enables nothing", name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Preset(%q) invalid: %v", name, err)
+		}
+		if cfg.Seed != 42 {
+			t.Fatalf("Preset(%q) seed %d, want 42", name, cfg.Seed)
+		}
+	}
+	if _, err := Preset("meteor", 1, 0.5); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	if _, err := Preset("all", 1, 0); err == nil {
+		t.Fatal("zero intensity accepted")
+	}
+	if _, err := Preset("all", 1, 1.5); err == nil {
+		t.Fatal("intensity > 1 accepted")
+	}
+}
+
+// TestPresetIntensityScales checks that higher intensity means more
+// frequent windows and harder multipliers.
+func TestPresetIntensityScales(t *testing.T) {
+	lo, _ := Preset("all", 1, 0.1)
+	hi, _ := Preset("all", 1, 1.0)
+	if lo.Spike.MeanInterval <= hi.Spike.MeanInterval {
+		t.Fatal("low intensity should space spike windows further apart")
+	}
+	if lo.Storm.Factor >= hi.Storm.Factor {
+		t.Fatal("high intensity should inflate the storm factor")
+	}
+	if lo.NACK.Prob >= hi.NACK.Prob {
+		t.Fatal("high intensity should raise the NACK probability")
+	}
+}
+
+// TestWindowStreamDeterministic replays a window stream query sequence
+// and requires identical windows and counts.
+func TestWindowStreamDeterministic(t *testing.T) {
+	run := func() ([]bool, uint64) {
+		var count uint64
+		ws := newWindowStream(7, 100, 30, &count)
+		var seen []bool
+		for now := sim.Time(0); now < 5000; now += 13 {
+			_, ok := ws.active(now)
+			seen = append(seen, ok)
+		}
+		return seen, count
+	}
+	a, ca := run()
+	b, cb := run()
+	if ca != cb {
+		t.Fatalf("window counts diverge: %d vs %d", ca, cb)
+	}
+	if ca == 0 {
+		t.Fatal("no windows observed in 50 mean intervals")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window activity diverges at query %d", i)
+		}
+	}
+}
+
+// TestWindowStreamMonotone checks that a window, once reported with an
+// end time, stays active up to (and not at) that end.
+func TestWindowStreamMonotone(t *testing.T) {
+	var count uint64
+	ws := newWindowStream(3, 200, 50, &count)
+	for now := sim.Time(0); now < 20000; now++ {
+		end, ok := ws.active(now)
+		if !ok {
+			continue
+		}
+		if end <= now {
+			t.Fatalf("active window ends at %v, not after now=%v", end, now)
+		}
+		if gotEnd, still := ws.active(end - 1); !still || gotEnd != end {
+			t.Fatalf("window [.., %v) not active at its last instant", end)
+		}
+		if _, still := ws.active(end); still {
+			// A new window may legitimately start exactly at end only if
+			// the sampled gap were zero, which clampTime forbids.
+			t.Fatalf("window still active at its end %v", end)
+		}
+		now = end
+	}
+	if count == 0 {
+		t.Fatal("no windows generated")
+	}
+}
+
+// TestInjectorStreamsIndependent checks nodes get distinct schedules
+// and that per-class streams do not alias.
+func TestInjectorStreamsIndependent(t *testing.T) {
+	cfg, _ := Preset("all", 9, 1.0)
+	in := NewInjector(cfg, 4)
+	sameSpike, samePause := true, true
+	for now := sim.Time(0); now < 20*sim.Millisecond; now += 777 {
+		if in.LatencyScale(now, 0) != in.LatencyScale(now, 3) {
+			sameSpike = false
+		}
+		_, p0 := in.PausedUntil(now, 0)
+		_, p3 := in.PausedUntil(now, 3)
+		if p0 != p3 {
+			samePause = false
+		}
+	}
+	if sameSpike {
+		t.Error("nodes 0 and 3 share an identical spike schedule")
+	}
+	if samePause {
+		t.Error("nodes 0 and 3 share an identical pause schedule")
+	}
+}
+
+// TestNACKDeterministicRate checks the NACK stream is deterministic and
+// lands near the configured probability.
+func TestNACKDeterministicRate(t *testing.T) {
+	cfg := Config{Seed: 5, NACK: NACKConfig{Enabled: true, Prob: 0.25, RetryDelay: 100}}
+	run := func() (uint64, int) {
+		in := NewInjector(cfg, 2)
+		hits := 0
+		for i := 0; i < 10000; i++ {
+			if in.NACKed(i % 2) {
+				hits++
+			}
+		}
+		return in.Stats().NACKs, hits
+	}
+	n1, h1 := run()
+	n2, h2 := run()
+	if n1 != n2 || h1 != h2 {
+		t.Fatalf("NACK stream not deterministic: (%d,%d) vs (%d,%d)", n1, h1, n2, h2)
+	}
+	if n1 != uint64(h1) {
+		t.Fatalf("stats count %d != observed hits %d", n1, h1)
+	}
+	rate := float64(h1) / 10000
+	if rate < 0.2 || rate > 0.3 {
+		t.Fatalf("NACK rate %.3f far from configured 0.25", rate)
+	}
+}
+
+func TestInjectorDisabledClasses(t *testing.T) {
+	in := NewInjector(Config{Seed: 1}, 2)
+	if s := in.LatencyScale(100, 0); s != 1 {
+		t.Fatalf("LatencyScale = %g with spikes disabled", s)
+	}
+	if s := in.LinkScale(100); s != 1 {
+		t.Fatalf("LinkScale = %g with storms disabled", s)
+	}
+	if _, ok := in.PausedUntil(100, 1); ok {
+		t.Fatal("paused with pauses disabled")
+	}
+	if in.NACKed(0) {
+		t.Fatal("NACKed with NACKs disabled")
+	}
+	if in.Stats().Total() != 0 {
+		t.Fatal("stats counted with everything disabled")
+	}
+}

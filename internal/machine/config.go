@@ -15,6 +15,7 @@ package machine
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -103,9 +104,19 @@ type Config struct {
 	Probes bool
 	// TimeLimit aborts the simulation when the clock passes it (0 = off).
 	TimeLimit sim.Time
+	// Fault configures the deterministic fault-injection layer (latency
+	// spikes, interconnect congestion storms, node pauses, coherence
+	// NACKs). The zero value injects nothing and leaves the event
+	// sequence byte-identical to a machine without the layer. Fault.Seed
+	// plus a schedule (see fault.Preset) are the replay coordinates of a
+	// degraded run, independent of Seed and TieBreakSeed.
+	Fault fault.Config
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. It is the single up-front
+// gate for machine shapes: anything it accepts must construct and run
+// without panicking deep inside the model, so harnesses (fuzzers, flag
+// parsers) can surface a clean error instead of a stack trace.
 func (c Config) Validate() error {
 	if c.Nodes < 1 {
 		return fmt.Errorf("machine: Nodes = %d, need >= 1", c.Nodes)
@@ -117,7 +128,38 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: %d CPUs exceeds the %d-CPU sharer bitmap",
 			c.Nodes*c.CPUsPerNode, maxCPUs)
 	}
-	return nil
+	if c.ClusterSize < 0 {
+		return fmt.Errorf("machine: ClusterSize = %d, need >= 0", c.ClusterSize)
+	}
+	if c.WordsPerLine < 0 {
+		return fmt.Errorf("machine: WordsPerLine = %d, need >= 0", c.WordsPerLine)
+	}
+	for _, l := range []struct {
+		name string
+		v    sim.Time
+	}{
+		{"OpOverhead", c.Lat.OpOverhead}, {"LoadHit", c.Lat.LoadHit},
+		{"StoreOwned", c.Lat.StoreOwned}, {"Upgrade", c.Lat.Upgrade},
+		{"C2CLocal", c.Lat.C2CLocal}, {"C2CRemote", c.Lat.C2CRemote},
+		{"MemLocal", c.Lat.MemLocal}, {"MemRemote", c.Lat.MemRemote},
+		{"BackoffUnit", c.Lat.BackoffUnit}, {"WakeJitter", c.Lat.WakeJitter},
+		{"C2CFar", c.Lat.C2CFar}, {"MemFar", c.Lat.MemFar},
+		{"BusService", c.BusService}, {"LinkService", c.LinkService},
+		{"TimeLimit", c.TimeLimit},
+	} {
+		if l.v < 0 {
+			return fmt.Errorf("machine: %s = %v, need >= 0", l.name, l.v)
+		}
+	}
+	if c.Preempt.Enabled {
+		if c.Preempt.MeanInterval <= 0 {
+			return fmt.Errorf("machine: Preempt.MeanInterval = %v, need > 0", c.Preempt.MeanInterval)
+		}
+		if c.Preempt.MeanDuration <= 0 {
+			return fmt.Errorf("machine: Preempt.MeanDuration = %v, need > 0", c.Preempt.MeanDuration)
+		}
+	}
+	return c.Fault.Validate()
 }
 
 // TotalCPUs returns Nodes * CPUsPerNode.

@@ -1,0 +1,199 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// faultWorkload runs a small contended read-modify-write workload and
+// returns the final simulated time, traffic stats and fault stats.
+func faultWorkload(cfg Config) (sim.Time, Stats, fault.Stats) {
+	m := New(cfg)
+	a := m.Alloc(0, 1)
+	b := m.Alloc(cfg.Nodes-1, 1)
+	for cpu := 0; cpu < cfg.TotalCPUs(); cpu++ {
+		m.Spawn(cpu, func(p *Proc) {
+			// Long enough (several simulated ms) that the preset fault
+			// windows, whose mean gaps are hundreds of µs, open many
+			// times during the run.
+			for i := 0; i < 1200; i++ {
+				p.Store(a, p.Load(a)+1)
+				p.Store(b, p.Load(b)+1)
+				p.Work(500)
+			}
+		})
+	}
+	m.Run()
+	return m.Now(), m.Stats(), m.FaultStats()
+}
+
+func smallShape() Config {
+	cfg := WildFire()
+	cfg.Nodes = 2
+	cfg.CPUsPerNode = 2
+	cfg.Probes = true
+	return cfg
+}
+
+// TestFaultRunsDeterministic requires byte-level replay: the same
+// (faultSeed, schedule) pair yields identical elapsed time, traffic and
+// fault counts; a different fault seed yields a different run.
+func TestFaultRunsDeterministic(t *testing.T) {
+	for _, sched := range fault.Schedules() {
+		cfg := smallShape()
+		fc, err := fault.Preset(sched, 77, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fault = fc
+		t1, s1, f1 := faultWorkload(cfg)
+		t2, s2, f2 := faultWorkload(cfg)
+		if t1 != t2 || s1.Global != s2.Global || s1.TotalLocal() != s2.TotalLocal() || f1 != f2 {
+			t.Fatalf("%s: replay diverged: (%v,%d,%d,%+v) vs (%v,%d,%d,%+v)",
+				sched, t1, s1.Global, s1.TotalLocal(), f1, t2, s2.Global, s2.TotalLocal(), f2)
+		}
+		cfg.Fault.Seed = 78
+		t3, _, _ := faultWorkload(cfg)
+		if t3 == t1 {
+			t.Errorf("%s: fault seed change did not alter the run", sched)
+		}
+	}
+}
+
+// pingPong passes a token between one CPU in node 0 and one in node 1
+// through a strictly serialized handshake, so the elapsed time is a
+// monotone sum of transfer latencies: any injected delay must slow the
+// run. (A *contended* workload is not monotone — pausing a node can
+// dissolve a convoy and finish faster.)
+func faultPingPong(cfg Config, rounds int) (sim.Time, fault.Stats) {
+	m := New(cfg)
+	tok := m.Alloc(0, 1)
+	m.Spawn(0, func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.SpinUntil(tok, func(v uint64) bool { return v == uint64(2*i) })
+			p.Store(tok, uint64(2*i+1))
+		}
+	})
+	m.Spawn(cfg.CPUsPerNode, func(p *Proc) { // first CPU of node 1
+		for i := 0; i < rounds; i++ {
+			p.SpinUntil(tok, func(v uint64) bool { return v == uint64(2*i+1) })
+			p.Store(tok, uint64(2*i+2))
+		}
+	})
+	m.Run()
+	return m.Now(), m.FaultStats()
+}
+
+// TestFaultClassesSlowTheMachine checks each class actually injects:
+// the degraded run is slower than the fault-free run and the injector
+// counted events.
+func TestFaultClassesSlowTheMachine(t *testing.T) {
+	const rounds = 1500
+	base, _ := faultPingPong(smallShape(), rounds)
+	for _, sched := range fault.Schedules() {
+		cfg := smallShape()
+		fc, err := fault.Preset(sched, 5, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fault = fc
+		elapsed, fs := faultPingPong(cfg, rounds)
+		if fs.Total() == 0 {
+			t.Errorf("%s: no fault events observed", sched)
+		}
+		if elapsed <= base {
+			t.Errorf("%s: degraded run (%v) not slower than fault-free (%v)", sched, elapsed, base)
+		}
+	}
+}
+
+// TestFaultZeroConfigIdentical checks the zero fault config reproduces
+// the fault-free event sequence exactly (same clock, same traffic).
+func TestFaultZeroConfigIdentical(t *testing.T) {
+	t1, s1, _ := faultWorkload(smallShape())
+	cfg := smallShape()
+	cfg.Fault = fault.Config{Seed: 12345} // seed set, no class enabled
+	t2, s2, f2 := faultWorkload(cfg)
+	if t1 != t2 || s1.Global != s2.Global || s1.TotalLocal() != s2.TotalLocal() {
+		t.Fatalf("zero fault config changed the run: (%v,%d,%d) vs (%v,%d,%d)",
+			t1, s1.Global, s1.TotalLocal(), t2, s2.Global, s2.TotalLocal())
+	}
+	if f2.Total() != 0 {
+		t.Fatalf("zero fault config counted %d events", f2.Total())
+	}
+}
+
+// TestFaultConservationHolds runs every fault class with probes on and
+// requires the per-line traffic attribution to still conserve against
+// the aggregate counters (NACK retries count on both sides).
+func TestFaultConservationHolds(t *testing.T) {
+	for _, sched := range fault.Schedules() {
+		cfg := smallShape()
+		fc, err := fault.Preset(sched, 9, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fault = fc
+		m := New(cfg)
+		a := m.Alloc(0, 2)
+		for cpu := 0; cpu < cfg.TotalCPUs(); cpu++ {
+			m.Spawn(cpu, func(p *Proc) {
+				for i := 0; i < 30; i++ {
+					p.CAS(a, 0, uint64(cpu))
+					p.Store(a+1, p.Load(a+1)+1)
+					p.Store(a, 0)
+				}
+			})
+		}
+		m.Run()
+		if err := m.CheckConservation(); err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+		if err := m.ProbeError(); err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+	}
+}
+
+// TestConfigValidateRejectsBadShapes exercises the up-front validation
+// satellite: shapes that used to panic deep in construction now fail
+// Validate with a descriptive error.
+func TestConfigValidateRejectsBadShapes(t *testing.T) {
+	good := WildFire()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("WildFire invalid: %v", err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := WildFire()
+		f(&c)
+		return c
+	}
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero nodes", mut(func(c *Config) { c.Nodes = 0 })},
+		{"negative nodes", mut(func(c *Config) { c.Nodes = -3 })},
+		{"zero cpus", mut(func(c *Config) { c.CPUsPerNode = 0 })},
+		{"too many cpus", mut(func(c *Config) { c.Nodes = 9; c.CPUsPerNode = 8 })},
+		{"negative cluster", mut(func(c *Config) { c.ClusterSize = -1 })},
+		{"negative line width", mut(func(c *Config) { c.WordsPerLine = -2 })},
+		{"negative latency", mut(func(c *Config) { c.Lat.C2CRemote = -1 })},
+		{"negative bus service", mut(func(c *Config) { c.BusService = -40 })},
+		{"negative time limit", mut(func(c *Config) { c.TimeLimit = -1 })},
+		{"preempt no mean", mut(func(c *Config) { c.Preempt = PreemptConfig{Enabled: true} })},
+		{"bad fault", mut(func(c *Config) {
+			c.Fault.Spike = fault.SpikeConfig{Enabled: true, Factor: 2}
+		})},
+	}
+	for _, b := range bad {
+		if err := b.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the config", b.name)
+		}
+	}
+}

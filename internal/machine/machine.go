@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -109,6 +110,9 @@ type Machine struct {
 	active         int // procs still running
 	preemptedUntil []sim.Time
 	probeFailure   error // first violation latched by the invariant probes
+	// faults is nil unless a fault class is enabled, so the fault-free
+	// fast paths stay branch-one-nil-check cheap and byte-identical.
+	faults *fault.Injector
 }
 
 // New builds a machine from cfg. It panics on an invalid configuration
@@ -141,7 +145,34 @@ func New(cfg Config) *Machine {
 	if cfg.Preempt.Enabled {
 		m.schedulePreempt()
 	}
+	if cfg.Fault.Enabled() {
+		m.faults = fault.NewInjector(cfg.Fault, cfg.Nodes)
+	}
 	return m
+}
+
+// FaultStats returns the fault-injection counts observed so far (zero
+// when no fault class is enabled).
+func (m *Machine) FaultStats() fault.Stats {
+	if m.faults == nil {
+		return fault.Stats{}
+	}
+	return m.faults.Stats()
+}
+
+// faultLatency scales a transfer latency touching nodes a and b by the
+// strongest active spike window among them.
+func (m *Machine) faultLatency(d sim.Time, a, b int) sim.Time {
+	s := m.faults.LatencyScale(m.eng.Now(), a)
+	if a != b {
+		if s2 := m.faults.LatencyScale(m.eng.Now(), b); s2 > s {
+			s = s2
+		}
+	}
+	if s <= 1 {
+		return d
+	}
+	return sim.Time(float64(d) * s)
 }
 
 // Config returns the machine's configuration.

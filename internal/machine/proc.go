@@ -38,12 +38,35 @@ func (p *Proc) Machine() *Machine { return p.m }
 // Now returns the simulated clock.
 func (p *Proc) Now() sim.Time { return p.m.eng.Now() }
 
-// checkPreempt stalls the processor while the OS has stolen its CPU.
+// checkPreempt stalls the processor while the OS has stolen its CPU or
+// the fault injector has paused its whole node.
 func (p *Proc) checkPreempt() {
 	until := p.m.preemptedUntil[p.cpu]
 	if now := p.m.eng.Now(); until > now {
 		p.proc.Sleep(until - now)
 	}
+	if f := p.m.faults; f != nil {
+		// Pause windows can chain (a new window may open while we sleep
+		// out the current one), so re-check until the node is running.
+		for {
+			now := p.m.eng.Now()
+			end, ok := f.PausedUntil(now, p.node)
+			if !ok {
+				return
+			}
+			p.proc.Sleep(end - now)
+		}
+	}
+}
+
+// faultScale applies active latency-spike windows to a miss latency
+// involving p's node and other (the transfer's far end; pass p.node
+// when the transfer stays local).
+func (p *Proc) faultScale(d sim.Time, other int) sim.Time {
+	if p.m.faults == nil {
+		return d
+	}
+	return p.m.faultLatency(d, p.node, other)
 }
 
 // Work models off-memory computation taking d nanoseconds.
@@ -75,6 +98,15 @@ func (p *Proc) checkAddr(a Addr) *line {
 // their NUCA advantage: a local CAS issued after a remote one still
 // reaches the line first and wins the race.
 func (p *Proc) miss(l *line, d, extra sim.Time) {
+	if f := p.m.faults; f != nil {
+		// Transient NACKs: the request is bounced at the target and
+		// retried after a delay; each bounce burns one more bus
+		// transaction at the requester's node.
+		for r := f.MaxRetries(); r > 0 && f.NACKed(p.node); r-- {
+			p.m.countLocal(l, p.node)
+			p.proc.Sleep(f.RetryDelay())
+		}
+	}
 	flight := d / 2
 	service := d - flight
 	p.proc.Sleep(flight + extra) // request in flight
@@ -95,9 +127,18 @@ func (p *Proc) busWait(node int) sim.Time {
 	return d - p.m.cfg.BusService
 }
 
-// linkWait reserves the global interconnect for one crossing.
+// linkWait reserves the global interconnect for one crossing. During a
+// congestion storm the crossing occupies the link for longer, so
+// concurrent crossings queue; the requester pays the queueing plus the
+// storm surcharge on its own service.
 func (p *Proc) linkWait() sim.Time {
-	d := p.m.link.Delay(p.m.cfg.LinkService)
+	service := p.m.cfg.LinkService
+	if f := p.m.faults; f != nil {
+		if s := f.LinkScale(p.m.eng.Now()); s > 1 {
+			service = sim.Time(float64(service) * s)
+		}
+	}
+	d := p.m.link.Delay(service)
 	return d - p.m.cfg.LinkService
 }
 
@@ -125,7 +166,7 @@ func (p *Proc) readAccess(a Addr) uint64 {
 		switch {
 		case l.state == stateModified:
 			src := m.NodeOf(l.owner)
-			base = m.c2cLatency(p.node, src)
+			base = p.faultScale(m.c2cLatency(p.node, src), src)
 			l.traf.transfers++
 			if src != p.node {
 				extra += p.linkWait() + p.busWait(src)
@@ -133,7 +174,7 @@ func (p *Proc) readAccess(a Addr) uint64 {
 				m.countGlobal(l)
 			}
 		default:
-			base = m.memLatency(p.node, l.home)
+			base = p.faultScale(m.memLatency(p.node, l.home), l.home)
 			if l.home != p.node {
 				extra += p.linkWait() + p.busWait(l.home)
 				m.countLocal(l, l.home)
@@ -179,11 +220,11 @@ func (p *Proc) writeAccess(a Addr) *uint64 {
 		switch {
 		case l.state == stateShared && l.sharers.has(p.cpu):
 			// Upgrade: invalidate the other sharers, no data transfer.
-			base = lat.Upgrade
+			base = p.faultScale(lat.Upgrade, p.node)
 			extra += p.invalidateRemoteSharers(l)
 		case l.state == stateModified:
 			src := m.NodeOf(l.owner)
-			base = m.c2cLatency(p.node, src)
+			base = p.faultScale(m.c2cLatency(p.node, src), src)
 			l.traf.transfers++
 			if src != p.node {
 				extra += p.linkWait() + p.busWait(src)
@@ -191,7 +232,7 @@ func (p *Proc) writeAccess(a Addr) *uint64 {
 				m.countGlobal(l)
 			}
 		default: // Shared without our copy, or uncached: fetch from home.
-			base = m.memLatency(p.node, l.home)
+			base = p.faultScale(m.memLatency(p.node, l.home), l.home)
 			if l.home != p.node {
 				extra += p.linkWait() + p.busWait(l.home)
 				m.countLocal(l, l.home)

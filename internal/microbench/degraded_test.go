@@ -1,0 +1,94 @@
+package microbench
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simlock"
+)
+
+func degradedBase(seed uint64) NewBenchConfig {
+	cfg := machine.WildFire()
+	cfg.Seed = seed
+	return NewBenchConfig{
+		Machine:      cfg,
+		Lock:         "HBO_GT",
+		Threads:      8,
+		Iterations:   12,
+		CriticalWork: 600,
+		PrivateWork:  1000,
+		Tuning:       simlock.DefaultTuning(),
+	}
+}
+
+// TestDegradedMatchesNewBenchWhenClean: with a zero fault plan and no
+// timeout, DegradedBench reproduces NewBench exactly — so degradation
+// numbers are attributable to the injection, not to the driver.
+func TestDegradedMatchesNewBenchWhenClean(t *testing.T) {
+	base := NewBench(degradedBase(5))
+	deg := DegradedBench(DegradedConfig{NewBenchConfig: degradedBase(5)})
+	if deg.TotalTime != base.TotalTime || deg.IterationTime != base.IterationTime {
+		t.Fatalf("clean DegradedBench diverged: %v/%v vs %v/%v",
+			deg.TotalTime, deg.IterationTime, base.TotalTime, base.IterationTime)
+	}
+	if deg.Traffic.Global != base.Traffic.Global {
+		t.Fatalf("clean DegradedBench traffic diverged: %d vs %d",
+			deg.Traffic.Global, base.Traffic.Global)
+	}
+	if deg.Aborts != 0 || deg.Faults.Total() != 0 {
+		t.Fatalf("clean run reported aborts=%d faults=%d", deg.Aborts, deg.Faults.Total())
+	}
+}
+
+// TestDegradedDeterministic: the same (fault seed, schedule) pair
+// replays the identical degraded run; a different fault seed changes it.
+func TestDegradedDeterministic(t *testing.T) {
+	mk := func(fseed uint64) DegradedResult {
+		fc, err := fault.Preset("all", fseed, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return DegradedBench(DegradedConfig{
+			NewBenchConfig: degradedBase(5),
+			Fault:          fc,
+			Timeout:        50 * sim.Microsecond,
+		})
+	}
+	a, b := mk(1234), mk(1234)
+	if a.TotalTime != b.TotalTime || a.Aborts != b.Aborts || a.Faults != b.Faults {
+		t.Fatalf("replay diverged: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if a.Faults.Total() == 0 {
+		t.Fatal("no fault windows served; the plan never engaged")
+	}
+	c := mk(99)
+	if c.TotalTime == a.TotalTime && c.Faults == a.Faults {
+		t.Fatal("fault seed ignored: different seeds produced identical runs")
+	}
+}
+
+// TestDegradedTimedAborts: under dense pauses with a small budget, the
+// timed path aborts (and retries), while acquisition totals stay exact.
+func TestDegradedTimedAborts(t *testing.T) {
+	fc := fault.Config{
+		Seed:  7,
+		Pause: fault.PauseConfig{Enabled: true, MeanInterval: 60 * sim.Microsecond, MeanDuration: 40 * sim.Microsecond},
+	}
+	cfg := degradedBase(9)
+	deg := DegradedBench(DegradedConfig{
+		NewBenchConfig: cfg,
+		Fault:          fc,
+		Timeout:        15 * sim.Microsecond,
+	})
+	if deg.Acquisitions != cfg.Threads*cfg.Iterations {
+		t.Fatalf("acquisitions = %d, want %d", deg.Acquisitions, cfg.Threads*cfg.Iterations)
+	}
+	if deg.Aborts == 0 {
+		t.Fatal("no timed acquire expired; the abort path went unexercised")
+	}
+	if r := deg.AbortRate(); r <= 0 || r >= 1 {
+		t.Fatalf("AbortRate = %v, want in (0,1)", r)
+	}
+}

@@ -9,7 +9,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -18,11 +20,36 @@ import (
 // schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// CellPanic is re-raised on the calling goroutine when a work item
+// panics inside ForEach. The pool drains cleanly first — already-started
+// items finish, no worker goroutine leaks, the caller never hangs — and
+// then the first panicking item propagates, lowest index winning when
+// several items fail, so the crash report does not depend on goroutine
+// scheduling.
+type CellPanic struct {
+	Item  int    // index of the panicking work item
+	Value any    // the original panic value
+	Stack []byte // stack of the goroutine that panicked
+}
+
+func (p *CellPanic) Error() string {
+	return fmt.Sprintf("par: item %d panicked: %v\n%s", p.Item, p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *CellPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // ForEach runs fn(i) for every i in [0, n), at most workers at a time.
 // workers <= 1 runs inline on the calling goroutine (fully sequential,
-// no pool). fn must confine its writes to per-i state; a panic in any
-// item propagates and crashes the program, matching sequential
-// behavior.
+// no pool). fn must confine its writes to per-i state. A panic in any
+// item stops new items from being handed out, lets in-flight items
+// finish, and then re-panics on the calling goroutine with a *CellPanic
+// — identical behavior at any pool width, and never a hung pool.
 func ForEach(workers, n int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -30,27 +57,55 @@ func ForEach(workers, n int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
+
+	var (
+		mu    sync.Mutex
+		first *CellPanic
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return first != nil
 	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
+	runCell := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				cp := &CellPanic{Item: i, Value: r, Stack: debug.Stack()}
+				mu.Lock()
+				if first == nil || i < first.Item {
+					first = cp
 				}
-				fn(i)
+				mu.Unlock()
 			}
 		}()
+		fn(i)
 	}
-	wg.Wait()
+
+	if workers <= 1 {
+		for i := 0; i < n && !failed(); i++ {
+			runCell(i)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed() {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					runCell(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if first != nil {
+		panic(first)
+	}
 }

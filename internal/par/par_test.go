@@ -3,6 +3,10 @@ package par
 import (
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 func TestForEachCoversEveryItemOnce(t *testing.T) {
@@ -57,5 +61,136 @@ func TestForEachResultsIndependentOfWorkers(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		ran := make([]int32, 40)
+		var cp *CellPanic
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				var ok bool
+				if cp, ok = r.(*CellPanic); !ok {
+					t.Fatalf("workers=%d: re-panicked with %T, want *CellPanic", workers, r)
+				}
+			}()
+			ForEach(workers, len(ran), func(i int) {
+				atomic.AddInt32(&ran[i], 1)
+				if i == 7 {
+					panic("item seven is broken")
+				}
+			})
+		}()
+		if cp.Item != 7 || cp.Value != "item seven is broken" {
+			t.Fatalf("workers=%d: CellPanic = {%d %v}", workers, cp.Item, cp.Value)
+		}
+		if len(cp.Stack) == 0 || cp.Error() == "" {
+			t.Fatalf("workers=%d: CellPanic missing stack or message", workers)
+		}
+		for i := 0; i < 7; i++ {
+			if workers == 1 && ran[i] != 1 {
+				t.Fatalf("sequential: item %d before the panic did not run", i)
+			}
+		}
+	}
+}
+
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	// Items are handed out in index order, so the lowest panicking
+	// index always runs before any failure can stop distribution — the
+	// reported item must not depend on scheduling or pool width.
+	for _, workers := range []int{1, 3, 64} {
+		for trial := 0; trial < 20; trial++ {
+			func() {
+				defer func() {
+					cp, ok := recover().(*CellPanic)
+					if !ok || cp.Item != 3 {
+						t.Fatalf("workers=%d trial %d: got %+v, want item 3", workers, trial, cp)
+					}
+				}()
+				ForEach(workers, 64, func(i int) {
+					if i == 3 || i == 11 || i == 50 {
+						panic(i)
+					}
+				})
+			}()
+		}
+	}
+}
+
+func TestForEachPanicStopsNewItems(t *testing.T) {
+	// After a failure the pool must drain, not churn through the whole
+	// range: with one worker, nothing past the panicking item runs.
+	var ran int32
+	func() {
+		defer func() { recover() }()
+		ForEach(1, 1000, func(i int) {
+			atomic.AddInt32(&ran, 1)
+			if i == 2 {
+				panic("stop")
+			}
+		})
+	}()
+	if ran != 3 {
+		t.Fatalf("sequential pool ran %d items after early panic, want 3", ran)
+	}
+}
+
+// degradedCell runs one deterministic fault-injected simulation and
+// returns its fingerprint: the pool only schedules cells, so the same
+// cell must produce the same machine state at any width.
+func degradedCell(i int) [3]uint64 {
+	cfg := machine.Config{Nodes: 2, CPUsPerNode: 2, Seed: uint64(i + 1)}
+	fc, err := fault.Preset("all", uint64(i)*7919+1, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Fault = fc
+	m := machine.New(cfg)
+	a := m.Alloc(0, 1)
+	for cpu := 0; cpu < 4; cpu++ {
+		m.Spawn(cpu, func(p *machine.Proc) {
+			for k := 0; k < 50; k++ {
+				for {
+					v := p.Load(a)
+					if p.CAS(a, v, v+1) == v {
+						break
+					}
+				}
+				p.Work(sim.Time(100 + 100*(i%5)))
+			}
+		})
+	}
+	m.Run()
+	return [3]uint64{uint64(m.Now()), m.Peek(a), uint64(m.FaultStats().Total())}
+}
+
+func TestForEachWidthDeterminismUnderFaults(t *testing.T) {
+	const n = 24
+	run := func(workers int) [n][3]uint64 {
+		var out [n][3]uint64
+		ForEach(workers, n, func(i int) { out[i] = degradedCell(i) })
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); got != want {
+			t.Fatalf("workers=%d: fault-injected cells diverged from sequential run", w)
+		}
+	}
+	// Sanity: the faults actually engaged in at least one cell.
+	engaged := false
+	for _, fp := range want {
+		if fp[2] > 0 {
+			engaged = true
+		}
+	}
+	if !engaged {
+		t.Fatal("no cell served a single fault window; the plan never engaged")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // Lock-word values for the HBO family. The paper cas-es the acquiring
@@ -71,16 +72,38 @@ func (l *hbo) Name() string { return l.name }
 
 // Acquire is hbo_acquire (Figure 1, lines 1–10).
 func (l *hbo) Acquire(p *machine.Proc, tid int) {
+	l.acquire(p, 0)
+}
+
+// AcquireTimeout is the timed path: the same protocol with a deadline
+// checked at backoff boundaries (deadline checks cost no simulated
+// time, so the unbounded path is instruction-identical to Acquire). An
+// abort restores every protocol invariant: the lock word is never
+// claimed, the aborting waiter's is_spinning throttle is reset to the
+// dummy value — the same store the successful remote path issues — and
+// any nodes the GT_SD anger logic stopped are released.
+func (l *hbo) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	if d <= 0 {
+		l.acquire(p, 0)
+		return true
+	}
+	return l.acquire(p, p.Now()+d)
+}
+
+// acquire runs the protocol; deadline 0 means unbounded (always true).
+func (l *hbo) acquire(p *machine.Proc, deadline sim.Time) bool {
 	my := hboNodeVal(p.Node())
 	if l.mode != modeHBO {
 		// Line 5: while (L == is_spinning[my_node_id]) ; // spin
-		l.spinWhileThrottled(p)
+		if !l.waitThrottled(p, deadline) {
+			return false
+		}
 	}
 	tmp := p.CAS(l.addr, hboFree, my)
 	if tmp == hboFree {
-		return // lock was free, and is now locked
+		return true // lock was free, and is now locked
 	}
-	l.acquireSlowpath(p, tmp)
+	return l.acquireSlowpath(p, tmp, deadline)
 }
 
 // spinWhileThrottled blocks while this node's is_spinning word names our
@@ -89,10 +112,29 @@ func (l *hbo) spinWhileThrottled(p *machine.Proc) {
 	p.SpinWhileEquals(l.isSpinning[p.Node()], uint64(l.addr))
 }
 
+// waitThrottled is spinWhileThrottled with a deadline: timed waiters
+// poll (the parked spin could outlive the deadline), unbounded waiters
+// keep the event-driven park.
+func (l *hbo) waitThrottled(p *machine.Proc, deadline sim.Time) bool {
+	if deadline == 0 {
+		l.spinWhileThrottled(p)
+		return true
+	}
+	for p.Load(l.isSpinning[p.Node()]) == uint64(l.addr) {
+		if p.Now() >= deadline {
+			return false
+		}
+		p.Delay(timedPollUnits)
+	}
+	return true
+}
+
 // acquireSlowpath is hbo_acquire_slowpath (Figure 1, lines 17–61), with
 // the Figure 2 replacement for the GT_SD variant. The paper's goto
 // start / goto restart structure maps onto the labeled outer loop.
-func (l *hbo) acquireSlowpath(p *machine.Proc, tmp uint64) {
+// deadline 0 means unbounded; the deadline checks read only the clock,
+// so the unbounded path issues the exact event sequence it always did.
+func (l *hbo) acquireSlowpath(p *machine.Proc, tmp uint64, deadline sim.Time) bool {
 	my := hboNodeVal(p.Node())
 	gt := l.mode != modeHBO
 
@@ -107,15 +149,19 @@ func (l *hbo) acquireSlowpath(p *machine.Proc, tmp uint64) {
 		}
 		stopped = stopped[:0]
 	}
+	expired := func() bool { return deadline != 0 && p.Now() >= deadline }
 
 start:
 	if tmp == my { // local lock (Figure 1, lines 23–36)
 		b := l.tun.BackoffBase
 		for {
+			if expired() {
+				return false // local waiters publish no auxiliary state
+			}
 			backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
 			tmp = p.CAS(l.addr, hboFree, my)
 			if tmp == hboFree {
-				return
+				return true
 			}
 			if tmp != my {
 				backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
@@ -132,6 +178,16 @@ start:
 			p.Store(l.isSpinning[p.Node()], uint64(l.addr))
 		}
 		for {
+			if expired() {
+				if gt {
+					// Abort mirrors the successful exit: un-throttle our
+					// node's neighbors and release any stopped nodes, so
+					// the abandoned attempt leaves the protocol idle.
+					p.Store(l.isSpinning[p.Node()], hboDummy)
+					releaseStopped()
+				}
+				return false
+			}
 			backoff(p, &b, l.tun.BackoffFactor, bcap)
 			tmp = p.CAS(l.addr, hboFree, my)
 			if tmp == hboFree {
@@ -140,7 +196,7 @@ start:
 					p.Store(l.isSpinning[p.Node()], hboDummy)
 					releaseStopped()
 				}
-				return
+				return true
 			}
 			if tmp == my {
 				if gt {
@@ -177,13 +233,19 @@ start:
 	}
 
 restart:
-	// Figure 1, lines 55–60.
+	// Figure 1, lines 55–60. No auxiliary state is held here: both jumps
+	// to restart reset is_spinning and the stopped list first.
 	if gt {
-		l.spinWhileThrottled(p)
+		if !l.waitThrottled(p, deadline) {
+			return false
+		}
 	}
 	tmp = p.CAS(l.addr, hboFree, my)
 	if tmp == hboFree {
-		return
+		return true
+	}
+	if expired() {
+		return false
 	}
 	goto start
 }

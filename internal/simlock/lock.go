@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // Lock is a mutual-exclusion lock operated by simulated processors.
@@ -21,6 +22,36 @@ type Lock interface {
 	Name() string
 	Acquire(p *machine.Proc, tid int)
 	Release(p *machine.Proc, tid int)
+}
+
+// TimedLock is implemented by locks with an abortable, timed acquire
+// path. AcquireTimeout attempts the acquisition for at most d of
+// simulated time (d <= 0 means no bound, equivalent to Acquire) and
+// reports whether the lock was obtained. An aborted attempt restores
+// every protocol invariant — lock word untouched, auxiliary words
+// (e.g. the HBO family's is_spinning throttles) back to idle — so a
+// Quiescer probe passes after any mix of aborts.
+//
+// Backoff locks (TATAS, TATAS_EXP, HBO family) abandon trivially: a
+// waiter owns no queue state, so it stops retrying and clears any
+// throttle word it published. Queue locks commit the thread at enqueue
+// time; of those only CLH_TRY implements the Scott & Scherer splice-out
+// handshake, and the rest are deliberately non-abortable (see
+// TimedNames).
+type TimedLock interface {
+	Lock
+	AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool
+}
+
+// TimedNames lists the registered locks that implement TimedLock.
+// MCS, CLH, TICKET, ANDERSON, REACTIVE, RH, HBO_HIER and COHORT are
+// deliberately non-abortable: their enqueue (or node-election) step
+// publishes state a departing waiter cannot retract without the full
+// HMCS-T-style abandonment protocol, which only CLH_TRY carries. A
+// test pins this membership so a lock gaining or losing a timed path
+// updates the documentation.
+func TimedNames() []string {
+	return []string{"TATAS", "TATAS_EXP", "HBO", "HBO_GT", "HBO_GT_SD", "CLH_TRY"}
 }
 
 // Quiescer is implemented by locks whose auxiliary shared state (e.g.

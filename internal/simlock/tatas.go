@@ -1,6 +1,15 @@
 package simlock
 
-import "repro/internal/machine"
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// timedPollUnits paces the polling loops of timed acquires. The
+// event-driven SpinUntil parks until the watched line changes, which
+// may be long after the deadline (or never, with a paused holder), so
+// timed waiters poll on a fixed backoff quantum instead.
+const timedPollUnits = 64
 
 // tatas is the traditional test-and-test&set lock: tas to acquire, spin
 // with plain loads while the lock is held, store zero to release.
@@ -20,6 +29,28 @@ func (l *tatas) Acquire(p *machine.Proc, tid int) {
 		// then retry the tas. The refill burst after a release is
 		// modeled by every spinner re-reading and re-tas-ing.
 		p.SpinUntilZero(l.addr)
+	}
+}
+
+// AcquireTimeout is the timed path. An aborted attempt leaves no state
+// behind: a failed tas writes 1 over an already-set word, so giving up
+// is just ceasing to retry.
+func (l *tatas) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	if d <= 0 {
+		l.Acquire(p, tid)
+		return true
+	}
+	deadline := p.Now() + d
+	for {
+		if p.TAS(l.addr) == 0 {
+			return true
+		}
+		for p.Load(l.addr) != 0 {
+			if p.Now() >= deadline {
+				return false
+			}
+			p.Delay(timedPollUnits)
+		}
 	}
 }
 
@@ -56,6 +87,33 @@ func (l *tatasExp) acquireSlowpath(p *machine.Proc) {
 		}
 		if p.TAS(l.addr) == 0 {
 			return
+		}
+	}
+}
+
+// AcquireTimeout is the timed path: the same exponential-backoff loop
+// with a deadline check at every backoff boundary. Like TATAS, an
+// abort needs no cleanup.
+func (l *tatasExp) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	if d <= 0 {
+		l.Acquire(p, tid)
+		return true
+	}
+	if p.TAS(l.addr) == 0 {
+		return true
+	}
+	deadline := p.Now() + d
+	b := l.tun.BackoffBase
+	for {
+		if p.Now() >= deadline {
+			return false
+		}
+		backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+		if p.Load(l.addr) != 0 {
+			continue
+		}
+		if p.TAS(l.addr) == 0 {
+			return true
 		}
 	}
 }

@@ -1,0 +1,200 @@
+package simlock
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func timedTestMachine() (*machine.Machine, machine.Config) {
+	cfg := machine.WildFire()
+	cfg.Nodes = 2
+	cfg.CPUsPerNode = 2
+	cfg.Probes = true
+	return machine.New(cfg), cfg
+}
+
+// TestTimedNamesMatchImplementations pins the TimedLock membership:
+// exactly the locks TimedNames documents implement the interface, and
+// every other registered lock is (deliberately) non-abortable.
+func TestTimedNamesMatchImplementations(t *testing.T) {
+	timed := map[string]bool{}
+	for _, n := range TimedNames() {
+		timed[n] = true
+	}
+	m, _ := timedTestMachine()
+	cpus := []int{0, 1, 2, 3}
+	for _, name := range AllNames() {
+		l := New(name, m, 0, cpus, DefaultTuning())
+		_, ok := l.(TimedLock)
+		if ok != timed[name] {
+			t.Errorf("%s: TimedLock = %v, TimedNames says %v", name, ok, timed[name])
+		}
+	}
+}
+
+// TestAcquireTimeoutUncontended checks the timed path takes a free lock
+// and that d <= 0 degrades to the blocking acquire.
+func TestAcquireTimeoutUncontended(t *testing.T) {
+	for _, name := range TimedNames() {
+		m, _ := timedTestMachine()
+		l := New(name, m, 0, []int{0, 1, 2, 3}, DefaultTuning()).(TimedLock)
+		got, gotZero := false, false
+		m.Spawn(0, func(p *machine.Proc) {
+			got = l.AcquireTimeout(p, 0, 10*sim.Microsecond)
+			if got {
+				l.Release(p, 0)
+			}
+			gotZero = l.AcquireTimeout(p, 0, 0)
+			if gotZero {
+				l.Release(p, 0)
+			}
+		})
+		m.Run()
+		if !got {
+			t.Errorf("%s: timed acquire of a free lock failed", name)
+		}
+		if !gotZero {
+			t.Errorf("%s: AcquireTimeout(d=0) of a free lock failed", name)
+		}
+	}
+}
+
+// TestAcquireTimeoutExpires holds the lock past a waiter's deadline and
+// checks the waiter aborts, can still acquire afterwards (the abort
+// left the protocol intact), and the lock quiesces.
+func TestAcquireTimeoutExpires(t *testing.T) {
+	const hold = 500 * sim.Microsecond
+	for _, name := range TimedNames() {
+		// The waiter sits in the remote node so the HBO family takes the
+		// remote slowpath, the one with throttle state to clean up.
+		m, _ := timedTestMachine()
+		l := New(name, m, 0, []int{0, 1, 2, 3}, DefaultTuning()).(TimedLock)
+		var aborted, reacquired bool
+		m.Spawn(0, func(p *machine.Proc) {
+			l.Acquire(p, 0)
+			p.Work(hold)
+			l.Release(p, 0)
+		})
+		m.Spawn(2, func(p *machine.Proc) {
+			p.Work(5 * sim.Microsecond) // let the holder win
+			if !l.AcquireTimeout(p, 1, 40*sim.Microsecond) {
+				aborted = true
+			} else {
+				l.Release(p, 1)
+			}
+			// Blocking acquire must still work after the abort.
+			l.Acquire(p, 1)
+			reacquired = true
+			l.Release(p, 1)
+		})
+		m.Run()
+		if !aborted {
+			t.Errorf("%s: waiter acquired despite a %v hold and 40µs budget", name, hold)
+		}
+		if !reacquired {
+			t.Errorf("%s: blocking acquire failed after an abort", name)
+		}
+		if q, ok := l.(Quiescer); ok {
+			if err := q.Quiescent(m); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+		if err := m.ProbeError(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestTimedAbortStormQuiesces hammers the HBO family with many timed
+// waiters that all abort (including GT_SD's angry path, which stops
+// other nodes), then verifies every is_spinning word is back to idle.
+func TestTimedAbortStormQuiesces(t *testing.T) {
+	for _, name := range []string{"HBO", "HBO_GT", "HBO_GT_SD"} {
+		m, cfg := timedTestMachine()
+		tun := DefaultTuning()
+		// Small constants so remote waiters retry (and GT_SD gets angry)
+		// many times within the abort budget.
+		tun.BackoffBase = 16
+		tun.BackoffCap = 256
+		tun.RemoteBackoffBase = 64
+		tun.RemoteBackoffCap = 512
+		tun.GetAngryLimit = 2
+		l := New(name, m, 0, []int{0, 1, 2, 3}, tun).(TimedLock)
+		aborts := 0
+		m.Spawn(0, func(p *machine.Proc) {
+			l.Acquire(p, 0)
+			p.Work(2 * sim.Millisecond) // outlive every waiter budget
+			l.Release(p, 0)
+		})
+		for tid := 1; tid < cfg.TotalCPUs(); tid++ {
+			tid := tid
+			m.Spawn(tid, func(p *machine.Proc) {
+				p.Work(sim.Microsecond)
+				for round := 0; round < 4; round++ {
+					if !l.AcquireTimeout(p, tid, 60*sim.Microsecond) {
+						aborts++
+						p.Work(10 * sim.Microsecond)
+						continue
+					}
+					l.Release(p, tid)
+				}
+			})
+		}
+		m.Run()
+		if aborts == 0 {
+			t.Fatalf("%s: no aborts; the storm never exercised the abort path", name)
+		}
+		if err := l.(Quiescer).Quiescent(m); err != nil {
+			t.Errorf("%s after %d aborts: %v", name, aborts, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestTimedUnderFaults runs every timed lock with all fault classes on
+// and a retry-until-acquired loop, checking that every thread
+// eventually gets through and the lock quiesces.
+func TestTimedUnderFaults(t *testing.T) {
+	for _, name := range TimedNames() {
+		cfg := machine.WildFire()
+		cfg.Nodes = 2
+		cfg.CPUsPerNode = 2
+		cfg.Probes = true
+		fc, err := fault.Preset("all", 1234, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fault = fc
+		m := machine.New(cfg)
+		l := New(name, m, 0, []int{0, 1, 2, 3}, DefaultTuning()).(TimedLock)
+		done := 0
+		for tid := 0; tid < 4; tid++ {
+			tid := tid
+			m.Spawn(tid, func(p *machine.Proc) {
+				for i := 0; i < 5; i++ {
+					for !l.AcquireTimeout(p, tid, 100*sim.Microsecond) {
+						p.Delay(200) // brief pause before the retry
+					}
+					p.Work(500)
+					l.Release(p, tid)
+					p.Work(1000)
+				}
+				done++
+			})
+		}
+		m.Run()
+		if done != 4 {
+			t.Errorf("%s: %d/4 threads finished under faults", name, done)
+		}
+		if q, ok := l.(Quiescer); ok {
+			if err := q.Quiescent(m); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}

@@ -110,6 +110,17 @@ func (r *Recorder) TraceJSON(w io.Writer) error {
 				})
 				delete(open, k)
 			}
+		case Abandoned:
+			if p := open[k]; p != nil {
+				dur := usec(int64(e.Time - p.start))
+				evs = append(evs, traceEvent{
+					Name: "abort " + e.Lock, Cat: "abort", Ph: "X",
+					TS: usec(int64(p.start)), Dur: &dur,
+					PID: tracePID, TID: e.TID,
+					Args: map[string]string{"lock": e.Lock, "node": fmt.Sprint(e.Node)},
+				})
+				delete(open, k)
+			}
 		}
 	}
 

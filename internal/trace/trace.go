@@ -24,11 +24,13 @@ import (
 // Kind classifies a lock event.
 type Kind uint8
 
-// Event kinds, in the order they occur for one acquisition.
+// Event kinds, in the order they occur for one acquisition. A timed
+// attempt that gives up emits Abandoned instead of Acquired/Released.
 const (
 	AcquireStart Kind = iota
 	Acquired
 	Released
+	Abandoned
 )
 
 // String names the kind.
@@ -40,6 +42,8 @@ func (k Kind) String() string {
 		return "acquired"
 	case Released:
 		return "released"
+	case Abandoned:
+		return "abandoned"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -77,8 +81,16 @@ func (r *Recorder) Events() []Event { return r.events }
 func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
 
 // Wrap returns a lock that forwards to l and reports every event to s.
+// If l also implements simlock.TimedLock, so does the returned wrapper:
+// a timed attempt records AcquireStart and then either Acquired or — on
+// a timeout — Abandoned, so abort rates flow through the same sinks as
+// acquisitions.
 func Wrap(l simlock.Lock, s Sink) simlock.Lock {
-	return &traced{inner: l, sink: s}
+	t := &traced{inner: l, sink: s}
+	if tl, ok := l.(simlock.TimedLock); ok {
+		return &tracedTimed{traced: t, timed: tl}
+	}
+	return t
 }
 
 type traced struct {
@@ -99,10 +111,32 @@ func (t *traced) Release(p *machine.Proc, tid int) {
 	t.sink.Record(Event{p.Now(), tid, p.CPU(), p.Node(), Released, t.inner.Name()})
 }
 
+// tracedTimed adds the timed path to a traced lock.
+type tracedTimed struct {
+	*traced
+	timed simlock.TimedLock
+}
+
+func (t *tracedTimed) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	t.sink.Record(Event{p.Now(), tid, p.CPU(), p.Node(), AcquireStart, t.inner.Name()})
+	ok := t.timed.AcquireTimeout(p, tid, d)
+	kind := Acquired
+	if !ok {
+		kind = Abandoned
+	}
+	t.sink.Record(Event{p.Now(), tid, p.CPU(), p.Node(), kind, t.inner.Name()})
+	return ok
+}
+
 // Stats summarizes the acquisitions of one lock (or, via Aggregate, the
 // sum over all locks).
 type Stats struct {
 	Acquisitions int
+	// Abandoned counts timed attempts that gave up before acquiring.
+	// Their wait time is NOT folded into Wait/WaitHist — an abort's
+	// duration is capped by its budget, so mixing it in would make the
+	// wait distribution look better exactly when the lock behaves worse.
+	Abandoned int
 	// Wait and Hold are total times across all acquisitions.
 	Wait sim.Time
 	Hold sim.Time
@@ -145,6 +179,16 @@ func (s Stats) HandoffRatio() float64 {
 		return 0
 	}
 	return float64(s.NodeHandoffs) / float64(s.Handoffs)
+}
+
+// AbortRate returns the fraction of attempts (acquisitions plus
+// abandonments) that gave up.
+func (s Stats) AbortRate() float64 {
+	n := s.Acquisitions + s.Abandoned
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Abandoned) / float64(n)
 }
 
 // WaitQuantile returns the q-quantile of the wait distribution, ns.
@@ -253,6 +297,9 @@ func (a *Analyzer) Record(e Event) {
 			s.HoldHist.Add(int64(e.Time - p.acquired))
 			delete(la.open, e.TID)
 		}
+	case Abandoned:
+		s.Abandoned++
+		delete(la.open, e.TID)
 	}
 }
 
@@ -283,6 +330,7 @@ func (a *Analyzer) Aggregate() Stats {
 	for _, name := range a.Locks() {
 		s := a.locks[name].stats
 		agg.Acquisitions += s.Acquisitions
+		agg.Abandoned += s.Abandoned
 		agg.Wait += s.Wait
 		agg.Hold += s.Hold
 		agg.Handoffs += s.Handoffs
@@ -394,6 +442,11 @@ func (r *Recorder) Timeline(width int) string {
 		case Released:
 			if t0, ok := acq[e.TID]; ok {
 				fill(e.TID, t0, e.Time, '#')
+			}
+		case Abandoned:
+			if t0, ok := start[e.TID]; ok {
+				fill(e.TID, t0, e.Time, '-')
+				delete(start, e.TID)
 			}
 		}
 	}

@@ -134,3 +134,65 @@ func TestKindString(t *testing.T) {
 		t.Fatal("unknown kind formatting")
 	}
 }
+
+// TestAbandonedAccounting wraps a timed lock, drives a waiter into a
+// timeout, and checks the Abandoned event flows through Wrap, the
+// Analyzer, the timeline and the Perfetto export.
+func TestAbandonedAccounting(t *testing.T) {
+	cfg := machine.WildFire()
+	cfg.CPUsPerNode = 4
+	cfg.Seed = 7
+	m := machine.New(cfg)
+	rec := NewRecorder()
+	wrapped := Wrap(simlock.New("HBO_GT", m, 0, []int{0, 1, 2, 3}, simlock.DefaultTuning()), rec)
+	l, ok := wrapped.(interface {
+		simlock.Lock
+		AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool
+	})
+	if !ok {
+		t.Fatal("Wrap of a TimedLock lost the timed path")
+	}
+	m.Spawn(0, func(p *machine.Proc) {
+		l.Acquire(p, 0)
+		p.Work(400 * sim.Microsecond)
+		l.Release(p, 0)
+	})
+	var aborted, acquired bool
+	m.Spawn(4, func(p *machine.Proc) {
+		p.Work(5 * sim.Microsecond)
+		if !l.AcquireTimeout(p, 1, 30*sim.Microsecond) {
+			aborted = true
+		}
+		if l.AcquireTimeout(p, 1, 2*sim.Millisecond) {
+			acquired = true
+			l.Release(p, 1)
+		}
+	})
+	m.Run()
+	if !aborted || !acquired {
+		t.Fatalf("aborted=%v acquired=%v; the scenario did not unfold", aborted, acquired)
+	}
+	s := rec.Analyze()
+	if s.Abandoned != 1 {
+		t.Errorf("Abandoned = %d, want 1", s.Abandoned)
+	}
+	if s.Acquisitions != 2 {
+		t.Errorf("Acquisitions = %d, want 2", s.Acquisitions)
+	}
+	if got := s.AbortRate(); got <= 0 || got >= 1 {
+		t.Errorf("AbortRate = %v, want in (0,1)", got)
+	}
+	if !strings.Contains(rec.CSV(), "abandoned") {
+		t.Error("CSV lacks the abandoned event")
+	}
+	var b strings.Builder
+	if err := rec.TraceJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "abort HBO_GT") {
+		t.Error("TraceJSON lacks the abort slice")
+	}
+	if rec.Timeline(40) == "" {
+		t.Error("Timeline empty")
+	}
+}
