@@ -16,6 +16,8 @@
 //	hbobench -list                         # show available experiments
 //	hbobench -parallel 1                   # force a sequential run
 //	hbobench -cpuprofile cpu.pprof         # profile with go tool pprof
+//	hbobench -soak 10s -metrics-addr localhost:9141
+//	                                       # native soak with live metrics
 //
 // Flags -seeds, -scale, -threads and -quick trade fidelity for speed.
 //
@@ -38,6 +40,16 @@
 // replay coordinates; rerunning with the same triple reproduces the
 // report byte for byte.
 //
+// -soak runs a native contended workload over the real locks in
+// internal/core (not the simulator), instrumented through internal/obs,
+// and emits the registry's live hbo-run-report/v1 JSON when done.
+// -metrics-addr serves the live registry over HTTP for the whole run —
+// Prometheus text at /metrics, expvar at /debug/vars, obs-snapshot/v1
+// at /snapshot, and the live report at /report. Watch it with
+// cmd/locktop. The flags compose: a soak with -metrics-addr is the
+// scrape target the CI observability job (and locktop -promcheck)
+// exercises.
+//
 // -cpuprofile and -memprofile write pprof profiles of the run for
 // ad-hoc performance work on the simulator itself.
 package main
@@ -54,6 +66,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -76,6 +89,12 @@ func main() {
 		parallel = flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for independent simulation cells (1 = sequential)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live lock metrics (Prometheus /metrics, /snapshot, /report) on this host:port for the whole run")
+		soak        = flag.Duration("soak", 0, "run a native contended soak over real locks for this long, then emit a live JSON report")
+		soakLocks   = flag.String("soak-locks", "all", "locks to soak: 'all', 'paper', or a comma-separated list")
+		soakThreads = flag.Int("soak-threads", 0, "workers per soaked lock (0 = NumCPU, min 2)")
+		soakTimed   = flag.Float64("soak-timedfrac", 0.1, "fraction of soak acquires using the timed/abortable path where supported")
 	)
 	flag.Parse()
 
@@ -114,6 +133,29 @@ func main() {
 				fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
 			}
 		}()
+	}
+
+	if *metricsAddr != "" {
+		bound, closeFn, err := obs.Default.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "hbobench: serving live metrics on http://%s\n", bound)
+	}
+
+	if *soak > 0 {
+		names, err := soakLockNames(*soakLocks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runSoak(os.Stdout, obs.Default, *soak, names, *soakThreads, *soakTimed); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	opts := experiments.Options{

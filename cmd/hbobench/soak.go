@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// runSoak drives a native contended workload over real locks from
+// internal/core, instrumented through the obs registry, for wall-clock
+// duration d split evenly across the selected algorithms. While it runs
+// the registry's live metrics move, which is what -metrics-addr (and
+// cmd/locktop, and the CI scrape job) observe; at the end the registry
+// renders as an hbo-run-report/v1 JSON document on w.
+//
+// Each lock gets its own two-node runtime with threads workers pinned
+// round-robin across the nodes, hammering a lock-protected counter.
+// When timedFrac > 0 and the lock supports timed acquisition, that
+// fraction of attempts goes through AcquireFor with a short deadline so
+// the abort path gets exercised under real contention.
+func runSoak(w io.Writer, reg *obs.Registry, d time.Duration, names []string, threads int, timedFrac float64) error {
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	if threads < 2 {
+		threads = 2 // a soak with no contention observes nothing
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no lock algorithms selected")
+	}
+	slice := d / time.Duration(len(names))
+	if slice <= 0 {
+		slice = time.Millisecond
+	}
+	for _, name := range names {
+		// Cluster size 1 keeps the topology valid for every
+		// algorithm, including the hierarchical ones.
+		rt := core.NewRuntimeHierarchical(2, 1, threads)
+		l := reg.Instrument(core.New(name, rt, core.DefaultTuning()), name)
+		soakLock(l, rt, threads, slice, timedFrac)
+	}
+	return reg.Report("hbobench").WriteJSON(w)
+}
+
+// soakLock runs the worker loop for one instrumented lock.
+func soakLock(l core.Lock, rt *core.Runtime, threads int, d time.Duration, timedFrac float64) {
+	timedEvery := 0
+	if timedFrac > 0 {
+		timedEvery = int(1 / timedFrac)
+		if timedEvery < 1 {
+			timedEvery = 1
+		}
+	}
+	deadline := time.Now().Add(d)
+	var shared uint64 // protected by l
+	done := make(chan struct{})
+	for i := 0; i < threads; i++ {
+		go func(node int) {
+			defer func() { done <- struct{}{} }()
+			t := rt.RegisterThread(node)
+			tl, timed := l.(core.TimedLock)
+			for k := 0; time.Now().Before(deadline); k++ {
+				if timed && timedEvery > 0 && k%timedEvery == 0 {
+					if !tl.AcquireFor(t, 50*time.Microsecond) {
+						continue // aborted: recorded, retry plain
+					}
+				} else {
+					l.Acquire(t)
+				}
+				shared++
+				l.Release(t)
+			}
+			if s, ok := l.(interface{ Sync(*core.Thread) }); ok {
+				s.Sync(t)
+			}
+		}(i % 2)
+	}
+	for i := 0; i < threads; i++ {
+		<-done
+	}
+	_ = shared
+}
+
+// soakLockNames resolves the -soak-locks flag: "all", "paper", or a
+// comma-separated list of algorithm names.
+func soakLockNames(flagVal string) ([]string, error) {
+	switch flagVal {
+	case "all":
+		return core.AllNames(), nil
+	case "paper":
+		return core.Names(), nil
+	}
+	known := map[string]bool{}
+	for _, n := range core.AllNames() {
+		known[n] = true
+	}
+	var out []string
+	for _, n := range strings.Split(flagVal, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !known[n] {
+			return nil, fmt.Errorf("unknown lock %q (known: %s)", n, strings.Join(core.AllNames(), ", "))
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -soak-locks")
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+// Command locktop is top(1) for instrumented locks: it polls the
+// /snapshot endpoint served by internal/obs (hbo.MetricsHandler, or
+// hbobench -metrics-addr), differences successive snapshots, and
+// renders a per-lock activity table — acquires per second, contention
+// and abort rates, node-handoff locality, spins per acquire, and the
+// sampled wait/hold latency quantiles.
+//
+// Usage:
+//
+//	locktop [-addr localhost:9141] [-interval 1s] [-count N]
+//	locktop -once        # one absolute snapshot, no rates
+//	locktop -promcheck   # CI probe: /metrics parses and shows activity
+//
+// With -count N it renders N delta frames and exits (frames print
+// sequentially, suitable for logs); without it the screen is redrawn
+// in place each interval. -promcheck fetches /metrics, validates the
+// Prometheus exposition, and exits nonzero unless at least one lock
+// reports a nonzero hbo_lock_attempts_total.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9141", "metrics endpoint host:port or URL")
+	interval := flag.Duration("interval", time.Second, "poll interval between frames")
+	once := flag.Bool("once", false, "print one absolute snapshot and exit")
+	count := flag.Int("count", 0, "render this many delta frames then exit (0 = run until interrupted)")
+	promcheck := flag.Bool("promcheck", false, "validate the /metrics Prometheus exposition and exit")
+	flag.Parse()
+
+	base := baseURL(*addr)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *promcheck {
+		if err := promCheck(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "locktop: promcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("promcheck ok")
+		return
+	}
+
+	prev, err := fetchSnapshot(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locktop: %v\n", err)
+		os.Exit(1)
+	}
+	if *once {
+		render(os.Stdout, prev, 0, false)
+		return
+	}
+
+	for frame := 1; ; frame++ {
+		time.Sleep(*interval)
+		cur, err := fetchSnapshot(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locktop: %v\n", err)
+			os.Exit(1)
+		}
+		if *count == 0 {
+			// Interactive mode: redraw in place.
+			fmt.Print("\033[H\033[2J")
+		}
+		fmt.Printf("locktop  %s  window=%s  frame %d\n", base, *interval, frame)
+		render(os.Stdout, cur.Delta(prev), *interval, true)
+		prev = cur
+		if *count > 0 && frame >= *count {
+			return
+		}
+	}
+}
+
+// baseURL normalizes a host:port or URL flag value to a scheme-prefixed
+// base with no trailing slash.
+func baseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+func fetchSnapshot(client *http.Client, base string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := client.Get(base + "/snapshot")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET /snapshot: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decoding /snapshot: %w", err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		return snap, fmt.Errorf("unexpected snapshot schema %q", snap.Schema)
+	}
+	return snap, nil
+}
+
+// render writes the per-lock table. With rates set, s is a delta over
+// elapsed and the first column shows acquires per second; otherwise s
+// is absolute and totals are shown.
+func render(w io.Writer, s obs.Snapshot, elapsed time.Duration, rates bool) {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	acqHdr := "ACQ"
+	if rates {
+		acqHdr = "ACQ/s"
+	}
+	fmt.Fprintf(tw, "LOCK\t%s\tCONT%%\tABORT%%\tLOCAL%%\tSPINS/ACQ\tWAIT p50\tWAIT p99\tHOLD p50\tHOLD p99\t\n", acqHdr)
+	for _, l := range s.Locks {
+		acquired := l.Attempts - l.Aborts
+		acqCol := fmt.Sprintf("%d", acquired)
+		if rates && elapsed > 0 {
+			acqCol = fmt.Sprintf("%.0f", float64(acquired)/elapsed.Seconds())
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			l.Name,
+			acqCol,
+			pct(l.Contended, l.Attempts),
+			pct(l.Aborts, l.Attempts),
+			localPct(l),
+			perAcq(l.SpinIterations, acquired),
+			quantileCol(l.Wait, 0.5),
+			quantileCol(l.Wait, 0.99),
+			quantileCol(l.Hold, 0.5),
+			quantileCol(l.Hold, 0.99),
+		)
+	}
+	tw.Flush()
+}
+
+// pct formats part/whole as a percentage, "-" when whole is zero.
+func pct(part, whole uint64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(part)/float64(whole))
+}
+
+// localPct shows handoff locality, "-" until a handoff is observed.
+func localPct(l obs.LockSnapshot) string {
+	if l.HandoffLocal+l.HandoffRemote == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*l.LocalityRatio())
+}
+
+func perAcq(spins int64, acquired uint64) string {
+	if acquired == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(spins)/float64(acquired))
+}
+
+func quantileCol(h stats.HistogramSnapshot, q float64) string {
+	return fmtDur(h.Quantile(q))
+}
+
+// fmtDur renders a nanosecond latency compactly: 815ns, 3.4µs, 1.2ms,
+// 2.5s. Zero (an empty histogram quantile) renders as "-".
+func fmtDur(ns int64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1_000)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1_000_000)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1_000_000_000)
+	}
+}
+
+// promCheck validates the live Prometheus exposition: it must parse,
+// and at least one lock must report a nonzero attempts counter. CI runs
+// this against a mid-run hbobench soak.
+func promCheck(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ParsePrometheus(string(body))
+	if err != nil {
+		return fmt.Errorf("exposition does not parse: %w", err)
+	}
+	for _, s := range samples {
+		if s.Name == "hbo_lock_attempts_total" && s.Value > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("no nonzero hbo_lock_attempts_total in %d samples", len(samples))
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/par"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simlock"
 	"repro/internal/trace"
@@ -204,6 +205,7 @@ func main() {
 			Tool:       "locktrace",
 			Experiment: "locktrace",
 			Seed:       *seed,
+			Host:       report.Host(),
 			Machine: experiments.MachineSummary{
 				Nodes:       cfg.Nodes,
 				CPUsPerNode: cfg.CPUsPerNode,

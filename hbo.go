@@ -1,9 +1,11 @@
 package hbo
 
 import (
+	"net/http"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Algorithm selects a lock algorithm.
@@ -129,4 +131,27 @@ type TryLocker = core.TryLocker
 // until it succeeds or d elapses, reporting success.
 func AcquireTimeout(l TryLocker, t *Thread, d time.Duration) bool {
 	return core.AcquireTimeout(l, t, d, core.DefaultTuning())
+}
+
+// Instrument wraps l with live runtime metrics under name in the
+// process-wide registry: acquire/contention/abort counts, sampled
+// wait/hold latency histograms and node-handoff locality, recorded
+// into node-sharded counters so observing a lock adds no cross-node
+// coherence traffic (see internal/obs). The wrapper preserves l's
+// TryLocker/TimedLock capabilities. Serve the metrics with
+// MetricsHandler.
+func Instrument(l Lock, name string) Lock {
+	return obs.Instrumented(l, name)
+}
+
+// MetricsHandler exposes every Instrument-ed lock's live metrics:
+// /metrics (Prometheus text format), /debug/vars (expvar JSON),
+// /snapshot (obs-snapshot/v1) and /report (hbo-run-report/v1).
+// Typical use:
+//
+//	go http.ListenAndServe("localhost:9141", hbo.MetricsHandler())
+//
+// cmd/locktop renders the same endpoint as a live terminal view.
+func MetricsHandler() http.Handler {
+	return obs.Default.Handler()
 }

@@ -14,6 +14,7 @@ type Cohort struct {
 	local       []cohortNode
 	myTicket    []uint64
 	cohortLimit uint64
+	probeHolder
 }
 
 type cohortNode struct {
@@ -41,15 +42,27 @@ func (l *Cohort) Acquire(t *Thread) {
 	n := &l.local[t.node]
 	my := n.next.v.Add(1) - 1
 	l.myTicket[t.id] = my
-	for n.owner.v.Load() != my {
-		runtime.Gosched()
+	if n.owner.v.Load() != my {
+		l.contended(t)
+		var spins int64
+		for n.owner.v.Load() != my {
+			spins++
+			runtime.Gosched()
+		}
+		l.spun(t, spins)
 	}
 	if n.ownGlobal.v.Load() != 0 {
 		return
 	}
 	g := l.globalNext.v.Add(1) - 1
-	for l.globalOwner.v.Load() != g {
-		runtime.Gosched()
+	if l.globalOwner.v.Load() != g {
+		l.contended(t)
+		var spins int64
+		for l.globalOwner.v.Load() != g {
+			spins++
+			runtime.Gosched()
+		}
+		l.spun(t, spins)
 	}
 	n.ownGlobal.v.Store(1)
 }

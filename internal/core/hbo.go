@@ -38,6 +38,7 @@ type HBO struct {
 	// isSpinning[n] is node n's throttle word (GT modes).
 	isSpinning []paddedUint64
 	tun        Tuning
+	probeHolder
 }
 
 func newHBOVariant(name string, mode hboMode, r *Runtime, tun Tuning) *HBO {
@@ -138,6 +139,10 @@ func (l *HBO) acquireSlowpath(t *Thread, tmp uint64, deadline time.Time) bool {
 	timed := !deadline.IsZero()
 	expired := func() bool { return timed && time.Now().After(deadline) }
 
+	l.contended(t)
+	var spins int64
+	defer func() { l.spun(t, spins) }()
+
 	getAngry := 0
 	angry := false
 	var stopped []int
@@ -155,6 +160,7 @@ start:
 			if expired() {
 				return false // local waiters publish no auxiliary state
 			}
+			spins++
 			backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
 			tmp = l.cas(my)
 			if tmp == hboFree {
@@ -185,6 +191,7 @@ start:
 				}
 				return false
 			}
+			spins++
 			backoff(&b, l.tun.BackoffFactor, bcap, y)
 			tmp = l.cas(my)
 			if tmp == hboFree {

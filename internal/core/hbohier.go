@@ -9,6 +9,7 @@ type HBOHier struct {
 	word paddedUint64
 	tun  Tuning
 	rt   *Runtime
+	probeHolder
 }
 
 // NewHBOHier returns an unlocked hierarchical HBO lock.
@@ -56,13 +57,17 @@ func (l *HBOHier) Acquire(t *Thread) {
 func (l *HBOHier) acquireSlowpath(t *Thread, tmp uint64) {
 	my := hboNodeVal(t.node)
 	y := l.tun.yieldThreshold()
+	l.contended(t)
+	var spins int64
 	for {
 		dist := l.rt.Distance(t.node, int(tmp)-1)
 		b, bcap := l.schedule(dist)
 		for {
+			spins++
 			backoff(&b, l.tun.BackoffFactor, bcap, y)
 			tmp = l.cas(my)
 			if tmp == hboFree {
+				l.spun(t, spins)
 				return
 			}
 			if l.rt.Distance(t.node, int(tmp)-1) != dist {

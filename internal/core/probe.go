@@ -1,0 +1,53 @@
+package core
+
+// Probe receives slow-path events from a lock. It exists for the live
+// observability layer (internal/obs): locks report contention and spin
+// work through it without the observer having to wrap or poll them.
+//
+// Probes fire only from acquire slow paths — an uncontended acquire
+// never touches the probe, so installing one adds nothing to the fast
+// path beyond the wrapper's own bookkeeping. Multi-stage locks
+// (REACTIVE's queue+word, COHORT's local+global tickets) may fire
+// Contended more than once for a single logical acquire; consumers that
+// need at-most-once semantics must dedup per acquire, the way
+// internal/obs does with its per-thread in-slow-path flag.
+//
+// Install probes with SetProbe before the lock is shared: the probe
+// field is read without synchronization from acquire paths, so mutating
+// it while acquires are in flight is a data race.
+type Probe interface {
+	// Contended reports that thread t entered a wait loop: the acquire
+	// observed the lock (or its stage) held and is about to spin.
+	Contended(t *Thread)
+	// Spun reports that thread t performed n spin/backoff iterations
+	// while waiting. It fires when the wait completes (including timed
+	// acquires that give up), never with n <= 0.
+	Spun(t *Thread, n int64)
+}
+
+// Probed is implemented by every lock in this package: anything that
+// accepts a Probe. internal/obs type-asserts against it when wrapping.
+type Probed interface {
+	SetProbe(Probe)
+}
+
+// probeHolder embeds probe plumbing into a lock. The helpers keep the
+// nil checks out of the algorithms' slow paths.
+type probeHolder struct {
+	probe Probe
+}
+
+// SetProbe installs p (nil removes it). Call before sharing the lock.
+func (h *probeHolder) SetProbe(p Probe) { h.probe = p }
+
+func (h *probeHolder) contended(t *Thread) {
+	if h.probe != nil {
+		h.probe.Contended(t)
+	}
+}
+
+func (h *probeHolder) spun(t *Thread, n int64) {
+	if h.probe != nil && n > 0 {
+		h.probe.Spun(t, n)
+	}
+}

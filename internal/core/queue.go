@@ -13,6 +13,7 @@ type mcsQnode struct {
 type MCS struct {
 	tail   paddedInt64 // thread id of the last waiter, -1 = free
 	qnodes []mcsQnode
+	probeHolder
 }
 
 // NewMCS returns an unlocked MCS lock sized for r's thread capacity.
@@ -39,9 +40,13 @@ func (l *MCS) Acquire(t *Thread) {
 	}
 	q.locked.v.Store(1)
 	l.qnodes[prev].next.v.Store(me)
+	l.contended(t)
+	var spins int64
 	for q.locked.v.Load() != 0 {
+		spins++
 		runtime.Gosched()
 	}
+	l.spun(t, spins)
 }
 
 // Release grants the lock to the successor, if any.
@@ -83,6 +88,7 @@ type CLH struct {
 	id    uint64
 	tail  paddedInt64 // index of the current tail node
 	nodes []clhNode   // maxThreads+1 entries
+	probeHolder
 }
 
 // NewCLH returns an unlocked CLH lock sized for r's thread capacity.
@@ -117,8 +123,14 @@ func (l *CLH) Acquire(t *Thread) {
 	me := s.mine
 	l.nodes[me].flag.v.Store(1)
 	prev := int32(l.tail.v.Swap(int64(me)))
-	for l.nodes[prev].flag.v.Load() != 0 {
-		runtime.Gosched()
+	if l.nodes[prev].flag.v.Load() != 0 {
+		l.contended(t)
+		var spins int64
+		for l.nodes[prev].flag.v.Load() != 0 {
+			spins++
+			runtime.Gosched()
+		}
+		l.spun(t, spins)
 	}
 	// Adopt the predecessor's node for the next acquire; ours stays
 	// live (the successor spins on it) until Release clears it.

@@ -27,6 +27,13 @@ func NewReactive(r *Runtime, tun Tuning) *Reactive {
 	}
 }
 
+// SetProbe cascades the probe to the inner TATAS word and MCS queue, so
+// a queued-then-contended acquire may fire Contended twice (see Probe).
+func (l *Reactive) SetProbe(p Probe) {
+	l.tatas.SetProbe(p)
+	l.mcs.SetProbe(p)
+}
+
 // Name returns "REACTIVE".
 func (l *Reactive) Name() string { return "REACTIVE" }
 
@@ -39,7 +46,7 @@ func (l *Reactive) Acquire(t *Thread) {
 	}
 	contended := l.tatas.word.v.Swap(1) != 0
 	if contended {
-		l.tatas.acquireSlowpath()
+		l.tatas.acquireSlowpath(t)
 	}
 	// Bookkeeping while holding the lock.
 	c := l.counter.v.Load()

@@ -24,6 +24,7 @@ type RH struct {
 	streak  [2]paddedUint64 // consecutive local handovers per node
 	tun     Tuning
 	nodes   int
+	probeHolder
 }
 
 // NewRH returns an unlocked RH lock. The runtime must have at most two
@@ -78,6 +79,10 @@ func (l *RH) acquireSlowpath(t *Thread) {
 	l.waiters[node].v.Add(1)
 	defer l.waiters[node].v.Add(^uint64(0))
 
+	l.contended(t)
+	var spins int64
+	defer func() { l.spun(t, spins) }()
+
 	b := l.tun.BackoffBase
 	for {
 		tmp := casWord(my, rhFree, val)
@@ -92,16 +97,18 @@ func (l *RH) acquireSlowpath(t *Thread) {
 		}
 		if tmp == rhRemote && l.nodes == 2 {
 			if casWord(my, rhRemote, rhTaken) == rhRemote {
-				l.remoteSpin(t)
+				spins += l.remoteSpin(t)
 				return
 			}
 		}
+		spins++
 		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
 	}
 }
 
 // remoteSpin migrates the lock from the other node (node-winner role).
-func (l *RH) remoteSpin(t *Thread) {
+// It returns the number of backoff iterations spent migrating.
+func (l *RH) remoteSpin(t *Thread) int64 {
 	node := t.node
 	other := &l.copies[1-node].v
 	my := &l.copies[node].v
@@ -109,6 +116,7 @@ func (l *RH) remoteSpin(t *Thread) {
 	y := l.tun.yieldThreshold()
 	b := l.tun.RHRemoteBase
 	tries := 0
+	var spins int64
 	for {
 		v := other.Load()
 		if v == rhFree || (v == rhLFree && tries >= l.tun.RHFairTries) {
@@ -116,10 +124,11 @@ func (l *RH) remoteSpin(t *Thread) {
 				if !my.CompareAndSwap(rhTaken, val) {
 					panic("core: RH node-winner copy stolen")
 				}
-				return
+				return spins
 			}
 		}
 		tries++
+		spins++
 		backoff(&b, l.tun.BackoffFactor, l.tun.RHRemoteCap, y)
 	}
 }

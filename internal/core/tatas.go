@@ -7,6 +7,7 @@ import "runtime"
 type TATAS struct {
 	_    cacheLinePad
 	word paddedUint64
+	probeHolder
 }
 
 // NewTATAS returns an unlocked TATAS lock.
@@ -17,13 +18,24 @@ func (l *TATAS) Name() string { return "TATAS" }
 
 // Acquire spins until the lock is obtained.
 func (l *TATAS) Acquire(t *Thread) {
+	if l.word.v.Swap(1) == 0 {
+		return
+	}
+	l.acquireSlowpath(t)
+}
+
+func (l *TATAS) acquireSlowpath(t *Thread) {
+	l.contended(t)
+	var spins int64
 	for {
-		if l.word.v.Swap(1) == 0 {
-			return
-		}
 		// Test phase: read until the lock looks free.
 		for l.word.v.Load() != 0 {
+			spins++
 			runtime.Gosched()
+		}
+		if l.word.v.Swap(1) == 0 {
+			l.spun(t, spins)
+			return
 		}
 	}
 }
@@ -37,6 +49,7 @@ type TATASExp struct {
 	_    cacheLinePad
 	word paddedUint64
 	tun  Tuning
+	probeHolder
 }
 
 // NewTATASExp returns an unlocked TATAS_EXP lock.
@@ -50,18 +63,22 @@ func (l *TATASExp) Acquire(t *Thread) {
 	if l.word.v.Swap(1) == 0 {
 		return
 	}
-	l.acquireSlowpath()
+	l.acquireSlowpath(t)
 }
 
-func (l *TATASExp) acquireSlowpath() {
+func (l *TATASExp) acquireSlowpath(t *Thread) {
+	l.contended(t)
 	b := l.tun.BackoffBase
 	y := l.tun.yieldThreshold()
+	var spins int64
 	for {
+		spins++
 		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
 		if l.word.v.Load() != 0 {
 			continue
 		}
 		if l.word.v.Swap(1) == 0 {
+			l.spun(t, spins)
 			return
 		}
 	}

@@ -8,6 +8,7 @@ import "runtime"
 type Ticket struct {
 	next  paddedUint64
 	owner paddedUint64
+	probeHolder
 }
 
 // NewTicket returns an unlocked ticket lock.
@@ -20,11 +21,18 @@ func (l *Ticket) Name() string { return "TICKET" }
 // to the number of waiters ahead.
 func (l *Ticket) Acquire(t *Thread) {
 	my := l.next.v.Add(1) - 1
+	if l.owner.v.Load() == my {
+		return
+	}
+	l.contended(t)
+	var spins int64
 	for {
 		cur := l.owner.v.Load()
 		if cur == my {
+			l.spun(t, spins)
 			return
 		}
+		spins++
 		ahead := int(my - cur)
 		if ahead < 1 {
 			ahead = 1
@@ -47,6 +55,7 @@ func (l *Ticket) Release(t *Thread) { l.owner.v.Add(1) }
 type Anderson struct {
 	tail  paddedUint64
 	slots []paddedUint64
+	probeHolder
 	// mySlot is each thread's current slot position.
 	mySlot []uint64
 	size   uint64
@@ -71,8 +80,14 @@ func (l *Anderson) Acquire(t *Thread) {
 	pos := l.tail.v.Add(1) - 1
 	l.mySlot[t.id] = pos
 	s := &l.slots[pos%l.size].v
-	for s.Load() == 0 {
-		runtime.Gosched()
+	if s.Load() == 0 {
+		l.contended(t)
+		var spins int64
+		for s.Load() == 0 {
+			spins++
+			runtime.Gosched()
+		}
+		l.spun(t, spins)
 	}
 	s.Store(0) // reset for the next lap
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/microbench"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simlock"
 	"repro/internal/stats"
@@ -232,6 +233,7 @@ func DegradedReport(o Options, seed uint64, schedule string, intensity float64) 
 		Tool:       "hbobench",
 		Experiment: "degraded",
 		Seed:       seed,
+		Host:       report.Host(),
 		Machine: MachineSummary{
 			Nodes:       cfg.Nodes,
 			CPUsPerNode: cfg.CPUsPerNode,

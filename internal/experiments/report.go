@@ -1,127 +1,34 @@
 package experiments
 
 import (
-	"encoding/json"
-	"io"
-	"sort"
-
-	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/microbench"
+	"repro/internal/report"
 	"repro/internal/simlock"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
-// ReportSchema versions the machine-readable run report. Consumers pin
-// this string; bump it whenever a field changes meaning or layout.
-const ReportSchema = "hbo-run-report/v1"
+// The hbo-run-report/v1 schema types live in the leaf package
+// internal/report so that the live native observability stack
+// (internal/obs) can emit the same format without importing the
+// simulation drivers. The aliases below keep the experiments API (and
+// its callers: hbobench, locktrace, degraded mode) source-compatible.
+const ReportSchema = report.Schema
 
-// Quantiles summarizes a latency distribution in nanoseconds, the
-// tail-aware replacement for the mean-only numbers the text tables
-// print.
-type Quantiles struct {
-	Count  uint64  `json:"count"`
-	MeanNS float64 `json:"mean_ns"`
-	P50NS  int64   `json:"p50_ns"`
-	P90NS  int64   `json:"p90_ns"`
-	P99NS  int64   `json:"p99_ns"`
-	MaxNS  int64   `json:"max_ns"`
-}
+type (
+	Quantiles      = report.Quantiles
+	TrafficReport  = report.TrafficReport
+	LabelTraffic   = report.LabelTraffic
+	LockReport     = report.LockReport
+	MachineSummary = report.MachineSummary
+	HostReport     = report.HostReport
+	FaultReport    = report.FaultReport
+	Report         = report.Report
+)
 
 // QuantilesOf extracts report quantiles from a histogram.
-func QuantilesOf(h *stats.Histogram) Quantiles {
-	if h == nil {
-		return Quantiles{}
-	}
-	return Quantiles{
-		Count:  h.Count(),
-		MeanNS: h.Mean(),
-		P50NS:  h.Quantile(0.50),
-		P90NS:  h.Quantile(0.90),
-		P99NS:  h.Quantile(0.99),
-		MaxNS:  h.Max(),
-	}
-}
-
-// TrafficReport is the machine's coherence-transaction accounting,
-// split the way the paper's Tables 2 and 6 report it.
-type TrafficReport struct {
-	LocalPerNode []uint64 `json:"local_per_node"`
-	LocalTotal   uint64   `json:"local_total"`
-	Global       uint64   `json:"global"`
-}
-
-// trafficReport converts machine counters into report form.
-func trafficReport(s machine.Stats) TrafficReport {
-	return TrafficReport{LocalPerNode: s.Local, LocalTotal: s.TotalLocal(), Global: s.Global}
-}
-
-// LabelTraffic sums per-line traffic over all lines sharing a label —
-// the lock-line vs data-line split of Tables 2 and 6. Unlabeled lines
-// aggregate under "other".
-type LabelTraffic struct {
-	Label         string `json:"label"`
-	Lines         int    `json:"lines"`
-	Misses        uint64 `json:"misses"`
-	Invalidations uint64 `json:"invalidations"`
-	Transfers     uint64 `json:"transfers"`
-	Local         uint64 `json:"local"`
-	Global        uint64 `json:"global"`
-}
-
-// aggregateByLabel rolls per-line stats up by label, sorted by label.
-func aggregateByLabel(ls []machine.LineStats) []LabelTraffic {
-	byLabel := map[string]*LabelTraffic{}
-	for _, l := range ls {
-		label := l.Label
-		if label == "" {
-			label = "other"
-		}
-		t := byLabel[label]
-		if t == nil {
-			t = &LabelTraffic{Label: label}
-			byLabel[label] = t
-		}
-		t.Lines++
-		t.Misses += l.Misses
-		t.Invalidations += l.Invalidations
-		t.Transfers += l.Transfers
-		t.Local += l.Local
-		t.Global += l.Global
-	}
-	labels := make([]string, 0, len(byLabel))
-	for label := range byLabel {
-		labels = append(labels, label)
-	}
-	sort.Strings(labels)
-	out := make([]LabelTraffic, 0, len(labels))
-	for _, label := range labels {
-		out = append(out, *byLabel[label])
-	}
-	return out
-}
-
-// LockReport is the per-lock section of a run report. The abort and
-// fault fields only appear in degraded-mode reports (omitempty), so
-// fault-free reports keep their exact bytes.
-type LockReport struct {
-	Lock            string              `json:"lock"`
-	Acquisitions    int                 `json:"acquisitions"`
-	Aborts          int                 `json:"aborts,omitempty"`
-	AbortRate       float64             `json:"abort_rate,omitempty"`
-	Wait            Quantiles           `json:"wait"`
-	Hold            Quantiles           `json:"hold"`
-	HandoffRatio    float64             `json:"handoff_ratio"`
-	NodeMatrix      [][]int             `json:"node_handoff_matrix,omitempty"`
-	PerThread       []int               `json:"per_thread_acquisitions"`
-	IterationTimeNS int64               `json:"iteration_time_ns,omitempty"`
-	TotalTimeNS     int64               `json:"total_time_ns,omitempty"`
-	Traffic         TrafficReport       `json:"traffic"`
-	TrafficByLabel  []LabelTraffic      `json:"traffic_by_label,omitempty"`
-	HotLines        []machine.LineStats `json:"hot_lines,omitempty"`
-	FaultStats      *fault.Stats        `json:"fault_stats,omitempty"`
-}
+func QuantilesOf(h *stats.Histogram) Quantiles { return report.QuantilesOf(h) }
 
 // BuildLockReport assembles the per-lock report section from trace
 // statistics and machine counters. threads sizes the dense per-thread
@@ -143,56 +50,10 @@ func BuildLockReport(name string, st trace.Stats, threads int,
 		HandoffRatio:   st.HandoffRatio(),
 		NodeMatrix:     st.NodeMatrix,
 		PerThread:      perThread,
-		Traffic:        trafficReport(traffic),
-		TrafficByLabel: aggregateByLabel(lines),
-		HotLines:       hotLines(lines, reportHotLines),
+		Traffic:        report.TrafficOf(traffic),
+		TrafficByLabel: report.AggregateByLabel(lines),
+		HotLines:       report.HotLines(lines, reportHotLines),
 	}
-}
-
-// MachineSummary records the simulated machine shape in a report.
-type MachineSummary struct {
-	Nodes        int    `json:"nodes"`
-	CPUsPerNode  int    `json:"cpus_per_node"`
-	ClusterSize  int    `json:"cluster_size,omitempty"`
-	WordsPerLine int    `json:"words_per_line,omitempty"`
-	Preset       string `json:"preset,omitempty"`
-}
-
-// FaultReport records the replay coordinates of a degraded-mode run:
-// re-running the same tool with this (schedule, seed, intensity)
-// triple reproduces the report byte for byte.
-type FaultReport struct {
-	Schedule  string  `json:"schedule"`
-	Seed      uint64  `json:"seed"`
-	Intensity float64 `json:"intensity"`
-}
-
-// Report is the machine-readable result of one observability run. All
-// fields are deterministic for a fixed seed, so identical invocations
-// produce byte-identical JSON. Fault is present only for degraded-mode
-// runs (omitempty keeps fault-free reports byte-stable).
-type Report struct {
-	Schema     string         `json:"schema"`
-	Tool       string         `json:"tool"`
-	Experiment string         `json:"experiment"`
-	Seed       uint64         `json:"seed"`
-	Machine    MachineSummary `json:"machine"`
-	Params     map[string]int `json:"params,omitempty"`
-	Fault      *FaultReport   `json:"fault,omitempty"`
-	Locks      []LockReport   `json:"locks"`
-}
-
-// WriteJSON emits the report as indented JSON. encoding/json renders
-// struct fields in declaration order and map keys sorted, so the bytes
-// are stable for a fixed report.
-func (r *Report) WriteJSON(w io.Writer) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	_, err = w.Write(b)
-	return err
 }
 
 // reportHotLines caps per-line attribution in reports: the lock's own
@@ -205,7 +66,7 @@ const reportHotLines = 8
 // paper lock with the full observability stack attached: a streaming
 // trace.Analyzer for wait/hold quantiles and the handoff matrix, and
 // per-line traffic attribution from the machine. Deterministic for a
-// fixed seed.
+// fixed seed (and fixed host — the host block records where it ran).
 func MicroReport(o Options, seed uint64) *Report {
 	threads, iters, private := newBenchDefaults(o)
 	cfg := wildfire(seed)
@@ -214,6 +75,7 @@ func MicroReport(o Options, seed uint64) *Report {
 		Tool:       "hbobench",
 		Experiment: "micro",
 		Seed:       seed,
+		Host:       report.Host(),
 		Machine: MachineSummary{
 			Nodes:       cfg.Nodes,
 			CPUsPerNode: cfg.CPUsPerNode,
@@ -247,20 +109,4 @@ func MicroReport(o Options, seed uint64) *Report {
 		rep.Locks[i] = lr
 	})
 	return rep
-}
-
-// hotLines returns the n busiest lines by total traffic, ties broken by
-// address (mirrors machine.HotLines for an already-collected slice).
-func hotLines(ls []machine.LineStats, n int) []machine.LineStats {
-	out := append([]machine.LineStats(nil), ls...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Traffic() != out[j].Traffic() {
-			return out[i].Traffic() > out[j].Traffic()
-		}
-		return out[i].Addr < out[j].Addr
-	})
-	if n > 0 && len(out) > n {
-		out = out[:n]
-	}
-	return out
 }

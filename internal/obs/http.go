@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns the registry's exposition endpoint:
+//
+//	/metrics    Prometheus text format
+//	/debug/vars expvar-compatible JSON with an "hbo_locks" variable
+//	/snapshot   obs-snapshot/v1 JSON (deterministic, delta-friendly)
+//	/report     hbo-run-report/v1 JSON (the PR 1 schema, live)
+//
+// The root path serves a one-line index.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.writeExpvar(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Report("obs").WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "hbo lock metrics: /metrics /debug/vars /snapshot /report")
+	})
+	return mux
+}
+
+// writeExpvar emits the standard expvar JSON document (cmdline,
+// memstats, and anything else the process published) with the
+// registry's snapshot appended as "hbo_locks". Writing the document by
+// hand instead of expvar.Publish keeps multiple registries from
+// fighting over the process-global expvar namespace.
+func (r *Registry) writeExpvar(w http.ResponseWriter) {
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	snap, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		snap = []byte("null")
+	}
+	fmt.Fprintf(w, "%q: %s", "hbo_locks", snap)
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// Serve starts the exposition endpoint on addr (host:port; use :0 for
+// an ephemeral port) and returns the bound address. The listener runs
+// until closed via the returned closer.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

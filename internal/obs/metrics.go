@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"context"
+	"runtime/trace"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// threadCell is one lock's per-thread recording state. It is owned by
+// the thread's goroutine (the core.Thread contract: one goroutine at a
+// time), so every field is plain memory — no atomics, no cache-line
+// ping-pong with other threads' cells. The trailing pad keeps two cells
+// allocated back-to-back from sharing a line.
+type threadCell struct {
+	attempts  uint64 // unflushed acquires
+	contended uint64 // unflushed contended acquires
+	aborts    uint64 // unflushed timed-out acquires
+	spins     int64  // unflushed spin/backoff iterations
+	left      uint32 // acquires until the next latency sample
+	sampled   bool   // current acquire is latency-sampled
+	inSlow    bool   // current acquire already counted as contended
+	node      int    // owning thread's node, fixed at creation
+
+	waitStart time.Time // acquire entry (sampled acquires only)
+	holdStart time.Time // acquire completion (sampled acquires only)
+
+	waitRegion *trace.Region // flight-recorder wait phase, sampled only
+	holdRegion *trace.Region // flight-recorder hold phase, sampled only
+
+	_ [64]byte
+}
+
+// nodeShard is one lock's per-node aggregation point. Counters are
+// atomic (any thread of the node may flush concurrently); the
+// histograms are guarded by mu, taken only on sampled flushes and at
+// snapshot time — this shard-mutex discipline is the documented safe
+// concurrent path for stats.Histogram.
+type nodeShard struct {
+	attempts      atomic.Uint64
+	contended     atomic.Uint64
+	aborts        atomic.Uint64
+	spins         atomic.Int64
+	handoffLocal  atomic.Uint64
+	handoffRemote atomic.Uint64
+	_             [16]byte // pad the counter block to a cache line
+
+	mu   sync.Mutex
+	wait stats.Histogram // sampled wait latencies, ns
+	hold stats.Histogram // sampled hold latencies, ns
+}
+
+// LockMetrics collects one instrumented lock's runtime metrics. It
+// implements core.Probe so the lock's own slow paths report contention
+// and spin work directly. All recording entry points require the
+// core.Thread that performs the operation.
+type LockMetrics struct {
+	name        string
+	regionWait  string // precomputed runtime/trace region names
+	regionHold  string
+	sampleEvery uint32
+
+	// lastOwner holds node+1 of the last observed owner (0 = none yet).
+	// Updated only on sampled and contended acquires, so uncontended
+	// runs of fast-path acquires never touch this shared word.
+	lastOwner atomic.Int64
+
+	mu     sync.Mutex // guards growth of cells and shards
+	cells  atomic.Pointer[[]*threadCell]
+	shards atomic.Pointer[[]*nodeShard]
+}
+
+func newLockMetrics(name string) *LockMetrics {
+	return &LockMetrics{
+		name:        name,
+		regionWait:  "lock:" + name + ":wait",
+		regionHold:  "lock:" + name + ":hold",
+		sampleEvery: DefaultSampleEvery,
+	}
+}
+
+// Name returns the registered name.
+func (m *LockMetrics) Name() string { return m.name }
+
+// cellFast returns t's cell if it already exists, else nil. This is the
+// whole fast-path lookup: one pointer load, one bounds check, one index.
+func (m *LockMetrics) cellFast(t *core.Thread) *threadCell {
+	if cells := m.cells.Load(); cells != nil {
+		if id := t.ID(); id < len(*cells) {
+			return (*cells)[id]
+		}
+	}
+	return nil
+}
+
+// cell returns t's cell, creating it on first use.
+func (m *LockMetrics) cell(t *core.Thread) *threadCell {
+	if c := m.cellFast(t); c != nil {
+		return c
+	}
+	return m.growCell(t)
+}
+
+func (m *LockMetrics) growCell(t *core.Thread) *threadCell {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := t.ID()
+	var cur []*threadCell
+	if p := m.cells.Load(); p != nil {
+		cur = *p
+	}
+	if id < len(cur) && cur[id] != nil {
+		return cur[id]
+	}
+	next := make([]*threadCell, len(cur))
+	copy(next, cur)
+	for len(next) <= id {
+		next = append(next, nil)
+	}
+	// left starts at 0 so a thread's first acquire is always sampled —
+	// short runs still get latency data and a prompt first flush.
+	c := &threadCell{node: t.Node()}
+	next[id] = c
+	m.cells.Store(&next)
+	return c
+}
+
+// shard returns node's shard, creating it on first use. Only flush
+// paths call this, never the fast path.
+func (m *LockMetrics) shard(node int) *nodeShard {
+	if shards := m.shards.Load(); shards != nil && node < len(*shards) {
+		if s := (*shards)[node]; s != nil {
+			return s
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var cur []*nodeShard
+	if p := m.shards.Load(); p != nil {
+		cur = *p
+	}
+	if node < len(cur) && cur[node] != nil {
+		return cur[node]
+	}
+	next := make([]*nodeShard, len(cur))
+	copy(next, cur)
+	for len(next) <= node {
+		next = append(next, nil)
+	}
+	s := &nodeShard{}
+	next[node] = s
+	m.shards.Store(&next)
+	return s
+}
+
+// acquireStart begins accounting for one acquire. It is the entire
+// pre-acquire fast path: cell lookup, one increment, one countdown.
+func (m *LockMetrics) acquireStart(t *core.Thread) *threadCell {
+	c := m.cell(t)
+	c.attempts++
+	c.inSlow = false
+	if c.left == 0 {
+		c.sampled = true
+		c.left = m.sampleEvery - 1
+		c.waitStart = time.Now()
+		if trace.IsEnabled() {
+			c.waitRegion = trace.StartRegion(context.Background(), m.regionWait)
+		}
+	} else {
+		c.sampled = false
+		c.left--
+	}
+	return c
+}
+
+// acquireDone completes accounting after the lock is held. The common
+// case (unsampled, uncontended) is a two-flag check.
+func (m *LockMetrics) acquireDone(t *core.Thread, c *threadCell) {
+	if c.sampled || c.inSlow {
+		m.acquireDoneSlow(t, c)
+	}
+}
+
+func (m *LockMetrics) acquireDoneSlow(t *core.Thread, c *threadCell) {
+	c.inSlow = false // re-establish the fast-path invariant
+	s := m.shard(c.node)
+	if c.sampled {
+		now := time.Now()
+		wait := now.Sub(c.waitStart).Nanoseconds()
+		c.holdStart = now
+		if c.waitRegion != nil {
+			c.waitRegion.End()
+			c.waitRegion = nil
+		}
+		if trace.IsEnabled() {
+			c.holdRegion = trace.StartRegion(context.Background(), m.regionHold)
+		}
+		s.mu.Lock()
+		s.wait.Add(wait)
+		s.mu.Unlock()
+	}
+	m.flush(c, s)
+	// Handoff locality, tracked at sampled/contended granularity: the
+	// new holder writes its node and learns the previous one.
+	prev := m.lastOwner.Swap(int64(c.node) + 1)
+	if prev != 0 {
+		if int(prev)-1 == c.node {
+			s.handoffLocal.Add(1)
+		} else {
+			s.handoffRemote.Add(1)
+		}
+	}
+}
+
+// flush moves the cell's unflushed counters into its node shard.
+func (m *LockMetrics) flush(c *threadCell, s *nodeShard) {
+	if c.attempts > 0 {
+		s.attempts.Add(c.attempts)
+		c.attempts = 0
+	}
+	if c.contended > 0 {
+		s.contended.Add(c.contended)
+		c.contended = 0
+	}
+	if c.aborts > 0 {
+		s.aborts.Add(c.aborts)
+		c.aborts = 0
+	}
+	if c.spins > 0 {
+		s.spins.Add(c.spins)
+		c.spins = 0
+	}
+}
+
+// releasePre runs before the underlying release: it closes the hold
+// window while the timestamp is still meaningful and returns the hold
+// latency to record, or -1. The histogram write happens in releasePost,
+// after the lock is no longer held, so the shard mutex never extends a
+// critical section.
+func (m *LockMetrics) releasePre(t *core.Thread) (*threadCell, int64) {
+	c := m.cellFast(t)
+	if c == nil || !c.sampled {
+		return c, -1
+	}
+	c.sampled = false
+	hold := time.Since(c.holdStart).Nanoseconds()
+	if c.holdRegion != nil {
+		c.holdRegion.End()
+		c.holdRegion = nil
+	}
+	return c, hold
+}
+
+// releasePost records a sampled hold latency after the lock is free.
+func (m *LockMetrics) releasePost(c *threadCell, hold int64) {
+	if hold < 0 {
+		return
+	}
+	s := m.shard(c.node)
+	s.mu.Lock()
+	s.hold.Add(hold)
+	s.mu.Unlock()
+}
+
+// abort accounts a timed acquire that gave up: the attempt becomes an
+// abort and everything flushes immediately (an abort is rare and
+// already slow — exact visibility wins).
+func (m *LockMetrics) abort(t *core.Thread, c *threadCell) {
+	c.aborts++
+	c.sampled = false
+	c.inSlow = false
+	if c.waitRegion != nil {
+		c.waitRegion.End()
+		c.waitRegion = nil
+	}
+	m.flush(c, m.shard(c.node))
+}
+
+// Sync flushes t's unflushed counters for this lock. Call it from the
+// owning goroutine when exact counts are needed (end of a run, before a
+// final snapshot). It must not run concurrently with an acquire by the
+// same thread.
+func (m *LockMetrics) Sync(t *core.Thread) {
+	if c := m.cellFast(t); c != nil {
+		m.flush(c, m.shard(c.node))
+	}
+}
+
+// Contended implements core.Probe: the lock's slow path reports that t
+// is about to wait. Multi-stage locks may fire this more than once per
+// acquire; the inSlow flag dedups to at most one contended count per
+// acquire.
+func (m *LockMetrics) Contended(t *core.Thread) {
+	c := m.cellFast(t)
+	if c == nil || c.inSlow {
+		return
+	}
+	c.inSlow = true
+	c.contended++
+}
+
+// Spun implements core.Probe: the lock's slow path reports n spin or
+// backoff iterations.
+func (m *LockMetrics) Spun(t *core.Thread, n int64) {
+	if c := m.cellFast(t); c != nil {
+		c.spins += n
+	}
+}
+
+var _ core.Probe = (*LockMetrics)(nil)

@@ -1,0 +1,163 @@
+// Package obs is the live observability layer for the native locks in
+// internal/core: always-on, near-zero-overhead runtime metrics with
+// Prometheus/expvar/JSON exposition and runtime/trace flight-recorder
+// regions.
+//
+// # Design
+//
+// The paper's thesis is that lock performance on NUCA machines is
+// governed by where coherence traffic flows — so the observability
+// layer must not itself become a coherence hot spot. Measurement on
+// this repo's benchmark host showed that a single atomic add placed
+// next to a lock's acquire word costs 4–7ns per acquire (up to 50% of
+// an uncontended TATAS acquire), while a thread-local plain counter
+// plus a branch is unmeasurable. The recording path is therefore split
+// in three tiers:
+//
+//  1. Per-thread cells (one per lock × thread, owned by the acquiring
+//     goroutine under the core.Thread contract): plain non-atomic
+//     counters — attempts, contended, aborts, spin iterations — and a
+//     countdown that selects every Nth acquire for latency sampling.
+//     The uncontended fast path touches only this tier.
+//  2. Per-node shards (cache-line padded, one per NUCA node): atomic
+//     counters plus mutex-guarded wait/hold histograms. Cells flush
+//     into the shard of their thread's node — never across nodes — on
+//     sampled acquires, contended acquires, aborts, and explicit
+//     Sync. Observing a NUMA lock generates no cross-node traffic.
+//  3. Snapshots: a Registry walk that merges every shard into one
+//     deterministic, byte-stable view. Cross-node reads happen only
+//     here, at the observer's request.
+//
+// Because cells flush lazily, a snapshot may lag the truth by up to
+// SampleEvery−1 fast-path acquires per thread; contended acquires and
+// aborts always flush, and Instrumented locks expose Sync for exact
+// end-of-run accounting. Snapshot/delta semantics are exact with
+// respect to flushed state: two snapshots with no intervening flushes
+// are byte-identical, and Delta(s1, s2) is exactly the flushed
+// activity between them.
+//
+// Handoff locality (did the lock move between nodes?) is tracked by a
+// single last-owner word per lock, updated only on sampled and
+// contended acquires — another deliberate trade of exactness for a
+// quiet fast path.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultSampleEvery is the default latency-sampling interval: one in
+// every N acquires per thread records wait/hold latency and flushes
+// counters. Smaller values tighten snapshot lag and histogram fidelity;
+// larger values shrink overhead. 128 keeps the instrumented uncontended
+// fast path within the repo's ≤15% overhead budget (see BENCH_obs.json).
+const DefaultSampleEvery = 128
+
+// Registry is a process-wide set of instrumented locks. The zero value
+// is not usable; call NewRegistry. Instrument and Snapshot are safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	locks map[string]*LockMetrics
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{locks: make(map[string]*LockMetrics)}
+}
+
+// Default is the process-wide registry used by the package-level
+// Instrumented helper and by hbo.MetricsHandler.
+var Default = NewRegistry()
+
+// Option configures one instrumented lock.
+type Option func(*LockMetrics)
+
+// WithSampleEvery sets the latency-sampling interval (minimum 1: every
+// acquire sampled and flushed — exact counters, maximum overhead).
+func WithSampleEvery(n int) Option {
+	return func(m *LockMetrics) {
+		if n < 1 {
+			n = 1
+		}
+		m.sampleEvery = uint32(n)
+	}
+}
+
+// Instrument wraps l with metrics recorded into this registry under
+// name. Names are unique within a registry: a second lock instrumented
+// with the same name gets a "#2" (then "#3", …) suffix. The returned
+// lock preserves l's timed/try capabilities: if l implements
+// core.TimedLock or core.TryLocker, so does the wrapper, and timed-out
+// acquires are counted as aborts. If l implements core.Probed (every
+// lock in internal/core does), its slow paths report contention and
+// spin work through the probe interface at no fast-path cost.
+func (r *Registry) Instrument(l core.Lock, name string, opts ...Option) core.Lock {
+	m := newLockMetrics(name)
+	for _, o := range opts {
+		o(m)
+	}
+	r.mu.Lock()
+	if _, taken := r.locks[m.name]; taken {
+		base := m.name
+		for i := 2; ; i++ {
+			cand := fmt.Sprintf("%s#%d", base, i)
+			if _, taken := r.locks[cand]; !taken {
+				m.name = cand
+				break
+			}
+		}
+	}
+	r.locks[m.name] = m
+	r.mu.Unlock()
+
+	if p, ok := l.(core.Probed); ok {
+		p.SetProbe(m)
+	}
+	return wrap(l, m)
+}
+
+// Instrumented wraps l with metrics in the Default registry — the
+// one-call entry point: obs.Instrumented(lock, "hot-shard").
+func Instrumented(l core.Lock, name string, opts ...Option) core.Lock {
+	return Default.Instrument(l, name, opts...)
+}
+
+// Lookup returns the metrics registered under name, or nil.
+func (r *Registry) Lookup(name string) *LockMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.locks[name]
+}
+
+// Names returns the registered lock names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.locks))
+	for n := range r.locks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// metricsSorted returns the registered metrics ordered by name.
+func (r *Registry) metricsSorted() []*LockMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.locks))
+	for n := range r.locks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*LockMetrics, len(names))
+	for i, n := range names {
+		out[i] = r.locks[n]
+	}
+	return out
+}

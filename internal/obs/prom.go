@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Prometheus text exposition, hand-written against the format spec so
+// the repo stays dependency-free. Output is deterministic: locks sort
+// by name, metrics emit in a fixed order, and label sets are rendered
+// in a fixed sequence — stable state produces stable bytes, the same
+// contract snapshots keep.
+
+// promMetric describes one exported metric family.
+type promMetric struct {
+	name, typ, help string
+}
+
+var promFamilies = []promMetric{
+	{"hbo_lock_attempts_total", "counter", "Lock acquire attempts, including aborted and failed non-blocking ones."},
+	{"hbo_lock_contended_total", "counter", "Acquires that entered a wait loop."},
+	{"hbo_lock_aborts_total", "counter", "Timed-out or failed non-blocking acquires."},
+	{"hbo_lock_spin_iterations_total", "counter", "Spin/backoff iterations reported by lock slow paths."},
+	{"hbo_lock_handoffs_total", "counter", "Observed lock handoffs by locality (sampled and contended acquires only)."},
+	{"hbo_lock_node_attempts_total", "counter", "Lock acquire attempts per NUCA node shard."},
+	{"hbo_lock_wait_ns", "summary", "Sampled acquire wait latency in nanoseconds."},
+	{"hbo_lock_hold_ns", "summary", "Sampled critical-section hold latency in nanoseconds."},
+}
+
+// WritePrometheus renders the registry's current state in Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, r.Snapshot())
+}
+
+// WritePrometheus renders an already-taken snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, s)
+}
+
+func writePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	for _, fam := range promFamilies {
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, fam.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, l := range s.Locks {
+			switch fam.name {
+			case "hbo_lock_attempts_total":
+				promLine(&b, fam.name, lbl(l.Name), float64(l.Attempts))
+			case "hbo_lock_contended_total":
+				promLine(&b, fam.name, lbl(l.Name), float64(l.Contended))
+			case "hbo_lock_aborts_total":
+				promLine(&b, fam.name, lbl(l.Name), float64(l.Aborts))
+			case "hbo_lock_spin_iterations_total":
+				promLine(&b, fam.name, lbl(l.Name), float64(l.SpinIterations))
+			case "hbo_lock_handoffs_total":
+				promLine(&b, fam.name, lbl(l.Name)+`,locality="local"`, float64(l.HandoffLocal))
+				promLine(&b, fam.name, lbl(l.Name)+`,locality="remote"`, float64(l.HandoffRemote))
+			case "hbo_lock_node_attempts_total":
+				for _, nc := range l.PerNode {
+					promLine(&b, fam.name, lbl(l.Name)+`,node="`+strconv.Itoa(nc.Node)+`"`, float64(nc.Attempts))
+				}
+			case "hbo_lock_wait_ns":
+				promSummary(&b, fam.name, l.Name, l.Wait)
+			case "hbo_lock_hold_ns":
+				promSummary(&b, fam.name, l.Name, l.Hold)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func lbl(lock string) string { return `lock="` + escapeLabel(lock) + `"` }
+
+func promLine(b *strings.Builder, name, labels string, v float64) {
+	fmt.Fprintf(b, "%s{%s} %s\n", name, labels, formatPromValue(v))
+}
+
+func promSummary(b *strings.Builder, name, lock string, h stats.HistogramSnapshot) {
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(b, "%s{%s,quantile=\"%s\"} %s\n",
+			name, lbl(lock), trimFloat(q), formatPromValue(float64(h.Quantile(q))))
+	}
+	promLine(b, name+"_sum", lbl(lock), float64(h.Sum))
+	promLine(b, name+"_count", lbl(lock), float64(h.Count))
+}
+
+func trimFloat(q float64) string { return strconv.FormatFloat(q, 'g', -1, 64) }
+
+// formatPromValue renders a float the way Prometheus clients do.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// PromSample is one parsed exposition line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheus parses text exposition format into samples. It
+// understands the subset this package emits (and that common clients
+// emit): # HELP / # TYPE comments, blank lines, and
+// name{label="value",...} value lines. A malformed line is an error —
+// CI uses this to validate the /metrics endpoint.
+func ParsePrometheus(data string) ([]PromSample, error) {
+	var out []PromSample
+	for ln, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parsePromLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may trail the value; take the first field.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(in string, out map[string]string) error {
+	for in != "" {
+		eq := strings.Index(in, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without '='")
+		}
+		key := in[:eq]
+		in = in[eq+1:]
+		if !strings.HasPrefix(in, `"`) {
+			return fmt.Errorf("unquoted label value")
+		}
+		in = in[1:]
+		var val strings.Builder
+		for {
+			if in == "" {
+				return fmt.Errorf("unterminated label value")
+			}
+			c := in[0]
+			if c == '\\' && len(in) >= 2 {
+				switch in[1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[1])
+				}
+				in = in[2:]
+				continue
+			}
+			in = in[1:]
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		out[key] = val.String()
+		in = strings.TrimPrefix(in, ",")
+	}
+	return nil
+}
+
+// FindSample returns the first sample matching name and all given
+// label constraints, or nil.
+func FindSample(samples []PromSample, name string, labels map[string]string) *PromSample {
+	for i := range samples {
+		s := &samples[i]
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"repro/internal/report"
+)
+
+// Report renders the registry's current state in the repo's shared
+// hbo-run-report/v1 schema (internal/report), so the tooling that
+// parses batch simulation reports reads live native metrics unchanged.
+// The machine block records the observed logical topology with preset
+// "native"; acquisitions exclude aborted attempts, and HandoffRatio
+// keeps the sim semantics (fraction of observed handoffs that crossed
+// nodes — lower is more local).
+func (r *Registry) Report(tool string) *report.Report {
+	snap := r.Snapshot()
+	nodes := 0
+	for _, l := range snap.Locks {
+		for _, nc := range l.PerNode {
+			if nc.Node+1 > nodes {
+				nodes = nc.Node + 1
+			}
+		}
+	}
+	rep := &report.Report{
+		Schema:     report.Schema,
+		Tool:       tool,
+		Experiment: "live",
+		Host:       report.Host(),
+		Machine:    report.MachineSummary{Nodes: nodes, Preset: "native"},
+		Locks:      make([]report.LockReport, len(snap.Locks)),
+	}
+	for i, l := range snap.Locks {
+		acq := l.Attempts - l.Aborts
+		lr := report.LockReport{
+			Lock:           l.Name,
+			Acquisitions:   int(acq),
+			Contended:      int(l.Contended),
+			SpinIterations: l.SpinIterations,
+			Aborts:         int(l.Aborts),
+			Wait:           report.QuantilesOfSnapshot(l.Wait),
+			Hold:           report.QuantilesOfSnapshot(l.Hold),
+			PerThread:      []int{},
+			Traffic:        report.TrafficReport{LocalPerNode: []uint64{}},
+		}
+		if l.Attempts > 0 {
+			lr.AbortRate = float64(l.Aborts) / float64(l.Attempts)
+		}
+		if h := l.HandoffLocal + l.HandoffRemote; h > 0 {
+			lr.HandoffRatio = float64(l.HandoffRemote) / float64(h)
+		}
+		rep.Locks[i] = lr
+	}
+	return rep
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// SnapshotSchema versions the live metrics snapshot format.
+const SnapshotSchema = "obs-snapshot/v1"
+
+// NodeCounts is one node shard's view of a lock: the activity recorded
+// by threads registered on that node.
+type NodeCounts struct {
+	Node           int    `json:"node"`
+	Attempts       uint64 `json:"attempts"`
+	Contended      uint64 `json:"contended"`
+	Aborts         uint64 `json:"aborts"`
+	SpinIterations int64  `json:"spin_iterations"`
+	HandoffLocal   uint64 `json:"handoff_local"`
+	HandoffRemote  uint64 `json:"handoff_remote"`
+}
+
+func (n NodeCounts) sub(o NodeCounts) NodeCounts {
+	return NodeCounts{
+		Node:           n.Node,
+		Attempts:       subU(n.Attempts, o.Attempts),
+		Contended:      subU(n.Contended, o.Contended),
+		Aborts:         subU(n.Aborts, o.Aborts),
+		SpinIterations: subI(n.SpinIterations, o.SpinIterations),
+		HandoffLocal:   subU(n.HandoffLocal, o.HandoffLocal),
+		HandoffRemote:  subU(n.HandoffRemote, o.HandoffRemote),
+	}
+}
+
+// LockSnapshot is one lock's merged view at snapshot time. Attempts
+// counts acquire attempts including aborted ones, so successful
+// acquisitions are Attempts - Aborts. Handoff counts cover sampled and
+// contended acquires only (see the package comment on the last-owner
+// word); wait/hold histograms hold the sampled latencies in
+// nanoseconds.
+type LockSnapshot struct {
+	Name           string                  `json:"name"`
+	Attempts       uint64                  `json:"attempts"`
+	Contended      uint64                  `json:"contended"`
+	Aborts         uint64                  `json:"aborts"`
+	SpinIterations int64                   `json:"spin_iterations"`
+	HandoffLocal   uint64                  `json:"handoff_local"`
+	HandoffRemote  uint64                  `json:"handoff_remote"`
+	PerNode        []NodeCounts            `json:"per_node,omitempty"`
+	Wait           stats.HistogramSnapshot `json:"wait"`
+	Hold           stats.HistogramSnapshot `json:"hold"`
+}
+
+// LocalityRatio returns the fraction of observed handoffs that stayed
+// within a node (1 when no handoffs were observed — an unmoved lock is
+// perfectly local).
+func (l LockSnapshot) LocalityRatio() float64 {
+	total := l.HandoffLocal + l.HandoffRemote
+	if total == 0 {
+		return 1
+	}
+	return float64(l.HandoffLocal) / float64(total)
+}
+
+// Snapshot is a deterministic view of a registry: locks sorted by name,
+// no timestamps, stable bytes for stable state. Two snapshots taken
+// with no intervening flushed activity are byte-identical.
+type Snapshot struct {
+	Schema string         `json:"schema"`
+	Locks  []LockSnapshot `json:"locks"`
+}
+
+// Snapshot captures the registry's current flushed state.
+func (r *Registry) Snapshot() Snapshot {
+	ms := r.metricsSorted()
+	snap := Snapshot{Schema: SnapshotSchema, Locks: make([]LockSnapshot, len(ms))}
+	for i, m := range ms {
+		snap.Locks[i] = m.SnapshotLock()
+	}
+	return snap
+}
+
+// SnapshotLock captures one lock's merged state: shard counters are
+// summed and shard histograms merged, so the cross-node reads the
+// recording paths avoid happen here, once, on the observer's side.
+func (m *LockMetrics) SnapshotLock() LockSnapshot {
+	ls := LockSnapshot{Name: m.name}
+	var wait, hold stats.Histogram
+	if shards := m.shards.Load(); shards != nil {
+		for node, s := range *shards {
+			if s == nil {
+				continue
+			}
+			nc := NodeCounts{
+				Node:           node,
+				Attempts:       s.attempts.Load(),
+				Contended:      s.contended.Load(),
+				Aborts:         s.aborts.Load(),
+				SpinIterations: s.spins.Load(),
+				HandoffLocal:   s.handoffLocal.Load(),
+				HandoffRemote:  s.handoffRemote.Load(),
+			}
+			s.mu.Lock()
+			wait.Merge(&s.wait)
+			hold.Merge(&s.hold)
+			s.mu.Unlock()
+			ls.Attempts += nc.Attempts
+			ls.Contended += nc.Contended
+			ls.Aborts += nc.Aborts
+			ls.SpinIterations += nc.SpinIterations
+			ls.HandoffLocal += nc.HandoffLocal
+			ls.HandoffRemote += nc.HandoffRemote
+			ls.PerNode = append(ls.PerNode, nc)
+		}
+	}
+	ls.Wait = wait.Snapshot()
+	ls.Hold = hold.Snapshot()
+	return ls
+}
+
+// Delta returns the activity between earlier and s: counters subtract
+// (clamped at zero) and histograms difference bucket-wise, per lock by
+// name. Locks absent from earlier pass through unchanged; locks absent
+// from s are dropped. For snapshots s2 taken after s1 with quiesced
+// recording at both points, s2.Delta(s1) is exactly the activity
+// flushed in between.
+func (s Snapshot) Delta(earlier Snapshot) Snapshot {
+	prev := make(map[string]LockSnapshot, len(earlier.Locks))
+	for _, l := range earlier.Locks {
+		prev[l.Name] = l
+	}
+	out := Snapshot{Schema: s.Schema, Locks: make([]LockSnapshot, 0, len(s.Locks))}
+	for _, l := range s.Locks {
+		p, ok := prev[l.Name]
+		if !ok {
+			out.Locks = append(out.Locks, l)
+			continue
+		}
+		d := LockSnapshot{
+			Name:           l.Name,
+			Attempts:       subU(l.Attempts, p.Attempts),
+			Contended:      subU(l.Contended, p.Contended),
+			Aborts:         subU(l.Aborts, p.Aborts),
+			SpinIterations: subI(l.SpinIterations, p.SpinIterations),
+			HandoffLocal:   subU(l.HandoffLocal, p.HandoffLocal),
+			HandoffRemote:  subU(l.HandoffRemote, p.HandoffRemote),
+		}
+		prevNodes := make(map[int]NodeCounts, len(p.PerNode))
+		for _, nc := range p.PerNode {
+			prevNodes[nc.Node] = nc
+		}
+		for _, nc := range l.PerNode {
+			d.PerNode = append(d.PerNode, nc.sub(prevNodes[nc.Node]))
+		}
+		wh := l.Wait.Histogram()
+		wh.Sub(p.Wait.Histogram())
+		d.Wait = wh.Snapshot()
+		hh := l.Hold.Histogram()
+		hh.Sub(p.Hold.Histogram())
+		d.Hold = hh.Snapshot()
+		out.Locks = append(out.Locks, d)
+	}
+	return out
+}
+
+// WriteJSON emits the snapshot as indented JSON; bytes are stable for a
+// fixed snapshot (struct fields encode in declaration order).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func subU(a, b uint64) uint64 {
+	if b >= a {
+		return 0
+	}
+	return a - b
+}
+
+func subI(a, b int64) int64 {
+	if b >= a {
+		return 0
+	}
+	return a - b
+}

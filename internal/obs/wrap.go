@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// InstrumentedLock is implemented by every lock returned from
+// Instrument: the core.Lock surface plus access to the metrics and the
+// residue-flushing Sync. Wrappers additionally preserve the underlying
+// lock's core.TimedLock / core.TryLocker capabilities — type-assert for
+// those as usual.
+type InstrumentedLock interface {
+	core.Lock
+	// Metrics returns the lock's collector.
+	Metrics() *LockMetrics
+	// Sync flushes thread t's unflushed counters (see LockMetrics.Sync).
+	Sync(t *core.Thread)
+	// Unwrap returns the uninstrumented lock.
+	Unwrap() core.Lock
+}
+
+// wrap picks the thinnest wrapper that preserves l's capabilities.
+func wrap(l core.Lock, m *LockMetrics) core.Lock {
+	base := instLock{m: m, l: l}
+	timed, isTimed := l.(core.TimedLock)
+	try, isTry := l.(core.TryLocker)
+	switch {
+	case isTimed && isTry:
+		return &instTimedTryLock{instLock: base, timed: timed, try: try}
+	case isTimed:
+		return &instTimedLock{instLock: base, timed: timed}
+	case isTry:
+		return &instTryLock{instLock: base, try: try}
+	default:
+		return &base
+	}
+}
+
+// instLock instruments a plain core.Lock.
+type instLock struct {
+	m *LockMetrics
+	l core.Lock
+}
+
+// Name returns the registered metrics name (which dedup may have
+// suffixed), not the algorithm name — Unwrap().Name() has that.
+func (w *instLock) Name() string { return w.m.name }
+
+// Acquire acquires the underlying lock, recording the attempt. The
+// body open-codes the cell lookup and countdown (rather than calling
+// LockMetrics.acquireStart) so the uncontended, unsampled path — the
+// one the ≤15% overhead budget is measured on — runs with no calls
+// besides the lock's own: a pointer load, an index, three field writes.
+func (w *instLock) Acquire(t *core.Thread) {
+	if cells := w.m.cells.Load(); cells != nil {
+		if id := t.ID(); id < len(*cells) {
+			if c := (*cells)[id]; c != nil && c.left > 0 {
+				c.left--
+				c.attempts++
+				// inSlow is false here by invariant: every path that
+				// sets it (the Contended probe) ends in a flush that
+				// clears it again.
+				w.l.Acquire(t)
+				if c.inSlow {
+					w.m.acquireDoneSlow(t, c)
+				}
+				return
+			}
+		}
+	}
+	w.acquireSlow(t)
+}
+
+// acquireSlow is the outlined sampled/first-acquire path.
+func (w *instLock) acquireSlow(t *core.Thread) {
+	c := w.m.acquireStart(t)
+	w.l.Acquire(t)
+	w.m.acquireDone(t, c)
+}
+
+// Release releases the underlying lock, closing any sampled hold
+// window. Like Acquire it open-codes the unsampled fast path; when the
+// acquire was sampled, the latency record lands after the lock is free,
+// so instrumentation never lengthens the critical section.
+func (w *instLock) Release(t *core.Thread) {
+	if cells := w.m.cells.Load(); cells != nil {
+		if id := t.ID(); id < len(*cells) {
+			if c := (*cells)[id]; c != nil && !c.sampled {
+				w.l.Release(t)
+				return
+			}
+		}
+	}
+	w.releaseSlow(t)
+}
+
+// releaseSlow is the outlined sampled-release (or no-cell) path.
+func (w *instLock) releaseSlow(t *core.Thread) {
+	c, hold := w.m.releasePre(t)
+	w.l.Release(t)
+	if c != nil {
+		w.m.releasePost(c, hold)
+	}
+}
+
+// Metrics returns the lock's collector.
+func (w *instLock) Metrics() *LockMetrics { return w.m }
+
+// Sync flushes thread t's residue counters.
+func (w *instLock) Sync(t *core.Thread) { w.m.Sync(t) }
+
+// Unwrap returns the uninstrumented lock.
+func (w *instLock) Unwrap() core.Lock { return w.l }
+
+// tryAcquire is the shared instrumented non-blocking attempt. A failed
+// try counts as a contended attempt that aborted — the caller observed
+// the lock held and gave up without waiting.
+func (w *instLock) tryAcquire(t *core.Thread, try core.TryLocker) bool {
+	c := w.m.acquireStart(t)
+	if try.TryAcquire(t) {
+		w.m.acquireDone(t, c)
+		return true
+	}
+	if !c.inSlow {
+		c.contended++
+	}
+	w.m.abort(t, c)
+	return false
+}
+
+// acquireFor is the shared instrumented timed acquire; a timeout counts
+// as an abort and flushes immediately.
+func (w *instLock) acquireFor(t *core.Thread, d time.Duration, timed core.TimedLock) bool {
+	c := w.m.acquireStart(t)
+	if timed.AcquireFor(t, d) {
+		w.m.acquireDone(t, c)
+		return true
+	}
+	w.m.abort(t, c)
+	return false
+}
+
+// instTryLock adds core.TryLocker.
+type instTryLock struct {
+	instLock
+	try core.TryLocker
+}
+
+// TryAcquire attempts the underlying non-blocking acquire.
+func (w *instTryLock) TryAcquire(t *core.Thread) bool { return w.tryAcquire(t, w.try) }
+
+// instTimedLock adds core.TimedLock.
+type instTimedLock struct {
+	instLock
+	timed core.TimedLock
+}
+
+// AcquireFor runs the underlying timed acquire.
+func (w *instTimedLock) AcquireFor(t *core.Thread, d time.Duration) bool {
+	return w.acquireFor(t, d, w.timed)
+}
+
+// instTimedTryLock adds both capabilities.
+type instTimedTryLock struct {
+	instLock
+	timed core.TimedLock
+	try   core.TryLocker
+}
+
+// TryAcquire attempts the underlying non-blocking acquire.
+func (w *instTimedTryLock) TryAcquire(t *core.Thread) bool { return w.tryAcquire(t, w.try) }
+
+// AcquireFor runs the underlying timed acquire.
+func (w *instTimedTryLock) AcquireFor(t *core.Thread, d time.Duration) bool {
+	return w.acquireFor(t, d, w.timed)
+}
+
+// Interface checks: every variant is an InstrumentedLock, and the
+// capability variants surface the matching core interfaces.
+var (
+	_ InstrumentedLock = (*instLock)(nil)
+	_ InstrumentedLock = (*instTryLock)(nil)
+	_ InstrumentedLock = (*instTimedLock)(nil)
+	_ InstrumentedLock = (*instTimedTryLock)(nil)
+	_ core.TryLocker   = (*instTryLock)(nil)
+	_ core.TimedLock   = (*instTimedLock)(nil)
+	_ core.TryLocker   = (*instTimedTryLock)(nil)
+	_ core.TimedLock   = (*instTimedTryLock)(nil)
+)

@@ -1,0 +1,233 @@
+// Package report holds the machine-readable run-report schema
+// (hbo-run-report/v1) shared by every producer in the repo: the
+// simulation experiment drivers (internal/experiments, cmd/locktrace,
+// cmd/hbobench) and the live native-lock observability layer
+// (internal/obs). It is deliberately a leaf package — schema types,
+// host metadata and deterministic JSON encoding only — so both the sim
+// stack and the native stack can emit the same bytes-stable format
+// without importing each other.
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Schema versions the machine-readable run report. Consumers pin this
+// string; bump it whenever a field changes meaning or layout.
+const Schema = "hbo-run-report/v1"
+
+// Quantiles summarizes a latency distribution in nanoseconds, the
+// tail-aware replacement for the mean-only numbers the text tables
+// print.
+type Quantiles struct {
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P90NS  int64   `json:"p90_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// QuantilesOf extracts report quantiles from a histogram.
+func QuantilesOf(h *stats.Histogram) Quantiles {
+	if h == nil {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Count:  h.Count(),
+		MeanNS: h.Mean(),
+		P50NS:  h.Quantile(0.50),
+		P90NS:  h.Quantile(0.90),
+		P99NS:  h.Quantile(0.99),
+		MaxNS:  h.Max(),
+	}
+}
+
+// QuantilesOfSnapshot extracts report quantiles from an exported
+// histogram snapshot (the form live metrics travel in).
+func QuantilesOfSnapshot(s stats.HistogramSnapshot) Quantiles {
+	return Quantiles{
+		Count:  s.Count,
+		MeanNS: s.Mean(),
+		P50NS:  s.Quantile(0.50),
+		P90NS:  s.Quantile(0.90),
+		P99NS:  s.Quantile(0.99),
+		MaxNS:  s.Max,
+	}
+}
+
+// TrafficReport is the machine's coherence-transaction accounting,
+// split the way the paper's Tables 2 and 6 report it.
+type TrafficReport struct {
+	LocalPerNode []uint64 `json:"local_per_node"`
+	LocalTotal   uint64   `json:"local_total"`
+	Global       uint64   `json:"global"`
+}
+
+// TrafficOf converts machine counters into report form.
+func TrafficOf(s machine.Stats) TrafficReport {
+	return TrafficReport{LocalPerNode: s.Local, LocalTotal: s.TotalLocal(), Global: s.Global}
+}
+
+// LabelTraffic sums per-line traffic over all lines sharing a label —
+// the lock-line vs data-line split of Tables 2 and 6. Unlabeled lines
+// aggregate under "other".
+type LabelTraffic struct {
+	Label         string `json:"label"`
+	Lines         int    `json:"lines"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Transfers     uint64 `json:"transfers"`
+	Local         uint64 `json:"local"`
+	Global        uint64 `json:"global"`
+}
+
+// AggregateByLabel rolls per-line stats up by label, sorted by label.
+func AggregateByLabel(ls []machine.LineStats) []LabelTraffic {
+	byLabel := map[string]*LabelTraffic{}
+	for _, l := range ls {
+		label := l.Label
+		if label == "" {
+			label = "other"
+		}
+		t := byLabel[label]
+		if t == nil {
+			t = &LabelTraffic{Label: label}
+			byLabel[label] = t
+		}
+		t.Lines++
+		t.Misses += l.Misses
+		t.Invalidations += l.Invalidations
+		t.Transfers += l.Transfers
+		t.Local += l.Local
+		t.Global += l.Global
+	}
+	labels := make([]string, 0, len(byLabel))
+	for label := range byLabel {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	out := make([]LabelTraffic, 0, len(labels))
+	for _, label := range labels {
+		out = append(out, *byLabel[label])
+	}
+	return out
+}
+
+// HotLines returns the n busiest lines by total traffic, ties broken by
+// address (mirrors machine.HotLines for an already-collected slice).
+func HotLines(ls []machine.LineStats, n int) []machine.LineStats {
+	out := append([]machine.LineStats(nil), ls...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Traffic() != out[j].Traffic() {
+			return out[i].Traffic() > out[j].Traffic()
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// LockReport is the per-lock section of a run report. The abort and
+// fault fields only appear in degraded-mode reports (omitempty), so
+// fault-free reports keep their exact bytes. Live native reports
+// (internal/obs) additionally populate Contended and SpinIterations,
+// which simulated reports omit.
+type LockReport struct {
+	Lock            string              `json:"lock"`
+	Acquisitions    int                 `json:"acquisitions"`
+	Contended       int                 `json:"contended,omitempty"`
+	SpinIterations  int64               `json:"spin_iterations,omitempty"`
+	Aborts          int                 `json:"aborts,omitempty"`
+	AbortRate       float64             `json:"abort_rate,omitempty"`
+	Wait            Quantiles           `json:"wait"`
+	Hold            Quantiles           `json:"hold"`
+	HandoffRatio    float64             `json:"handoff_ratio"`
+	NodeMatrix      [][]int             `json:"node_handoff_matrix,omitempty"`
+	PerThread       []int               `json:"per_thread_acquisitions"`
+	IterationTimeNS int64               `json:"iteration_time_ns,omitempty"`
+	TotalTimeNS     int64               `json:"total_time_ns,omitempty"`
+	Traffic         TrafficReport       `json:"traffic"`
+	TrafficByLabel  []LabelTraffic      `json:"traffic_by_label,omitempty"`
+	HotLines        []machine.LineStats `json:"hot_lines,omitempty"`
+	FaultStats      *fault.Stats        `json:"fault_stats,omitempty"`
+}
+
+// MachineSummary records the simulated machine shape in a report. Live
+// native reports record the logical runtime topology instead, with
+// Preset "native".
+type MachineSummary struct {
+	Nodes        int    `json:"nodes"`
+	CPUsPerNode  int    `json:"cpus_per_node"`
+	ClusterSize  int    `json:"cluster_size,omitempty"`
+	WordsPerLine int    `json:"words_per_line,omitempty"`
+	Preset       string `json:"preset,omitempty"`
+}
+
+// HostReport records the machine a report was produced on — the
+// metadata BENCH_sim.json used to record by hand. It is deterministic
+// on a fixed host, so byte-identical-report contracts still hold.
+type HostReport struct {
+	CPUs      int    `json:"cpus"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go"`
+}
+
+// Host captures the current process's host metadata.
+func Host() HostReport {
+	return HostReport{
+		CPUs:      runtime.NumCPU(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	}
+}
+
+// FaultReport records the replay coordinates of a degraded-mode run:
+// re-running the same tool with this (schedule, seed, intensity)
+// triple reproduces the report byte for byte.
+type FaultReport struct {
+	Schedule  string  `json:"schedule"`
+	Seed      uint64  `json:"seed"`
+	Intensity float64 `json:"intensity"`
+}
+
+// Report is the machine-readable result of one observability run. All
+// fields are deterministic for a fixed seed (and fixed host), so
+// identical invocations produce byte-identical JSON. Fault is present
+// only for degraded-mode runs (omitempty keeps fault-free reports
+// byte-stable).
+type Report struct {
+	Schema     string         `json:"schema"`
+	Tool       string         `json:"tool"`
+	Experiment string         `json:"experiment"`
+	Seed       uint64         `json:"seed"`
+	Host       HostReport     `json:"host"`
+	Machine    MachineSummary `json:"machine"`
+	Params     map[string]int `json:"params,omitempty"`
+	Fault      *FaultReport   `json:"fault,omitempty"`
+	Locks      []LockReport   `json:"locks"`
+}
+
+// WriteJSON emits the report as indented JSON. encoding/json renders
+// struct fields in declaration order and map keys sorted, so the bytes
+// are stable for a fixed report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

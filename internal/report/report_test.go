@@ -1,0 +1,70 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestHostDeterministic(t *testing.T) {
+	h := Host()
+	if h.CPUs != runtime.NumCPU() || h.GOOS != runtime.GOOS ||
+		h.GOARCH != runtime.GOARCH || h.GoVersion != runtime.Version() {
+		t.Fatalf("host block = %+v", h)
+	}
+	if h != Host() {
+		t.Fatal("Host() not stable within a process")
+	}
+}
+
+func TestReportJSONIncludesHost(t *testing.T) {
+	rep := &Report{
+		Schema: Schema,
+		Tool:   "test",
+		Host:   Host(),
+		Locks:  []LockReport{{Lock: "TATAS", Acquisitions: 1}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	host, ok := m["host"].(map[string]any)
+	if !ok {
+		t.Fatalf("report missing host block: %v", m)
+	}
+	for _, k := range []string{"cpus", "goos", "goarch", "go"} {
+		if _, ok := host[k]; !ok {
+			t.Errorf("host block missing %q: %v", k, host)
+		}
+	}
+	// Byte determinism: encoding the same report twice is identical.
+	var buf2 bytes.Buffer
+	if err := rep.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteJSON not byte-deterministic")
+	}
+}
+
+func TestQuantilesOfSnapshotMatchesLive(t *testing.T) {
+	var h stats.Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	live := QuantilesOf(&h)
+	snap := QuantilesOfSnapshot(h.Snapshot())
+	if live != snap {
+		t.Fatalf("snapshot quantiles %+v != live %+v", snap, live)
+	}
+	if QuantilesOf(nil) != (Quantiles{}) {
+		t.Fatal("QuantilesOf(nil) not zero")
+	}
+}

@@ -26,6 +26,17 @@ const (
 // and answers p50/p90/p99-style quantile queries with bounded relative
 // error — the distribution machinery mean-only summaries cannot provide.
 // The zero value is ready to use. Negative samples clamp to zero.
+//
+// Concurrency: a Histogram is NOT safe for concurrent use. Add, Merge,
+// Sub and every query method must be externally synchronized — Add from
+// one goroutine racing Merge (or Quantile) from another corrupts counts
+// and trips the race detector. The single-threaded simulation needs no
+// locking; concurrent native recorders must either give each goroutine
+// its own histogram and Merge after quiescence, or serialize access the
+// way internal/obs does: per-node shards, each shard's histograms
+// guarded by that shard's mutex, taken only on sampled records and at
+// snapshot-merge time (TestShardedRecordVsMergeRace in internal/obs
+// exercises exactly that contract under -race).
 type Histogram struct {
 	counts [histBuckets]uint64
 	n      uint64
@@ -156,6 +167,106 @@ func (h *Histogram) Merge(o *Histogram) {
 	for i, c := range o.counts {
 		h.counts[i] += c
 	}
+}
+
+// Clone returns an independent copy of h.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}
+
+// Sub removes an earlier snapshot o from h in place: counts, n and sum
+// subtract bucket-wise, so h becomes the histogram of the samples
+// recorded after o was taken. o must be a prior snapshot of the same
+// histogram (every bucket count ≤ h's); defensive clamping keeps a
+// violated precondition from underflowing. Min and Max are recomputed
+// from the surviving buckets' bounds, so after Sub they are bucket-edge
+// approximations rather than exact observed samples.
+func (h *Histogram) Sub(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c >= h.counts[i] {
+			h.counts[i] = 0
+		} else {
+			h.counts[i] -= c
+		}
+	}
+	if o.n >= h.n {
+		h.n = 0
+	} else {
+		h.n -= o.n
+	}
+	h.sum -= o.sum
+	if h.n == 0 {
+		h.sum, h.min, h.max = 0, 0, 0
+		return
+	}
+	h.min, h.max = 0, 0
+	first := true
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := histBounds(i)
+		if first {
+			h.min = lo
+			first = false
+		}
+		h.max = hi
+	}
+	if h.sum < 0 {
+		h.sum = 0
+	}
+}
+
+// HistogramSnapshot is the portable form of a Histogram: enough to
+// rebuild it exactly (bucket geometry is pinned by the package
+// constants), serialize it deterministically, and difference two
+// snapshots. Buckets hold only the non-empty buckets in ascending value
+// order.
+type HistogramSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports h's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:   h.n,
+		Sum:     h.sum,
+		Min:     h.Min(),
+		Max:     h.Max(),
+		Buckets: h.Buckets(),
+	}
+}
+
+// Histogram rebuilds a live histogram from the snapshot. Each bucket's
+// Lo pins its index, so rebuild→Snapshot round-trips exactly.
+func (s HistogramSnapshot) Histogram() *Histogram {
+	h := &Histogram{n: s.Count, sum: s.Sum, min: s.Min, max: s.Max}
+	for _, b := range s.Buckets {
+		h.counts[histBucket(b.Lo)] += b.Count
+	}
+	return h
+}
+
+// Quantile answers the q-quantile of the snapshotted distribution (a
+// convenience wrapper over rebuilding; see Histogram.Quantile).
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	return s.Histogram().Quantile(q)
+}
+
+// Mean returns the snapshot's mean (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
 }
 
 // HistBucket is one non-empty histogram bucket, for export.

@@ -157,3 +157,89 @@ func TestQuantileHelpers(t *testing.T) {
 		t.Fatalf("Quantiles(nil) = %v", got)
 	}
 }
+
+func TestHistogramCloneIndependent(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 100; v++ {
+		h.Add(v)
+	}
+	c := h.Clone()
+	c.Add(1 << 20)
+	if h.Count() != 100 || c.Count() != 101 {
+		t.Fatalf("clone not independent: h=%d c=%d", h.Count(), c.Count())
+	}
+	if h.Max() == c.Max() {
+		t.Fatalf("clone shares state: max %d", h.Max())
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 50; v++ {
+		h.Add(v)
+	}
+	early := h.Clone()
+	for v := int64(51); v <= 100; v++ {
+		h.Add(v)
+	}
+	h.Sub(early)
+	if h.Count() != 50 {
+		t.Fatalf("Sub count = %d, want 50", h.Count())
+	}
+	wantSum := int64(0)
+	for v := int64(51); v <= 100; v++ {
+		wantSum += v
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("Sub sum = %d, want %d", h.Sum(), wantSum)
+	}
+	// Min/max are bucket-edge approximations covering the real values.
+	if h.Min() > 51 || h.Max() < 100 {
+		t.Fatalf("Sub min/max = %d/%d do not cover [51,100]", h.Min(), h.Max())
+	}
+	if p50 := h.Quantile(0.5); p50 < 51 || p50 > 100 {
+		t.Fatalf("Sub p50 = %d outside surviving range", p50)
+	}
+
+	// Subtracting everything empties the histogram.
+	h2 := early.Clone()
+	h2.Sub(early)
+	if h2.Count() != 0 || h2.Sum() != 0 || h2.Min() != 0 || h2.Max() != 0 {
+		t.Fatalf("full Sub left residue: %+v", h2.Snapshot())
+	}
+	// Nil and empty subtrahends are no-ops.
+	h3 := early.Clone()
+	h3.Sub(nil)
+	h3.Sub(&Histogram{})
+	if h3.Count() != early.Count() {
+		t.Fatalf("no-op Sub changed count")
+	}
+}
+
+func TestHistogramSnapshotRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 17, 17, 4096, 1 << 40} {
+		h.Add(v)
+	}
+	s := h.Snapshot()
+	r := s.Histogram()
+	if r.Count() != h.Count() || r.Sum() != h.Sum() || r.Min() != h.Min() || r.Max() != h.Max() {
+		t.Fatalf("round trip header: %+v vs %+v", r.Snapshot(), s)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if r.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("round trip quantile %v: %d vs %d", q, r.Quantile(q), h.Quantile(q))
+		}
+		if s.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("snapshot quantile %v: %d vs %d", q, s.Quantile(q), h.Quantile(q))
+		}
+	}
+	if s.Mean() != h.Mean() {
+		t.Fatalf("snapshot mean %v vs %v", s.Mean(), h.Mean())
+	}
+	var empty Histogram
+	es := empty.Snapshot()
+	if es.Count != 0 || len(es.Buckets) != 0 || es.Mean() != 0 {
+		t.Fatalf("empty snapshot = %+v", es)
+	}
+}
