@@ -55,13 +55,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -151,9 +154,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
 			os.Exit(2)
 		}
-		if err := runSoak(os.Stdout, obs.Default, *soak, names, *soakThreads, *soakTimed); err != nil {
+		// SIGINT/SIGTERM end the soak early but still flush the final
+		// report: an interrupted soak is a shorter soak, not a lost one.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runSoak(ctx, os.Stdout, obs.Default, *soak, names, *soakThreads, *soakTimed); err != nil {
 			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
 			os.Exit(1)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "hbobench: soak interrupted; report covers the completed portion")
 		}
 		return
 	}

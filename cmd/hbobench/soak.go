@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -23,7 +24,12 @@ import (
 // When timedFrac > 0 and the lock supports timed acquisition, that
 // fraction of attempts goes through AcquireFor with a short deadline so
 // the abort path gets exercised under real contention.
-func runSoak(w io.Writer, reg *obs.Registry, d time.Duration, names []string, threads int, timedFrac float64) error {
+// Cancelling ctx (SIGINT/SIGTERM in the CLI) ends the soak early:
+// workers drain at the next loop check, remaining locks are skipped,
+// and the report still flushes with whatever was observed — a soak
+// interrupted at the terminal leaves a valid report behind, not a
+// truncated one.
+func runSoak(ctx context.Context, w io.Writer, reg *obs.Registry, d time.Duration, names []string, threads int, timedFrac float64) error {
 	if threads <= 0 {
 		threads = runtime.NumCPU()
 	}
@@ -38,17 +44,20 @@ func runSoak(w io.Writer, reg *obs.Registry, d time.Duration, names []string, th
 		slice = time.Millisecond
 	}
 	for _, name := range names {
+		if ctx.Err() != nil {
+			break
+		}
 		// Cluster size 1 keeps the topology valid for every
 		// algorithm, including the hierarchical ones.
 		rt := core.NewRuntimeHierarchical(2, 1, threads)
 		l := reg.Instrument(core.New(name, rt, core.DefaultTuning()), name)
-		soakLock(l, rt, threads, slice, timedFrac)
+		soakLock(ctx, l, rt, threads, slice, timedFrac)
 	}
 	return reg.Report("hbobench").WriteJSON(w)
 }
 
 // soakLock runs the worker loop for one instrumented lock.
-func soakLock(l core.Lock, rt *core.Runtime, threads int, d time.Duration, timedFrac float64) {
+func soakLock(ctx context.Context, l core.Lock, rt *core.Runtime, threads int, d time.Duration, timedFrac float64) {
 	timedEvery := 0
 	if timedFrac > 0 {
 		timedEvery = int(1 / timedFrac)
@@ -64,7 +73,7 @@ func soakLock(l core.Lock, rt *core.Runtime, threads int, d time.Duration, timed
 			defer func() { done <- struct{}{} }()
 			t := rt.RegisterThread(node)
 			tl, timed := l.(core.TimedLock)
-			for k := 0; time.Now().Before(deadline); k++ {
+			for k := 0; time.Now().Before(deadline) && ctx.Err() == nil; k++ {
 				if timed && timedEvery > 0 && k%timedEvery == 0 {
 					if !tl.AcquireFor(t, 50*time.Microsecond) {
 						continue // aborted: recorded, retry plain

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ func TestSoakLockNames(t *testing.T) {
 func TestRunSoakProducesLiveReport(t *testing.T) {
 	reg := obs.NewRegistry()
 	var buf bytes.Buffer
-	err := runSoak(&buf, reg, 100*time.Millisecond, []string{"TATAS", "HBO"}, 4, 0.25)
+	err := runSoak(context.Background(), &buf, reg, 100*time.Millisecond, []string{"TATAS", "HBO"}, 4, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,5 +81,33 @@ func TestRunSoakProducesLiveReport(t *testing.T) {
 	}
 	if s := obs.FindSample(samples, "hbo_lock_attempts_total", map[string]string{"lock": "TATAS"}); s == nil || s.Value < 10 {
 		t.Fatalf("attempts sample = %+v", s)
+	}
+}
+
+// TestRunSoakCancelled: cancelling the context (what SIGINT does in
+// main) ends a long soak early and still flushes a valid report.
+func TestRunSoakCancelled(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := runSoak(ctx, &buf, reg, time.Hour, []string{"TATAS", "HBO"}, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("cancelled soak took %v", e)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("interrupted report does not parse: %v", err)
+	}
+	if rep.Schema != "hbo-run-report/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
 	}
 }

@@ -1,0 +1,213 @@
+// Command hbolockd is the live lock/lease daemon built on the native
+// NUMA-aware lock stack: every tenant's key namespace is sharded, each
+// shard arbitrated by a configurable native lock (-lock takes any
+// algorithm the library implements), leases carry TTLs and monotonic
+// fencing tokens, and the PR-6 observability layer streams out of the
+// live process on the same port.
+//
+// Usage:
+//
+//	hbolockd -addr localhost:9151 -lock HBO -tenants 3 -shards 4
+//	hbolockd -faults session -fault-seed 7 -access-log access.jsonl
+//
+// Endpoints:
+//
+//	POST /v1/acquire /v1/renew /v1/release   lease operations
+//	GET  /v1/inspect /v1/stats               state + per-shard counters
+//	GET  /metrics /snapshot /report          live obs (watch with locktop)
+//
+// On SIGINT/SIGTERM the daemon drains: new operations are refused with
+// 503 draining, in-flight requests finish under http.Server.Shutdown's
+// -drain budget, the access log is flushed, and a final
+// hbo-run-report/v1 JSON report lands at -report (default stdout).
+// Exit is 0 on a clean drain.
+//
+// Flag validation follows the lockcheck pattern: bad values are
+// rejected up front with usage text and exit status 2.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/lockserv"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:9151", "listen address (host:port; :0 picks a port)")
+		lockName  = flag.String("lock", "HBO", "shard-arbitration algorithm: "+strings.Join(core.AllNames(), ", "))
+		tenants   = flag.Int("tenants", 2, "tenant namespaces to serve (t0..tN-1)")
+		shards    = flag.Int("shards", 4, "shards per tenant")
+		nodes     = flag.Int("nodes", 2, "logical NUCA nodes for the service runtime")
+		pool      = flag.Int("pool", 4, "worker threads per node (the concurrency bound)")
+		ttl       = flag.Duration("ttl", 5*time.Second, "default lease TTL")
+		maxTTL    = flag.Duration("max-ttl", time.Minute, "cap on requested TTLs")
+		opTimeout = flag.Duration("op-timeout", 100*time.Millisecond, "per-operation budget for thread checkout + shard-lock acquire")
+		shardQPS  = flag.Float64("shard-qps", 0, "rate limit per shard in requests/second (0 = unlimited)")
+		burst     = flag.Int("shard-burst", 0, "rate-limit burst (default 2x -shard-qps)")
+		sweep     = flag.Duration("sweep", 250*time.Millisecond, "background lease-expiry sweep interval")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget for in-flight requests")
+
+		faultSched = flag.String("faults", "", "service fault schedule: "+strings.Join(fault.ServiceSchedules(), ", ")+" (empty = none)")
+		faultSeed  = flag.Uint64("fault-seed", 11, "service fault seed")
+		faultInt   = flag.Float64("fault-intensity", 0.75, "service fault intensity, in (0, 1]")
+
+		accessLog  = flag.String("access-log", "", "write the JSONL lease audit trail here (verify with lockload -checklog)")
+		reportPath = flag.String("report", "-", "write the final hbo-run-report/v1 JSON here on shutdown ('-' = stdout)")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "hbolockd: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *tenants < 1 {
+		fail("-tenants must be >= 1 (got %d)", *tenants)
+	}
+	if *sweep <= 0 {
+		fail("-sweep must be positive (got %v)", *sweep)
+	}
+	if *drain <= 0 {
+		fail("-drain must be positive (got %v)", *drain)
+	}
+
+	var inj *fault.ServiceInjector
+	if *faultSched != "" {
+		cfg, err := fault.ServicePreset(*faultSched, *faultSeed, *faultInt)
+		if err != nil {
+			fail("%v", err)
+		}
+		inj = fault.NewServiceInjector(cfg)
+	}
+
+	var logFile *os.File
+	if *accessLog != "" {
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			fail("%v", err)
+		}
+		logFile = f
+	}
+
+	names := make([]string, *tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	reg := obs.NewRegistry()
+	cfg := lockserv.Config{
+		Tenants:        names,
+		Shards:         *shards,
+		Nodes:          *nodes,
+		ThreadsPerNode: *pool,
+		Lock:           *lockName,
+		DefaultTTL:     *ttl,
+		MaxTTL:         *maxTTL,
+		OpTimeout:      *opTimeout,
+		ShardQPS:       *shardQPS,
+		ShardBurst:     *burst,
+		Registry:       reg,
+		Faults:         inj,
+	}
+	if logFile != nil {
+		cfg.AccessLog = logFile
+	}
+	svc, err := lockserv.New(cfg)
+	if err != nil {
+		// Config validation failures are usage errors.
+		fail("%v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", lockserv.Handler(svc))
+	mux.Handle("/", reg.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbolockd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "hbolockd: serving %d tenants x %d shards (lock=%s) on http://%s\n",
+		*tenants, *shards, *lockName, ln.Addr())
+
+	// Background sweeper: expire due leases promptly even on idle keys
+	// and refresh the node-affinity hints off the request path.
+	sweepDone := make(chan struct{})
+	sweepStop := make(chan struct{})
+	go func() {
+		defer close(sweepDone)
+		tick := time.NewTicker(*sweep)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sweepStop:
+				return
+			case <-tick.C:
+				svc.SweepDue()
+				svc.RefreshAffinity()
+			}
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Graceful drain: refuse new lease traffic, let in-flight
+		// requests finish, then flush state.
+		fmt.Fprintln(os.Stderr, "hbolockd: draining")
+		svc.Drain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "hbolockd: shutdown: %v\n", err)
+		}
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "hbolockd: %v\n", err)
+		os.Exit(1)
+	}
+	close(sweepStop)
+	<-sweepDone
+
+	exit := 0
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hbolockd: access log: %v\n", err)
+		exit = 1
+	}
+	if logFile != nil {
+		if err := logFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hbolockd: access log: %v\n", err)
+			exit = 1
+		}
+	}
+
+	w := os.Stdout
+	if *reportPath != "-" && *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbolockd: report: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := reg.Report("hbolockd").WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "hbolockd: report: %v\n", err)
+		exit = 1
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lockserv"
+	"repro/internal/report"
+)
+
+// runDeterministic replays the live session model against an
+// in-process service core on a manual clock. One goroutine, virtual
+// time advancing exactly 1/qps per operation, seeded behaviour and
+// fault streams: the same (seed, duration, qps, shape) always renders
+// byte-identical output, which is the reproducibility contract CI
+// enforces by running it twice and comparing bytes. The run's access
+// log accumulates in memory and is verified for the fencing-token
+// invariant before anything prints, so a passing run is also a proof
+// of lease safety over that op schedule.
+func runDeterministic(w io.Writer, cfg loadConfig, lockName string, shards int, faultSched string, faultSeed uint64, faultInt float64) (*report.Report, error) {
+	var inj *fault.ServiceInjector
+	var frep *report.FaultReport
+	if faultSched != "" {
+		fcfg, err := fault.ServicePreset(faultSched, faultSeed, faultInt)
+		if err != nil {
+			return nil, err
+		}
+		inj = fault.NewServiceInjector(fcfg)
+		frep = &report.FaultReport{Schedule: faultSched, Seed: faultSeed, Intensity: faultInt}
+	}
+
+	names := make([]string, cfg.tenants)
+	for i := range names {
+		names[i] = cfg.tenantName(i)
+	}
+	clock := lockserv.NewManualClock(time.Unix(0, 0))
+	var logBuf bytes.Buffer
+	svc, err := lockserv.New(lockserv.Config{
+		Tenants:    names,
+		Shards:     shards,
+		Lock:       lockName,
+		DefaultTTL: cfg.ttl,
+		MaxTTL:     cfg.ttl,
+		Clock:      clock,
+		Faults:     inj,
+		AccessLog:  &logBuf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tallies := map[string]*tally{}
+	for _, n := range names {
+		tallies[n] = &tally{}
+	}
+
+	totalOps := int(float64(cfg.duration) / float64(time.Second) * cfg.qps)
+	step := time.Duration(float64(time.Second) / cfg.qps)
+	if step <= 0 {
+		step = time.Nanosecond
+	}
+	rng := newSessionRNG(cfg.seed)
+	sessions := make([]*vSession, cfg.concurrency)
+	for i := range sessions {
+		sessions[i] = &vSession{owner: fmt.Sprintf("v%d", i)}
+	}
+	for op := 0; op < totalOps; op++ {
+		clock.Advance(step)
+		sessions[op%cfg.concurrency].step(svc, rng, cfg, tallies)
+	}
+
+	// End of schedule: let every surviving lease fall due and collect
+	// it, so the access log closes every grant with expire/release.
+	clock.Advance(cfg.ttl + time.Nanosecond)
+	expired := svc.SweepDue()
+	if err := svc.Close(); err != nil {
+		return nil, err
+	}
+
+	events, err := lockserv.VerifyAccessLog(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("fencing invariant violated after %d events: %w", events, err)
+	}
+
+	printSummary(w, fmt.Sprintf("lockload deterministic  lock=%s seed=%d qps=%g concurrency=%d duration=%v",
+		lockName, cfg.seed, cfg.qps, cfg.concurrency, cfg.duration), tallies, false)
+	fmt.Fprintf(w, "ops=%d  expired-at-shutdown=%d  access-log-events=%d (fencing invariant verified)\n",
+		totalOps, expired, events)
+
+	rep := buildReport(cfg, "lockload", "service-load-deterministic", svc.Nodes(), tallies, false)
+	rep.Fault = frep
+	return rep, nil
+}
+
+// vSession is one virtual client session: at most one held lease,
+// advanced one operation at a time by the deterministic scheduler.
+type vSession struct {
+	owner  string
+	tenant string
+	key    string
+	token  uint64
+	held   bool
+}
+
+// step mirrors the live sessionStep: acquire when idle, then a
+// renew/release/hold mix while holding. All randomness comes from the
+// shared seeded stream, all time from the manual clock.
+func (s *vSession) step(svc *lockserv.Service, rng *sessionRNG, cfg loadConfig, tallies map[string]*tally) {
+	if !s.held {
+		tenant := cfg.tenantName(rng.intn(cfg.tenants))
+		key := fmt.Sprintf("k%d", rng.intn(cfg.keys))
+		t := tallies[tenant]
+		d, err := svc.Acquire(tenant, key, s.owner, cfg.ttl)
+		if err != nil {
+			t.errors++
+			return
+		}
+		switch d.Outcome {
+		case lockserv.WireGranted, lockserv.WireRenewed:
+			if d.Outcome == lockserv.WireGranted {
+				t.grants++
+			} else {
+				t.renews++
+			}
+			s.tenant, s.key, s.token, s.held = tenant, key, d.Token, true
+		case lockserv.WireConflict:
+			t.conflicts++
+		default:
+			t.denials++
+		}
+		return
+	}
+	t := tallies[s.tenant]
+	switch r := rng.float64(); {
+	case r < 0.35: // renew
+		d, err := svc.Renew(s.tenant, s.key, s.owner, s.token, cfg.ttl)
+		if err != nil {
+			t.errors++
+			s.held = false
+			return
+		}
+		switch d.Outcome {
+		case lockserv.WireRenewed:
+			t.renews++
+		case lockserv.WireStale:
+			t.stales++
+			s.held = false
+		default:
+			t.denials++
+		}
+	case r < 0.85: // release
+		d, err := svc.Release(s.tenant, s.key, s.owner, s.token)
+		if err != nil {
+			t.errors++
+			s.held = false
+			return
+		}
+		switch d.Outcome {
+		case lockserv.WireReleased:
+			t.releases++
+			s.held = false
+		case lockserv.WireStale:
+			t.stales++
+			s.held = false
+		default:
+			t.denials++
+		}
+	default:
+		// Hold: virtual time still advanced, so the lease drifts
+		// toward its deadline — sessions that hold too long learn
+		// about expiry from the next renew's stale answer.
+	}
+}

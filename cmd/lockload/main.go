@@ -1,0 +1,428 @@
+// Command lockload is the load driver for hbolockd: it plays a fleet
+// of lease-holding client sessions against the service and reports
+// what the service tier's backoff policy did under pressure.
+//
+// Usage:
+//
+//	lockload -addr localhost:9151 -duration 30s -qps 200 -concurrency 8 -tenants 2
+//	lockload -deterministic -seed 7 -duration 10s -qps 500   # no daemon needed
+//	lockload -checklog access.jsonl                          # fencing audit
+//
+// Live mode drives the daemon over HTTP with -concurrency workers
+// paced to a global -qps, each running the session loop: acquire a
+// random key → hold → renew or release, retrying conflicts and
+// backpressure through lockclient's capped exponential backoff. The
+// run prints a per-tenant summary table and, with -json, emits an
+// hbo-run-report/v1 document with client-observed acquire-latency
+// quantiles. SIGINT/SIGTERM end the run early but still flush the
+// table and report.
+//
+// Deterministic mode (-deterministic) runs the same session model
+// against an in-process service core on a manual clock: virtual time
+// advances exactly 1/qps per operation, the fault layer and session
+// scheduling draw from seeded streams, and the access log is verified
+// for the fencing-token invariant before the table prints. The same
+// (seed, duration, qps) always produces byte-identical output — the
+// reproducibility contract CI checks.
+//
+// -checklog replays a daemon's JSONL access log through the same
+// verifier and exits nonzero on any fencing violation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/lockserv"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/lockclient"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:9151", "hbolockd address (live mode)")
+		duration    = flag.Duration("duration", 10*time.Second, "run length (virtual time in deterministic mode)")
+		qps         = flag.Float64("qps", 200, "target operations/second across all workers")
+		concurrency = flag.Int("concurrency", 8, "client sessions")
+		tenants     = flag.Int("tenants", 2, "tenants to spread load over (t0..tN-1)")
+		keys        = flag.Int("keys", 16, "keyspace size per tenant")
+		ttl         = flag.Duration("ttl", 500*time.Millisecond, "lease TTL requested by sessions")
+		seed        = flag.Uint64("seed", 11, "session-behaviour seed")
+		jsonOut     = flag.String("json", "", "write an hbo-run-report/v1 JSON report here ('-' = stdout)")
+
+		deterministic = flag.Bool("deterministic", false, "drive an in-process service on a manual clock (reproducible)")
+		lockName      = flag.String("lock", "HBO", "shard lock algorithm (deterministic mode): "+strings.Join(core.AllNames(), ", "))
+		shards        = flag.Int("shards", 4, "shards per tenant (deterministic mode)")
+		faultSched    = flag.String("faults", "", "service fault schedule (deterministic mode): "+strings.Join(fault.ServiceSchedules(), ", ")+" (empty = none)")
+		faultSeed     = flag.Uint64("fault-seed", 11, "service fault seed")
+		faultInt      = flag.Float64("fault-intensity", 0.75, "service fault intensity, in (0, 1]")
+
+		checklog = flag.String("checklog", "", "verify a JSONL access log's fencing invariant and exit")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "lockload: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	if *checklog != "" {
+		f, err := os.Open(*checklog)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		n, err := lockserv.VerifyAccessLog(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockload: fencing violation after %d events: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("checklog ok: %d events, fencing-token invariant holds\n", n)
+		return
+	}
+
+	// Validate the load shape up front (the lockcheck pattern: usage
+	// text and exit 2, never a panic mid-run).
+	if *duration <= 0 {
+		fail("-duration must be positive (got %v)", *duration)
+	}
+	if *qps <= 0 {
+		fail("-qps must be positive (got %g)", *qps)
+	}
+	if *concurrency < 1 {
+		fail("-concurrency must be >= 1 (got %d)", *concurrency)
+	}
+	if *tenants < 1 {
+		fail("-tenants must be >= 1 (got %d)", *tenants)
+	}
+	if *keys < 1 {
+		fail("-keys must be >= 1 (got %d)", *keys)
+	}
+	if *ttl <= 0 {
+		fail("-ttl must be positive (got %v)", *ttl)
+	}
+
+	cfg := loadConfig{
+		duration:    *duration,
+		qps:         *qps,
+		concurrency: *concurrency,
+		tenants:     *tenants,
+		keys:        *keys,
+		ttl:         *ttl,
+		seed:        *seed,
+	}
+
+	var rep *report.Report
+	var err error
+	if *deterministic {
+		rep, err = runDeterministic(os.Stdout, cfg, *lockName, *shards, *faultSched, *faultSeed, *faultInt)
+	} else {
+		rep, err = runLive(os.Stdout, cfg, *addr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockload: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lockload: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "lockload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadConfig is the shared load shape of both modes.
+type loadConfig struct {
+	duration    time.Duration
+	qps         float64
+	concurrency int
+	tenants     int
+	keys        int
+	ttl         time.Duration
+	seed        uint64
+}
+
+func (c loadConfig) tenantName(i int) string { return fmt.Sprintf("t%d", i) }
+
+// params renders the load shape into report params.
+func (c loadConfig) params() map[string]int {
+	return map[string]int{
+		"concurrency": c.concurrency,
+		"duration_ms": int(c.duration / time.Millisecond),
+		"keys":        c.keys,
+		"qps":         int(c.qps),
+		"tenants":     c.tenants,
+		"ttl_ms":      int(c.ttl / time.Millisecond),
+	}
+}
+
+// tally is one tenant's client-side accounting.
+type tally struct {
+	grants    uint64
+	renews    uint64
+	releases  uint64
+	conflicts uint64
+	denials   uint64 // throttled/busy/nack/draining
+	stales    uint64
+	errors    uint64
+	wait      stats.Histogram // acquire latency (live mode only)
+	hold      stats.Histogram // grant-to-release time (live mode only)
+}
+
+func (t *tally) merge(o *tally) {
+	t.grants += o.grants
+	t.renews += o.renews
+	t.releases += o.releases
+	t.conflicts += o.conflicts
+	t.denials += o.denials
+	t.stales += o.stales
+	t.errors += o.errors
+	t.wait.Merge(&o.wait)
+	t.hold.Merge(&o.hold)
+}
+
+// printSummary renders the per-tenant table. Deterministic runs pass
+// withLatency=false so the table carries no wall-clock columns.
+func printSummary(w io.Writer, title string, tallies map[string]*tally, withLatency bool) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	hdr := "TENANT\tGRANTS\tRENEWS\tRELEASES\tCONFLICTS\tDENIALS\tSTALE\tERRORS\t"
+	if withLatency {
+		hdr += "ACQ p50\tACQ p99\t"
+	}
+	fmt.Fprintln(tw, hdr)
+	names := make([]string, 0, len(tallies))
+	for n := range tallies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := tallies[n]
+		row := fmt.Sprintf("%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t",
+			n, t.grants, t.renews, t.releases, t.conflicts, t.denials, t.stales, t.errors)
+		if withLatency {
+			row += fmt.Sprintf("%dns\t%dns\t", t.wait.Quantile(0.50), t.wait.Quantile(0.99))
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+}
+
+// buildReport renders tallies as an hbo-run-report/v1 document, one
+// LockReport per tenant. Deterministic runs contain no latency data,
+// so the report bytes depend only on (seed, duration, qps, shape).
+func buildReport(cfg loadConfig, tool, experiment string, nodes int, tallies map[string]*tally, withHost bool) *report.Report {
+	rep := &report.Report{
+		Schema:     report.Schema,
+		Tool:       tool,
+		Experiment: experiment,
+		Seed:       cfg.seed,
+		Machine:    report.MachineSummary{Nodes: nodes, Preset: "service"},
+		Params:     cfg.params(),
+	}
+	if withHost {
+		rep.Host = report.Host()
+	}
+	names := make([]string, 0, len(tallies))
+	for n := range tallies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := tallies[n]
+		lr := report.LockReport{
+			Lock:         n,
+			Acquisitions: int(t.grants),
+			Contended:    int(t.conflicts),
+			Aborts:       int(t.denials + t.stales),
+			Wait:         report.QuantilesOf(&t.wait),
+			Hold:         report.QuantilesOf(&t.hold),
+			PerThread:    []int{},
+			Traffic:      report.TrafficReport{LocalPerNode: []uint64{}},
+		}
+		if att := t.grants + t.conflicts + t.denials; att > 0 {
+			lr.AbortRate = float64(t.denials) / float64(att)
+		}
+		rep.Locks = append(rep.Locks, lr)
+	}
+	return rep
+}
+
+// runLive drives a daemon over HTTP until the duration elapses or a
+// signal arrives, then prints the summary and returns the report.
+func runLive(w io.Writer, cfg loadConfig, addr string) (*report.Report, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Probe the daemon before unleashing workers.
+	probe := lockclient.New(addr)
+	pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, _, err := probe.Inspect(pctx, cfg.tenantName(0), "lockload-probe"); err != nil {
+		return nil, fmt.Errorf("probing %s: %w", addr, err)
+	}
+
+	interval := time.Duration(float64(cfg.concurrency) / cfg.qps * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	deadline := time.Now().Add(cfg.duration)
+
+	var mu sync.Mutex
+	merged := map[string]*tally{}
+	for i := 0; i < cfg.tenants; i++ {
+		merged[cfg.tenantName(i)] = &tally{}
+	}
+
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			c := lockclient.New(addr,
+				lockclient.WithOwner(fmt.Sprintf("load-%d", wkr)),
+				lockclient.WithJitterSeed(cfg.seed+uint64(wkr)))
+			local := map[string]*tally{}
+			for i := 0; i < cfg.tenants; i++ {
+				local[cfg.tenantName(i)] = &tally{}
+			}
+			rng := newSessionRNG(cfg.seed + uint64(wkr)*0x9e37)
+			var held *lockclient.Lease
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				// A session holding a lease keeps operating in that
+				// lease's tenant; idle sessions roll a fresh one.
+				tenant := cfg.tenantName(rng.intn(cfg.tenants))
+				if held != nil {
+					tenant = held.Tenant
+				}
+				sessionStep(ctx, c, rng, cfg, tenant, local[tenant], &held)
+				select {
+				case <-ctx.Done():
+				case <-tick.C:
+				}
+			}
+			if held != nil {
+				rctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_ = c.Release(rctx, held)
+				cancel()
+			}
+			mu.Lock()
+			for n, t := range local {
+				merged[n].merge(t)
+			}
+			mu.Unlock()
+		}(wkr)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "lockload: interrupted, flushing partial results")
+	}
+
+	printSummary(w, fmt.Sprintf("lockload live  %s  qps=%g concurrency=%d duration=%v",
+		addr, cfg.qps, cfg.concurrency, cfg.duration), merged, true)
+	return buildReport(cfg, "lockload", "service-load", 0, merged, true), nil
+}
+
+// sessionStep advances one client session by one operation: acquire
+// when idle; renew, release or hold when holding.
+func sessionStep(ctx context.Context, c *lockclient.Client, rng *sessionRNG, cfg loadConfig, tenant string, t *tally, held **lockclient.Lease) {
+	if *held == nil {
+		key := fmt.Sprintf("k%d", rng.intn(cfg.keys))
+		start := time.Now()
+		l, err := c.AcquireOnce(ctx, tenant, key, cfg.ttl)
+		switch err.(type) {
+		case nil:
+			t.grants++
+			t.wait.Add(time.Since(start).Nanoseconds())
+			*held = l
+		case *lockclient.ConflictError:
+			t.conflicts++
+		case *lockclient.RetryError:
+			t.denials++
+		default:
+			if ctx.Err() == nil {
+				t.errors++
+			}
+		}
+		return
+	}
+	l := *held
+	switch r := rng.float64(); {
+	case r < 0.35: // renew
+		err := c.Renew(ctx, l, cfg.ttl)
+		switch {
+		case err == nil:
+			t.renews++
+		case err == lockclient.ErrStale:
+			t.stales++
+			*held = nil
+		default:
+			if ctx.Err() == nil {
+				t.errors++
+			}
+			*held = nil
+		}
+	case r < 0.85: // release
+		start := l.Expiry.Add(-cfg.ttl)
+		err := c.Release(ctx, l)
+		switch {
+		case err == nil:
+			t.releases++
+			t.hold.Add(time.Since(start).Nanoseconds())
+		case err == lockclient.ErrStale:
+			t.stales++
+		default:
+			if ctx.Err() == nil {
+				t.errors++
+			}
+		}
+		*held = nil
+	default:
+		// Hold across this tick; the lease may expire under us, which
+		// the next renew/release observes as ErrStale.
+	}
+}
+
+// sessionRNG is a splitmix64 stream: deterministic session behaviour
+// for a fixed seed in both driver modes.
+type sessionRNG struct{ x uint64 }
+
+func newSessionRNG(seed uint64) *sessionRNG { return &sessionRNG{x: seed*2 + 1} }
+
+func (r *sessionRNG) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *sessionRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *sessionRNG) float64() float64 { return float64(r.next()>>11) / float64(1<<53) }

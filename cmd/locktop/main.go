@@ -29,6 +29,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/lockserv"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -58,7 +59,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "locktop: %v\n", err)
 		os.Exit(1)
 	}
+	// Auto-detect a lease service: hbolockd serves /v1/stats next to
+	// the obs endpoints, plain obs registries don't.
+	prevServ, isService, err := fetchServiceStats(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locktop: %v\n", err)
+		os.Exit(1)
+	}
 	if *once {
+		if isService {
+			renderService(os.Stdout, prevServ, 0, false)
+			fmt.Println()
+		}
 		render(os.Stdout, prev, 0, false)
 		return
 	}
@@ -70,11 +82,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "locktop: %v\n", err)
 			os.Exit(1)
 		}
+		var curServ lockserv.Stats
+		if isService {
+			if curServ, _, err = fetchServiceStats(client, base); err != nil {
+				fmt.Fprintf(os.Stderr, "locktop: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *count == 0 {
 			// Interactive mode: redraw in place.
 			fmt.Print("\033[H\033[2J")
 		}
 		fmt.Printf("locktop  %s  window=%s  frame %d\n", base, *interval, frame)
+		if isService {
+			renderService(os.Stdout, curServ.Delta(prevServ), *interval, true)
+			prevServ = curServ
+			fmt.Println()
+		}
 		render(os.Stdout, cur.Delta(prev), *interval, true)
 		prev = cur
 		if *count > 0 && frame >= *count {

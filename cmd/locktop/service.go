@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/lockserv"
+)
+
+// Service view: when the polled endpoint is an hbolockd (it serves
+// /v1/stats next to the obs endpoints), locktop renders the lease
+// service's per-tenant/per-shard activity above the per-lock table —
+// grants per second, contention, expiry and shed counts, live keys.
+// Plain obs endpoints (hbobench -metrics-addr) have no /v1/stats and
+// the section is skipped; detection is one probe at startup.
+
+// fetchServiceStats polls /v1/stats. ok=false with a nil error means
+// the endpoint is not a lock service (404); schema mismatches and
+// transport failures are errors.
+func fetchServiceStats(client *http.Client, base string) (lockserv.Stats, bool, error) {
+	var st lockserv.Stats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return st, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, false, fmt.Errorf("GET /v1/stats: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false, fmt.Errorf("decoding /v1/stats: %w", err)
+	}
+	if st.Schema != lockserv.StatsSchema {
+		return st, false, fmt.Errorf("unexpected stats schema %q (want %s)", st.Schema, lockserv.StatsSchema)
+	}
+	return st, true, nil
+}
+
+// renderService writes the per-tenant/per-shard service table. With
+// rates set, st is a delta over elapsed and ACQ shows grants+renews
+// per second; otherwise totals. Keys is always the live gauge.
+func renderService(w io.Writer, st lockserv.Stats, elapsed time.Duration, rates bool) {
+	mode := ""
+	if st.Draining {
+		mode = "  DRAINING"
+	}
+	fmt.Fprintf(w, "service  lock=%s  nodes=%d%s\n", st.Lock, st.Nodes, mode)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	acqHdr := "ACQ"
+	if rates {
+		acqHdr = "ACQ/s"
+	}
+	fmt.Fprintf(tw, "TENANT\tSHARD\tNODE\tKEYS\t%s\tCONT%%\tSTALE\tEXPIRED\tSHED\t\n", acqHdr)
+	for _, t := range st.Tenants {
+		for _, sh := range t.Shards {
+			fmt.Fprint(tw, serviceRow(t.Tenant, fmt.Sprintf("s%d", sh.Shard), fmt.Sprintf("%d", sh.Node), sh, elapsed, rates))
+		}
+		if len(t.Shards) > 1 {
+			fmt.Fprint(tw, serviceRow(t.Tenant, "all", "-", t.Totals(), elapsed, rates))
+		}
+	}
+	tw.Flush()
+}
+
+// serviceRow renders one shard (or tenant-total) line.
+func serviceRow(tenant, shard, node string, s lockserv.ShardStats, elapsed time.Duration, rates bool) string {
+	acquired := s.Grants + s.Renews
+	acqCol := fmt.Sprintf("%d", acquired)
+	if rates && elapsed > 0 {
+		acqCol = fmt.Sprintf("%.0f", float64(acquired)/elapsed.Seconds())
+	}
+	return fmt.Sprintf("%s\t%s\t%s\t%d\t%s\t%s\t%d\t%d\t%d\t\n",
+		tenant, shard, node, s.Keys,
+		acqCol,
+		pct(s.Conflicts, s.Attempts),
+		s.Stales,
+		s.Expiries,
+		s.Throttled+s.Busy+s.NACKs)
+}

@@ -133,6 +133,16 @@ func AcquireTimeout(l TryLocker, t *Thread, d time.Duration) bool {
 	return core.AcquireTimeout(l, t, d, core.DefaultTuning())
 }
 
+// AcquireWithin acquires l for t within d using the strongest bounded
+// path the algorithm offers: a native timed acquire (core.TimedLock),
+// a polled try-acquire with exponential backoff, or — for queue locks
+// with no abortable path — an unbounded blocking acquire that always
+// reports true. d <= 0 always blocks. This is the dispatch hbolockd
+// uses to arbitrate lease shards with any configured algorithm.
+func AcquireWithin(l Lock, t *Thread, d time.Duration) bool {
+	return core.AcquireWithin(l, t, d, core.DefaultTuning())
+}
+
 // Instrument wraps l with live runtime metrics under name in the
 // process-wide registry: acquire/contention/abort counts, sampled
 // wait/hold latency histograms and node-handoff locality, recorded

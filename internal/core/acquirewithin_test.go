@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAcquireWithinFree: every algorithm takes a free lock through the
+// unified bounded path, whatever capability it advertises.
+func TestAcquireWithinFree(t *testing.T) {
+	for _, name := range AllNames() {
+		r := newTestRuntime(2, 1)
+		l := New(name, r, DefaultTuning())
+		th := r.RegisterThread(0)
+		if !AcquireWithin(l, th, 20*time.Millisecond, DefaultTuning()) {
+			t.Errorf("%s: AcquireWithin on a free lock failed", name)
+			continue
+		}
+		l.Release(th)
+		// d <= 0 is the blocking path; a free lock must still be taken.
+		if !AcquireWithin(l, th, 0, DefaultTuning()) {
+			t.Errorf("%s: AcquireWithin(d=0) failed", name)
+			continue
+		}
+		l.Release(th)
+	}
+}
+
+// TestAcquireWithinHeld: for every bounded algorithm (timed or
+// try-lock), AcquireWithin on a held lock gives up within its budget
+// and leaves the protocol intact.
+func TestAcquireWithinHeld(t *testing.T) {
+	for _, name := range AllNames() {
+		r := newTestRuntime(2, 2)
+		l := New(name, r, DefaultTuning())
+		if !Bounded(l) {
+			continue // would block forever by contract
+		}
+		holder := r.RegisterThread(0)
+		waiter := r.RegisterThread(1)
+		l.Acquire(holder)
+		start := time.Now()
+		if AcquireWithin(l, waiter, 10*time.Millisecond, DefaultTuning()) {
+			t.Errorf("%s: bounded acquire succeeded while held", name)
+			l.Release(waiter)
+		}
+		if e := time.Since(start); e > 2*time.Second {
+			t.Errorf("%s: bounded acquire took %v for a 10ms budget", name, e)
+		}
+		l.Release(holder)
+		// The abort must leave the lock acquirable.
+		if !AcquireWithin(l, waiter, 100*time.Millisecond, DefaultTuning()) {
+			t.Errorf("%s: acquire after abort failed", name)
+			continue
+		}
+		l.Release(waiter)
+	}
+}
+
+// TestBoundedCoverage pins which algorithms support a bounded acquire:
+// everything that is a TimedLock or a TryLocker, and every name the
+// lease service can be configured with must qualify via one of the
+// two (the service sheds load by aborting shard-lock acquires).
+func TestBoundedCoverage(t *testing.T) {
+	r := newTestRuntime(2, 1)
+	bounded := 0
+	for _, name := range AllNames() {
+		l := New(name, r, DefaultTuning())
+		_, timed := l.(TimedLock)
+		_, try := l.(TryLocker)
+		if Bounded(l) != (timed || try) {
+			t.Errorf("%s: Bounded = %v, want timed(%v) || try(%v)", name, Bounded(l), timed, try)
+		}
+		if Bounded(l) {
+			bounded++
+		}
+	}
+	if bounded == 0 {
+		t.Fatal("no algorithm supports bounded acquisition")
+	}
+}

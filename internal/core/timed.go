@@ -83,3 +83,46 @@ var (
 	_ TimedLock = (*TATASExp)(nil)
 	_ TimedLock = (*HBO)(nil)
 )
+
+// AcquireWithin is the capability-dispatching timed acquire: the
+// plumbing callers use when the lock algorithm is configuration (the
+// lock service arbitrates its shards with whatever -lock names). It
+// picks the strongest bounded path the lock offers:
+//
+//   - a TimedLock waits inside its own algorithm (AcquireFor), keeping
+//     its backoff and throttle-word protocol while honouring d;
+//   - a TryLocker is polled from outside with exponential backoff
+//     (AcquireTimeout);
+//   - a plain queue lock has no abortable path — AcquireWithin falls
+//     back to the unbounded Acquire and always reports true, so
+//     configuring one trades deadline fidelity for FIFO order.
+//
+// Wrapped locks (internal/obs instrumentation) surface the same
+// interfaces, so dispatch sees through them. d <= 0 always blocks.
+func AcquireWithin(l Lock, t *Thread, d time.Duration, tun Tuning) bool {
+	if d <= 0 {
+		l.Acquire(t)
+		return true
+	}
+	if tl, ok := l.(TimedLock); ok {
+		return tl.AcquireFor(t, d)
+	}
+	if tr, ok := l.(TryLocker); ok {
+		return AcquireTimeout(tr, t, d, tun)
+	}
+	l.Acquire(t)
+	return true
+}
+
+// Bounded reports whether AcquireWithin can actually honour a deadline
+// for l (it implements TimedLock or TryLocker, possibly via a
+// wrapper). Callers that need hard backpressure — the lock service's
+// shard arbitration — use this to warn when a configured algorithm
+// can only block.
+func Bounded(l Lock) bool {
+	if _, ok := l.(TimedLock); ok {
+		return true
+	}
+	_, ok := l.(TryLocker)
+	return ok
+}

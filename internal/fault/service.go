@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Service-tier fault classes for the lock/lease service (hbolockd).
+// The simulated machine's Injector models a sick interconnect; these
+// model a sick *distributed system* above it, the failure modes every
+// lease service must absorb:
+//
+//   - session expiry: a client's session dies while it holds a lease —
+//     the lease's TTL is truncated so it falls due early, and the
+//     holder's next renew/release comes back stale. This is the fault
+//     that makes fencing tokens necessary at all;
+//   - request NACKs: a request is bounced with a retriable error and a
+//     Retry-After hint before touching any state, modeling admission
+//     failure in an overloaded or flapping frontend — the service-tier
+//     analogue of the directory NACKs the machine layer injects.
+//
+// Decisions are drawn from seeded splitmix64-derived RNG streams, so a
+// single-threaded driver (lockload -deterministic) replays the exact
+// fault sequence for a given seed. Under live concurrent load the
+// per-request interleaving is the host scheduler's, but the marginal
+// rates still hold and every injected fault is counted.
+type SessionExpiryConfig struct {
+	Enabled bool
+	// Prob is the per-grant probability the granted session dies early.
+	Prob float64
+	// Fraction in (0, 1] truncates the lease to this fraction of its
+	// TTL when the session dies.
+	Fraction float64
+}
+
+// ServiceNACKConfig bounces requests before processing.
+type ServiceNACKConfig struct {
+	Enabled bool
+	// Prob is the per-request bounce probability, in [0, 0.9].
+	Prob float64
+	// RetryAfter is the backoff hint returned with the bounce.
+	RetryAfter time.Duration
+}
+
+// ServiceConfig selects and parameterizes the service fault classes.
+// The zero value injects nothing.
+type ServiceConfig struct {
+	Seed    uint64
+	Session SessionExpiryConfig
+	NACK    ServiceNACKConfig
+}
+
+// Enabled reports whether any service fault class is active.
+func (c ServiceConfig) Enabled() bool { return c.Session.Enabled || c.NACK.Enabled }
+
+// Validate reports configuration errors.
+func (c ServiceConfig) Validate() error {
+	if c.Session.Enabled {
+		if c.Session.Prob < 0 || c.Session.Prob > 1 {
+			return fmt.Errorf("fault: Session.Prob = %g, need in [0, 1]", c.Session.Prob)
+		}
+		if c.Session.Fraction <= 0 || c.Session.Fraction > 1 {
+			return fmt.Errorf("fault: Session.Fraction = %g, need in (0, 1]", c.Session.Fraction)
+		}
+	}
+	if c.NACK.Enabled {
+		if c.NACK.Prob < 0 || c.NACK.Prob > 0.9 {
+			return fmt.Errorf("fault: NACK.Prob = %g, need in [0, 0.9]", c.NACK.Prob)
+		}
+		if c.NACK.RetryAfter <= 0 {
+			return fmt.Errorf("fault: NACK.RetryAfter = %v, need > 0", c.NACK.RetryAfter)
+		}
+	}
+	return nil
+}
+
+// ServiceSchedules names the built-in service fault schedules.
+func ServiceSchedules() []string { return []string{"session", "nack", "all"} }
+
+// ServicePreset builds the named service schedule at the given
+// intensity in (0, 1]. The replay coordinate is (seed, name,
+// intensity), mirroring the machine-layer Preset contract.
+func ServicePreset(name string, seed uint64, intensity float64) (ServiceConfig, error) {
+	if intensity <= 0 || intensity > 1 {
+		return ServiceConfig{}, fmt.Errorf("fault: intensity %g outside (0, 1]", intensity)
+	}
+	session := SessionExpiryConfig{
+		Enabled:  true,
+		Prob:     0.2 * intensity,
+		Fraction: 0.25,
+	}
+	nack := ServiceNACKConfig{
+		Enabled:    true,
+		Prob:       0.15 * intensity,
+		RetryAfter: 5 * time.Millisecond,
+	}
+	cfg := ServiceConfig{Seed: seed}
+	switch name {
+	case "session":
+		cfg.Session = session
+	case "nack":
+		cfg.NACK = nack
+	case "all":
+		cfg.Session, cfg.NACK = session, nack
+	default:
+		return ServiceConfig{}, fmt.Errorf("fault: unknown service schedule %q (have %v)", name, ServiceSchedules())
+	}
+	return cfg, nil
+}
+
+// ServiceStats counts injected service faults.
+type ServiceStats struct {
+	SessionExpiries uint64 `json:"session_expiries"`
+	NACKs           uint64 `json:"nacks"`
+}
+
+// Total sums all injected service faults.
+func (s ServiceStats) Total() uint64 { return s.SessionExpiries + s.NACKs }
+
+// ServiceInjector evaluates a ServiceConfig per request/grant. It is
+// safe for concurrent use; each class draws from its own RNG stream.
+type ServiceInjector struct {
+	cfg ServiceConfig
+
+	mu      sync.Mutex
+	session *sim.RNG
+	nack    *sim.RNG
+	stats   ServiceStats
+}
+
+// NewServiceInjector builds an injector; cfg must pass Validate.
+func NewServiceInjector(cfg ServiceConfig) *ServiceInjector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &ServiceInjector{
+		cfg:     cfg,
+		session: sim.NewRNG(streamSeed(cfg.Seed, 4, 0) | 1),
+		nack:    sim.NewRNG(streamSeed(cfg.Seed, 5, 0) | 1),
+	}
+}
+
+// Config returns the injector's configuration.
+func (in *ServiceInjector) Config() ServiceConfig { return in.cfg }
+
+// TruncateTTL decides whether the session behind a fresh grant dies
+// early; if so it returns the truncated TTL to apply.
+func (in *ServiceInjector) TruncateTTL(ttl time.Duration) (time.Duration, bool) {
+	if in == nil || !in.cfg.Session.Enabled || in.cfg.Session.Prob <= 0 {
+		return ttl, false
+	}
+	in.mu.Lock()
+	hit := in.session.Float64() < in.cfg.Session.Prob
+	if hit {
+		in.stats.SessionExpiries++
+	}
+	in.mu.Unlock()
+	if !hit {
+		return ttl, false
+	}
+	cut := time.Duration(float64(ttl) * in.cfg.Session.Fraction)
+	if cut < time.Nanosecond {
+		cut = time.Nanosecond
+	}
+	return cut, true
+}
+
+// Bounce decides whether one request is NACKed before processing; if
+// so it returns the Retry-After hint.
+func (in *ServiceInjector) Bounce() (time.Duration, bool) {
+	if in == nil || !in.cfg.NACK.Enabled || in.cfg.NACK.Prob <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	hit := in.nack.Float64() < in.cfg.NACK.Prob
+	if hit {
+		in.stats.NACKs++
+	}
+	in.mu.Unlock()
+	if !hit {
+		return 0, false
+	}
+	return in.cfg.NACK.RetryAfter, true
+}
+
+// Stats returns the injected-fault counts so far.
+func (in *ServiceInjector) Stats() ServiceStats {
+	if in == nil {
+		return ServiceStats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

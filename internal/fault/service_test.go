@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestServiceConfigValidate pins the parameter envelopes of both
+// service fault classes.
+func TestServiceConfigValidate(t *testing.T) {
+	good := ServiceConfig{
+		Seed:    7,
+		Session: SessionExpiryConfig{Enabled: true, Prob: 0.3, Fraction: 0.25},
+		NACK:    ServiceNACKConfig{Enabled: true, Prob: 0.2, RetryAfter: time.Millisecond},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if !good.Enabled() {
+		t.Fatal("Enabled() = false with both classes on")
+	}
+	if (ServiceConfig{}).Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	bad := []ServiceConfig{
+		{Session: SessionExpiryConfig{Enabled: true, Prob: 1.5, Fraction: 0.5}},
+		{Session: SessionExpiryConfig{Enabled: true, Prob: 0.5, Fraction: 0}},
+		{Session: SessionExpiryConfig{Enabled: true, Prob: 0.5, Fraction: 1.5}},
+		{NACK: ServiceNACKConfig{Enabled: true, Prob: 0.95, RetryAfter: time.Millisecond}},
+		{NACK: ServiceNACKConfig{Enabled: true, Prob: 0.1, RetryAfter: 0}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestServicePresets: every named schedule validates at a few
+// intensities and enables the classes its name says.
+func TestServicePresets(t *testing.T) {
+	for _, name := range ServiceSchedules() {
+		for _, intensity := range []float64{0.1, 0.5, 1} {
+			cfg, err := ServicePreset(name, 11, intensity)
+			if err != nil {
+				t.Fatalf("%s@%g: %v", name, intensity, err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s@%g: preset does not validate: %v", name, intensity, err)
+			}
+			wantSession := name == "session" || name == "all"
+			wantNACK := name == "nack" || name == "all"
+			if cfg.Session.Enabled != wantSession || cfg.NACK.Enabled != wantNACK {
+				t.Errorf("%s: classes = (session=%v, nack=%v)", name, cfg.Session.Enabled, cfg.NACK.Enabled)
+			}
+		}
+	}
+	if _, err := ServicePreset("bogus", 1, 0.5); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+	if _, err := ServicePreset("all", 1, 0); err == nil {
+		t.Error("intensity 0 accepted")
+	}
+}
+
+// TestServiceInjectorDeterministic: two injectors with the same seed
+// make identical decision sequences; a different seed diverges.
+func TestServiceInjectorDeterministic(t *testing.T) {
+	cfg, err := ServicePreset("all", 42, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed uint64) (bounces, kills []bool) {
+		c := cfg
+		c.Seed = seed
+		in := NewServiceInjector(c)
+		for i := 0; i < 500; i++ {
+			_, b := in.Bounce()
+			bounces = append(bounces, b)
+			_, k := in.TruncateTTL(time.Second)
+			kills = append(kills, k)
+		}
+		return
+	}
+	b1, k1 := mk(42)
+	b2, k2 := mk(42)
+	b3, k3 := mk(43)
+	same := func(a, b []bool) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(b1, b2) || !same(k1, k2) {
+		t.Error("same seed produced different decision sequences")
+	}
+	if same(b1, b3) && same(k1, k3) {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+// TestServiceInjectorRates: observed marginal rates track the
+// configured probabilities, and counters record every injection.
+func TestServiceInjectorRates(t *testing.T) {
+	cfg := ServiceConfig{
+		Seed:    9,
+		Session: SessionExpiryConfig{Enabled: true, Prob: 0.25, Fraction: 0.5},
+		NACK:    ServiceNACKConfig{Enabled: true, Prob: 0.4, RetryAfter: 3 * time.Millisecond},
+	}
+	in := NewServiceInjector(cfg)
+	const trials = 20000
+	var nacks, kills int
+	for i := 0; i < trials; i++ {
+		ra, b := in.Bounce()
+		if b {
+			nacks++
+			if ra != cfg.NACK.RetryAfter {
+				t.Fatalf("Bounce RetryAfter = %v, want %v", ra, cfg.NACK.RetryAfter)
+			}
+		}
+		cut, k := in.TruncateTTL(time.Second)
+		if k {
+			kills++
+			if cut != 500*time.Millisecond {
+				t.Fatalf("TruncateTTL = %v, want 500ms", cut)
+			}
+		} else if cut != time.Second {
+			t.Fatalf("un-truncated TTL changed: %v", cut)
+		}
+	}
+	nackRate := float64(nacks) / trials
+	killRate := float64(kills) / trials
+	if nackRate < 0.35 || nackRate > 0.45 {
+		t.Errorf("NACK rate %.3f far from 0.4", nackRate)
+	}
+	if killRate < 0.2 || killRate > 0.3 {
+		t.Errorf("session-kill rate %.3f far from 0.25", killRate)
+	}
+	st := in.Stats()
+	if st.NACKs != uint64(nacks) || st.SessionExpiries != uint64(kills) {
+		t.Errorf("stats %+v disagree with observed (%d, %d)", st, nacks, kills)
+	}
+	if st.Total() != uint64(nacks+kills) {
+		t.Errorf("Total() = %d, want %d", st.Total(), nacks+kills)
+	}
+}
+
+// TestServiceInjectorNil: a nil injector is a no-op, so callers can
+// thread it through unconditionally.
+func TestServiceInjectorNil(t *testing.T) {
+	var in *ServiceInjector
+	if _, b := in.Bounce(); b {
+		t.Error("nil injector bounced")
+	}
+	if ttl, k := in.TruncateTTL(time.Second); k || ttl != time.Second {
+		t.Error("nil injector truncated")
+	}
+	if s := in.Stats(); s != (ServiceStats{}) {
+		t.Errorf("nil injector stats = %+v", s)
+	}
+}

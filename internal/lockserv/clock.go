@@ -1,0 +1,59 @@
+package lockserv
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the whole lease state machine — TTL
+// expiry, rate limiting, Retry-After arithmetic — can be driven
+// deterministically in tests and in the load driver's deterministic
+// mode. The daemon uses the real clock; tests advance a ManualClock by
+// hand and observe exactly which leases fall due.
+type Clock interface {
+	Now() time.Time
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// ManualClock is a Clock that moves only when told to. The zero value
+// is not usable; call NewManualClock. Safe for concurrent use.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a manual clock set to start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the current manual time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *ManualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to t (t must not move backwards relative to
+// outstanding leases for expiry semantics to stay meaningful; the
+// clock itself does not enforce monotonicity).
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

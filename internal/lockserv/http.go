@@ -1,0 +1,106 @@
+package lockserv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler serves the /v1 lease API:
+//
+//	POST /v1/acquire  {tenant, key, owner, ttl_ms}
+//	POST /v1/renew    {tenant, key, owner, token, ttl_ms}
+//	POST /v1/release  {tenant, key, owner, token}
+//	GET  /v1/inspect?tenant=T&key=K
+//	GET  /v1/stats    per-tenant/per-shard counters (hbolockd-stats/v1)
+//
+// Backpressure responses (429/503) carry both a Retry-After header in
+// whole seconds and a finer retry_after_ms in the body; lockclient
+// prefers the body. The daemon mounts this next to the obs registry
+// handler, so one port serves leases and observability together.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/acquire", func(w http.ResponseWriter, req *http.Request) {
+		opEndpoint(s, w, req, func(r OpRequest) (Decision, error) {
+			return s.Acquire(r.Tenant, r.Key, r.Owner, time.Duration(r.TTLMS)*time.Millisecond)
+		})
+	})
+	mux.HandleFunc("/v1/renew", func(w http.ResponseWriter, req *http.Request) {
+		opEndpoint(s, w, req, func(r OpRequest) (Decision, error) {
+			return s.Renew(r.Tenant, r.Key, r.Owner, r.Token, time.Duration(r.TTLMS)*time.Millisecond)
+		})
+	})
+	mux.HandleFunc("/v1/release", func(w http.ResponseWriter, req *http.Request) {
+		opEndpoint(s, w, req, func(r OpRequest) (Decision, error) {
+			return s.Release(r.Tenant, r.Key, r.Owner, r.Token)
+		})
+	})
+	mux.HandleFunc("/v1/inspect", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		d, err := s.Inspect(req.URL.Query().Get("tenant"), req.URL.Query().Get("key"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeDecision(w, d)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.Stats().WriteJSON(w)
+	})
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/v1/" && req.URL.Path != "/v1" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "hbolockd lease API: POST /v1/acquire /v1/renew /v1/release; GET /v1/inspect /v1/stats")
+	})
+	return mux
+}
+
+// opEndpoint decodes one mutation request and renders the decision.
+func opEndpoint(s *Service, w http.ResponseWriter, req *http.Request, op func(OpRequest) (Decision, error)) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var r OpRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16))
+	if err := dec.Decode(&r); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	d, err := op(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeDecision(w, d)
+}
+
+// writeDecision renders d with its mapped status and backoff headers.
+func writeDecision(w http.ResponseWriter, d Decision) {
+	resp := responseOf(d)
+	status := StatusOf(d.Outcome)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if resp.RetryAfterMS > 0 && (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) {
+		// The header speaks whole seconds; round up so "soon" never
+		// becomes "now".
+		secs := (resp.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// writeError renders a schema-stamped error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(OpResponse{Schema: WireSchema, Outcome: "error", Error: msg})
+}

@@ -1,0 +1,168 @@
+package lockserv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// doOp posts one wire operation to the handler.
+func doOp(t *testing.T, h http.Handler, path string, req OpRequest) (int, OpResponse, http.Header) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(b))))
+	var resp OpResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("%s: bad body %q: %v", path, rr.Body.String(), err)
+	}
+	if resp.Schema != WireSchema {
+		t.Fatalf("%s: schema %q", path, resp.Schema)
+	}
+	return rr.Code, resp, rr.Header()
+}
+
+// TestHandlerStatusMapping drives the full outcome → HTTP status table
+// through real requests.
+func TestHandlerStatusMapping(t *testing.T) {
+	svc, clock, _ := newTestService(t, func(c *Config) {
+		c.Tenants = []string{"t0"}
+		c.Shards = 1
+		c.ShardQPS = 1000
+		// The clock is manual, so exactly burst requests admit before
+		// the limiter bites; size it past the happy-path ops below.
+		c.ShardBurst = 8
+	})
+	h := Handler(svc)
+
+	code, resp, _ := doOp(t, h, "/v1/acquire", OpRequest{Tenant: "t0", Key: "k", Owner: "alice", TTLMS: 1000})
+	if code != 200 || resp.Outcome != WireGranted || resp.Token != 1 || resp.ExpiryUnixNS == 0 {
+		t.Fatalf("grant: %d %+v", code, resp)
+	}
+
+	code, resp, _ = doOp(t, h, "/v1/acquire", OpRequest{Tenant: "t0", Key: "k", Owner: "bob", TTLMS: 1000})
+	if code != 409 || resp.Outcome != WireConflict || resp.Holder != "alice" || resp.RetryAfterMS <= 0 {
+		t.Fatalf("conflict: %d %+v", code, resp)
+	}
+
+	code, resp, _ = doOp(t, h, "/v1/renew", OpRequest{Tenant: "t0", Key: "k", Owner: "alice", Token: 1, TTLMS: 1000})
+	if code != 200 || resp.Outcome != WireRenewed {
+		t.Fatalf("renew: %d %+v", code, resp)
+	}
+
+	code, resp, _ = doOp(t, h, "/v1/release", OpRequest{Tenant: "t0", Key: "k", Owner: "alice", Token: 99})
+	if code != 410 || resp.Outcome != WireStale {
+		t.Fatalf("stale: %d %+v", code, resp)
+	}
+
+	// Exhaust the rate limiter: 429 plus a whole-seconds Retry-After
+	// header rounded up from the ms hint.
+	var hdr http.Header
+	for i := 0; i < 10; i++ {
+		code, resp, hdr = doOp(t, h, "/v1/acquire", OpRequest{Tenant: "t0", Key: "k2", Owner: "x"})
+		if code == 429 {
+			break
+		}
+	}
+	if code != 429 || resp.Outcome != WireThrottled || resp.RetryAfterMS <= 0 {
+		t.Fatalf("throttled: %d %+v", code, resp)
+	}
+	if hdr.Get("Retry-After") == "" || hdr.Get("Retry-After") == "0" {
+		t.Fatalf("Retry-After header = %q", hdr.Get("Retry-After"))
+	}
+
+	clock.Advance(time.Minute)
+	svc.Drain()
+	code, resp, _ = doOp(t, h, "/v1/acquire", OpRequest{Tenant: "t0", Key: "k3", Owner: "x"})
+	if code != 503 || resp.Outcome != WireDraining {
+		t.Fatalf("draining: %d %+v", code, resp)
+	}
+}
+
+// TestHandlerInspectAndStats covers the GET endpoints.
+func TestHandlerInspectAndStats(t *testing.T) {
+	svc, _, _ := newTestService(t, nil)
+	h := Handler(svc)
+	doOp(t, h, "/v1/acquire", OpRequest{Tenant: "t0", Key: "jobs/x", Owner: "alice", TTLMS: 5000})
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/inspect?tenant=t0&key=jobs%2Fx", nil))
+	var resp OpResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Code != 200 || resp.Outcome != WireHeld || resp.Holder != "alice" || resp.Token != 1 {
+		t.Fatalf("inspect held: %d %+v", rr.Code, resp)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/inspect?tenant=t0&key=free", nil))
+	json.Unmarshal(rr.Body.Bytes(), &resp)
+	if resp.Outcome != WireFree {
+		t.Fatalf("inspect free: %+v", resp)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var st Stats
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Schema != StatsSchema || len(st.Tenants) != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestHandlerErrors: bad methods, bad bodies, bad tenants.
+func TestHandlerErrors(t *testing.T) {
+	svc, _, _ := newTestService(t, nil)
+	h := Handler(svc)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/acquire", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET acquire: %d", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/acquire", strings.NewReader("{broken")))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", rr.Code)
+	}
+
+	code, resp, _ := doOp(t, h, "/v1/acquire", OpRequest{Tenant: "ghost", Key: "k", Owner: "o"})
+	if code != http.StatusBadRequest || resp.Outcome != "error" || resp.Error == "" {
+		t.Fatalf("unknown tenant: %d %+v", code, resp)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/unknown", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", rr.Code)
+	}
+}
+
+// TestCeilMS pins the never-round-to-zero contract of wire hints.
+func TestCeilMS(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{time.Nanosecond, 1},
+		{time.Millisecond, 1},
+		{time.Millisecond + time.Nanosecond, 2},
+		{999 * time.Millisecond, 999},
+		{time.Second, 1000},
+	}
+	for _, c := range cases {
+		if got := ceilMS(c.d); got != c.want {
+			t.Errorf("ceilMS(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package lockserv is the transport-independent core of hbolockd, the
+// live lock/lease service built on the native NUMA-aware lock stack
+// (internal/core). It generalizes the paper's thesis — backoff and
+// handoff should respect communication distance — to a service tier:
+//
+//   - every tenant's key namespace is sharded, and each shard's waiter
+//     queue is arbitrated by a configurable native lock from the
+//     hbo.NewLock family, acquired through the timed/abortable path so
+//     a saturated shard sheds load instead of queueing unboundedly;
+//   - shards have home NUCA nodes and operations run on worker threads
+//     registered to those nodes, so shard-lock handoffs stay node-local
+//     (the obs layer's locality metrics verify this live);
+//   - grants carry node-affinity hints so distance-aware clients can
+//     route follow-up traffic to the shard's home node;
+//   - clients are expected to retry with capped exponential backoff —
+//     the paper's backoff policy applied at the service tier — steered
+//     by explicit Retry-After hints in every backpressure response.
+//
+// Leases have TTL expiry and monotonic fencing tokens. The whole state
+// machine is driven by an injectable Clock, so every race the service
+// must survive (renew vs expiry, release with a stale token, session
+// death mid-handoff) is reproducible deterministically in tests.
+package lockserv
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Outcome classifies the result of one lease-table operation. The
+// zero value is invalid so an unset outcome is visible in tests.
+type Outcome int
+
+const (
+	outcomeInvalid Outcome = iota
+	// Granted: the key was free (or expired) and a new lease was issued
+	// with a fresh, strictly larger fencing token.
+	Granted
+	// Renewed: the holder extended its own live lease; token unchanged.
+	Renewed
+	// Released: the holder returned its live lease.
+	Released
+	// Conflict: another owner holds a live lease on the key.
+	Conflict
+	// Stale: the (owner, token) pair does not match a live lease — the
+	// lease expired, was released, or was re-granted to someone else.
+	// The presented token is dead forever; fencing depends on this.
+	Stale
+)
+
+// String renders the outcome for logs and tables.
+func (o Outcome) String() string {
+	switch o {
+	case Granted:
+		return "granted"
+	case Renewed:
+		return "renewed"
+	case Released:
+		return "released"
+	case Conflict:
+		return "conflict"
+	case Stale:
+		return "stale"
+	}
+	return "invalid"
+}
+
+// lease is one live grant. Expiry is compared against the injected
+// clock only; nothing in the table reads wall time on its own.
+type lease struct {
+	owner  string
+	token  uint64
+	expiry time.Time
+}
+
+// expEntry is a lazy expiry-heap entry. Renewals push a new entry
+// rather than re-keying the old one; a popped entry whose (token,
+// expiry) no longer matches the live lease is simply ignored.
+type expEntry struct {
+	at    time.Time
+	key   string
+	token uint64
+}
+
+// expHeap is a min-heap of expEntry by time.
+type expHeap []expEntry
+
+func (h expHeap) Len() int            { return len(h) }
+func (h expHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h expHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expHeap) Push(x interface{}) { *h = append(*h, x.(expEntry)) }
+func (h *expHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// leaseTable is the per-shard lease state machine. It is a plain data
+// structure with no internal locking: the owning shard serializes all
+// access through its native lock, which is the point of the design —
+// the lock algorithm under test is the lock arbitrating the service.
+type leaseTable struct {
+	leases map[string]*lease
+	// tokens is the per-key fencing counter. It outlives leases: a key
+	// that expires and is re-granted continues the same monotonic
+	// sequence, so an old holder's token can never validate again.
+	tokens  map[string]uint64
+	expires expHeap
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{
+		leases: make(map[string]*lease),
+		tokens: make(map[string]uint64),
+	}
+}
+
+// Grant is the successful-acquire view returned to clients.
+type Grant struct {
+	Token  uint64
+	Expiry time.Time
+}
+
+// deadLease records a collected expiry so the shard can log and count
+// it: the fencing verifier needs the token of every lease that died.
+type deadLease struct {
+	key   string
+	owner string
+	token uint64
+}
+
+// expireKey drops the key's lease if it has fallen due, returning the
+// dead lease for the caller (the shard) to log and count.
+func (lt *leaseTable) expireKey(key string, now time.Time) (deadLease, bool) {
+	l := lt.leases[key]
+	if l == nil || l.expiry.After(now) {
+		return deadLease{}, false
+	}
+	delete(lt.leases, key)
+	return deadLease{key: key, owner: l.owner, token: l.token}, true
+}
+
+// sweep expires every lease due at or before now, returning the dead.
+// The heap is lazy: entries for renewed or already-dead leases pop and
+// are discarded without effect.
+func (lt *leaseTable) sweep(now time.Time) []deadLease {
+	var dead []deadLease
+	for len(lt.expires) > 0 && !lt.expires[0].at.After(now) {
+		e := heap.Pop(&lt.expires).(expEntry)
+		l := lt.leases[e.key]
+		if l == nil || l.token != e.token || l.expiry.After(now) {
+			continue // renewed, released, or re-granted since
+		}
+		delete(lt.leases, e.key)
+		dead = append(dead, deadLease{key: e.key, owner: l.owner, token: l.token})
+	}
+	return dead
+}
+
+// nextExpiry reports the earliest (possibly stale) pending expiry, for
+// sweeper pacing. ok is false when nothing is pending.
+func (lt *leaseTable) nextExpiry() (time.Time, bool) {
+	if len(lt.expires) == 0 {
+		return time.Time{}, false
+	}
+	return lt.expires[0].at, true
+}
+
+// acquire grants key to owner for ttl, renews it if owner already
+// holds it, or reports the conflicting holder. dead carries a lease
+// collected lazily on the way in (the caller logs and counts it).
+func (lt *leaseTable) acquire(key, owner string, ttl time.Duration, now time.Time) (g Grant, o Outcome, holder string, dead deadLease, expired bool) {
+	dead, expired = lt.expireKey(key, now)
+	if l := lt.leases[key]; l != nil {
+		if l.owner != owner {
+			return Grant{Token: l.token, Expiry: l.expiry}, Conflict, l.owner, dead, expired
+		}
+		// Reentrant acquire by the live holder extends the lease under
+		// its existing token, exactly like renew.
+		l.expiry = now.Add(ttl)
+		heap.Push(&lt.expires, expEntry{at: l.expiry, key: key, token: l.token})
+		return Grant{Token: l.token, Expiry: l.expiry}, Renewed, owner, dead, expired
+	}
+	tok := lt.tokens[key] + 1
+	lt.tokens[key] = tok
+	l := &lease{owner: owner, token: tok, expiry: now.Add(ttl)}
+	lt.leases[key] = l
+	heap.Push(&lt.expires, expEntry{at: l.expiry, key: key, token: tok})
+	return Grant{Token: tok, Expiry: l.expiry}, Granted, owner, dead, expired
+}
+
+// renew extends the lease iff (owner, token) still names the live
+// lease. A renew that loses the race with expiry comes back Stale —
+// the client must re-acquire and will receive a larger token.
+func (lt *leaseTable) renew(key, owner string, token uint64, ttl time.Duration, now time.Time) (Grant, Outcome, deadLease, bool) {
+	dead, expired := lt.expireKey(key, now)
+	l := lt.leases[key]
+	if l == nil || l.owner != owner || l.token != token {
+		return Grant{}, Stale, dead, expired
+	}
+	l.expiry = now.Add(ttl)
+	heap.Push(&lt.expires, expEntry{at: l.expiry, key: key, token: token})
+	return Grant{Token: token, Expiry: l.expiry}, Renewed, dead, expired
+}
+
+// release drops the lease iff (owner, token) still names the live
+// lease; releasing after expiry (or with any stale token) is Stale and
+// leaves the table untouched.
+func (lt *leaseTable) release(key, owner string, token uint64, now time.Time) (Outcome, deadLease, bool) {
+	dead, expired := lt.expireKey(key, now)
+	l := lt.leases[key]
+	if l == nil || l.owner != owner || l.token != token {
+		return Stale, dead, expired
+	}
+	delete(lt.leases, key)
+	return Released, dead, expired
+}
+
+// truncate shortens the live lease on key to expire at t if that is
+// earlier than its current expiry — the session-expiry fault path.
+func (lt *leaseTable) truncate(key string, t time.Time) bool {
+	l := lt.leases[key]
+	if l == nil || !l.expiry.After(t) {
+		return false
+	}
+	l.expiry = t
+	heap.Push(&lt.expires, expEntry{at: t, key: key, token: l.token})
+	return true
+}
+
+// inspect returns the live lease for key after lazy expiry.
+func (lt *leaseTable) inspect(key string, now time.Time) (g Grant, owner string, held bool, dead deadLease, expired bool) {
+	dead, expired = lt.expireKey(key, now)
+	l := lt.leases[key]
+	if l == nil {
+		return Grant{}, "", false, dead, expired
+	}
+	return Grant{Token: l.token, Expiry: l.expiry}, l.owner, true, dead, expired
+}

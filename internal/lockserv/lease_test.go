@@ -1,0 +1,250 @@
+package lockserv
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+// TestLeaseGrantRenewRelease walks the happy path and pins token
+// assignment: fresh grants take strictly increasing tokens, renew and
+// release only work for the live (owner, token).
+func TestLeaseGrantRenewRelease(t *testing.T) {
+	lt := newLeaseTable()
+	g, o, holder, _, expired := lt.acquire("k", "alice", time.Second, t0)
+	if o != Granted || g.Token != 1 || holder != "alice" || expired {
+		t.Fatalf("first acquire = %v token=%d holder=%q expired=%v", o, g.Token, holder, expired)
+	}
+	if g.Expiry != t0.Add(time.Second) {
+		t.Fatalf("expiry = %v", g.Expiry)
+	}
+
+	g2, o2, _, _ := lt.renew("k", "alice", 1, time.Second, t0.Add(500*time.Millisecond))
+	if o2 != Renewed || g2.Token != 1 || g2.Expiry != t0.Add(1500*time.Millisecond) {
+		t.Fatalf("renew = %v token=%d expiry=%v", o2, g2.Token, g2.Expiry)
+	}
+
+	if o3, _, _ := lt.release("k", "alice", 1, t0.Add(time.Second)); o3 != Released {
+		t.Fatalf("release = %v", o3)
+	}
+
+	// Re-grant after release: token continues the monotonic sequence.
+	g4, o4, _, _, _ := lt.acquire("k", "bob", time.Second, t0.Add(2*time.Second))
+	if o4 != Granted || g4.Token != 2 {
+		t.Fatalf("re-grant = %v token=%d", o4, g4.Token)
+	}
+}
+
+// TestLeaseConflictAndReentrant: a second owner conflicts and learns
+// the holder; the live holder's re-acquire is a renewal under the same
+// token, not a second grant.
+func TestLeaseConflictAndReentrant(t *testing.T) {
+	lt := newLeaseTable()
+	lt.acquire("k", "alice", time.Second, t0)
+
+	g, o, holder, _, _ := lt.acquire("k", "bob", time.Second, t0.Add(100*time.Millisecond))
+	if o != Conflict || holder != "alice" || g.Token != 1 {
+		t.Fatalf("conflict = %v holder=%q token=%d", o, holder, g.Token)
+	}
+	if g.Expiry != t0.Add(time.Second) {
+		t.Fatalf("conflict should report the holder's deadline, got %v", g.Expiry)
+	}
+
+	g2, o2, _, _, _ := lt.acquire("k", "alice", time.Second, t0.Add(200*time.Millisecond))
+	if o2 != Renewed || g2.Token != 1 || g2.Expiry != t0.Add(1200*time.Millisecond) {
+		t.Fatalf("reentrant acquire = %v token=%d expiry=%v", o2, g2.Token, g2.Expiry)
+	}
+}
+
+// TestRenewVsExpiry is the ISSUE's first named race: a renew that
+// arrives after the deadline loses — the lease is collected first and
+// the renew is Stale, never a resurrection.
+func TestRenewVsExpiry(t *testing.T) {
+	lt := newLeaseTable()
+	lt.acquire("k", "alice", time.Second, t0)
+
+	// One nanosecond before the deadline the renew still wins.
+	if _, o, _, _ := lt.renew("k", "alice", 1, time.Second, t0.Add(time.Second-time.Nanosecond)); o != Renewed {
+		t.Fatalf("renew before deadline = %v", o)
+	}
+	// At/after the (new) deadline the lease dies on access and the
+	// renew is stale; the dead lease is reported for logging.
+	late := t0.Add(2*time.Second + time.Nanosecond)
+	_, o, dead, expired := lt.renew("k", "alice", 1, time.Second, late)
+	if o != Stale || !expired || dead.token != 1 || dead.owner != "alice" {
+		t.Fatalf("renew after deadline = %v expired=%v dead=%+v", o, expired, dead)
+	}
+	// The token is dead forever: even with the key now free, the old
+	// token cannot renew.
+	if _, o, _, _ := lt.renew("k", "alice", 1, time.Second, late); o != Stale {
+		t.Fatalf("dead token renewed")
+	}
+}
+
+// TestReleaseAfterExpiryStaleToken is the second named race: the key
+// expires, is re-granted to another owner with a larger token, and the
+// old holder's release must bounce as Stale without touching the new
+// lease.
+func TestReleaseAfterExpiryStaleToken(t *testing.T) {
+	lt := newLeaseTable()
+	lt.acquire("k", "alice", time.Second, t0)
+
+	// Expiry then re-grant: bob gets token 2.
+	g, o, _, dead, expired := lt.acquire("k", "bob", time.Second, t0.Add(2*time.Second))
+	if o != Granted || g.Token != 2 || !expired || dead.token != 1 {
+		t.Fatalf("re-grant = %v token=%d expired=%v dead=%+v", o, g.Token, expired, dead)
+	}
+
+	// Alice's release with her stale token 1: Stale, bob unaffected.
+	o2, _, _ := lt.release("k", "alice", 1, t0.Add(2100*time.Millisecond))
+	if o2 != Stale {
+		t.Fatalf("stale release = %v", o2)
+	}
+	g3, owner, held, _, _ := lt.inspect("k", t0.Add(2200*time.Millisecond))
+	if !held || owner != "bob" || g3.Token != 2 {
+		t.Fatalf("after stale release: held=%v owner=%q token=%d", held, owner, g3.Token)
+	}
+	// Even releasing with bob's token but alice's identity is stale.
+	if o4, _, _ := lt.release("k", "alice", 2, t0.Add(2300*time.Millisecond)); o4 != Stale {
+		t.Fatalf("wrong-owner release = %v", o4)
+	}
+}
+
+// TestFencingMonotonicAcrossExpiry: tokens never repeat or decrease on
+// a key, however leases end (release, expiry, truncation).
+func TestFencingMonotonicAcrossExpiry(t *testing.T) {
+	lt := newLeaseTable()
+	now := t0
+	var last uint64
+	for i := 0; i < 50; i++ {
+		g, o, _, _, _ := lt.acquire("k", "owner", time.Second, now)
+		if o != Granted {
+			t.Fatalf("round %d: %v", i, o)
+		}
+		if g.Token <= last {
+			t.Fatalf("round %d: token %d not > %d", i, g.Token, last)
+		}
+		last = g.Token
+		switch i % 3 {
+		case 0:
+			lt.release("k", "owner", g.Token, now)
+		case 1:
+			now = now.Add(2 * time.Second) // expire lazily
+		case 2:
+			lt.truncate("k", now.Add(time.Millisecond))
+			now = now.Add(2 * time.Millisecond) // expire the truncated lease
+		}
+	}
+}
+
+// TestSweepLazyHeap: renewals leave stale heap entries behind; sweep
+// must skip them and only collect leases actually past deadline.
+func TestSweepLazyHeap(t *testing.T) {
+	lt := newLeaseTable()
+	lt.acquire("a", "alice", time.Second, t0)
+	lt.acquire("b", "bob", time.Second, t0)
+	// Renew a twice: its original heap entries go stale.
+	lt.renew("a", "alice", 1, 10*time.Second, t0.Add(100*time.Millisecond))
+	lt.renew("a", "alice", 1, 10*time.Second, t0.Add(200*time.Millisecond))
+
+	dead := lt.sweep(t0.Add(2 * time.Second))
+	if len(dead) != 1 || dead[0].key != "b" || dead[0].owner != "bob" {
+		t.Fatalf("sweep collected %+v, want only b", dead)
+	}
+	if _, _, held, _, _ := lt.inspect("a", t0.Add(2*time.Second)); !held {
+		t.Fatal("renewed lease a was collected")
+	}
+	// Sweeping again at the same time collects nothing new.
+	if dead := lt.sweep(t0.Add(2 * time.Second)); len(dead) != 0 {
+		t.Fatalf("second sweep collected %+v", dead)
+	}
+	// nextExpiry is lazy: it may report a stale entry (the first
+	// renew's deadline), which only ever makes the sweeper early.
+	if at, ok := lt.nextExpiry(); !ok || at.After(t0.Add(10200*time.Millisecond)) {
+		t.Fatalf("nextExpiry = %v, %v", at, ok)
+	}
+}
+
+// TestTruncate: the session-expiry fault path only ever shortens.
+func TestTruncate(t *testing.T) {
+	lt := newLeaseTable()
+	lt.acquire("k", "alice", time.Second, t0)
+	if !lt.truncate("k", t0.Add(100*time.Millisecond)) {
+		t.Fatal("truncate to an earlier deadline refused")
+	}
+	if lt.truncate("k", t0.Add(10*time.Second)) {
+		t.Fatal("truncate extended a lease")
+	}
+	if lt.truncate("absent", t0) {
+		t.Fatal("truncate of a free key succeeded")
+	}
+	if _, _, held, dead, expired := lt.inspect("k", t0.Add(200*time.Millisecond)); held || !expired || dead.token != 1 {
+		t.Fatalf("truncated lease: held=%v expired=%v dead=%+v", held, expired, dead)
+	}
+}
+
+// TestManualClock pins the injectable clock used throughout.
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(t0)
+	if c.Now() != t0 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(time.Minute)
+	if c.Now() != t0.Add(time.Minute) {
+		t.Fatalf("after Advance = %v", c.Now())
+	}
+	c.Set(t0)
+	if c.Now() != t0 {
+		t.Fatalf("after Set = %v", c.Now())
+	}
+	if RealClock().Now().IsZero() {
+		t.Fatal("real clock returned zero time")
+	}
+}
+
+// TestTokenBucket: clock-driven admission, refusal with a usable
+// Retry-After hint, accrual on advance, and the unlimited mode.
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(10, 2, t0) // 10/s, burst 2
+	now := t0
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.admit(now); !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	ok, ra := b.admit(now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if ra <= 0 || ra > 100*time.Millisecond {
+		t.Fatalf("retry-after = %v, want in (0, 100ms]", ra)
+	}
+	// Advancing by the hint accrues exactly the next token.
+	now = now.Add(ra)
+	if ok, _ := b.admit(now); !ok {
+		t.Fatal("refused after waiting the hinted duration")
+	}
+	// Tokens cap at burst: a long idle spell doesn't bank unbounded credit.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.admit(now); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after idle, want burst=2", admitted)
+	}
+
+	unlimited := newTokenBucket(0, 0, t0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := unlimited.admit(t0); !ok {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+	var nilBucket *tokenBucket
+	if ok, _ := nilBucket.admit(t0); !ok {
+		t.Fatal("nil bucket refused")
+	}
+}

@@ -1,0 +1,53 @@
+package lockserv
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a clock-injected token-bucket rate limiter, one per
+// shard. It is the server half of the service tier's backoff story:
+// when a shard saturates, requests are refused with an explicit
+// Retry-After hint instead of being queued, and the client's capped
+// exponential backoff (lockclient) spreads the retries out — the
+// paper's contention response, moved from cache lines to HTTP.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds a limiter admitting rate requests/second with
+// the given burst. rate <= 0 disables limiting.
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// admit consumes one token if available. When the bucket is empty it
+// reports false and how long until a token accrues — the Retry-After
+// hint. Time moves only via the caller's clock.
+func (b *tokenBucket) admit(now time.Time) (bool, time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

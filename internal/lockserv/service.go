@@ -1,0 +1,630 @@
+package lockserv
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Service. The zero value is not usable; fill
+// in at least Tenants and call New, which validates and applies
+// defaults for everything else.
+type Config struct {
+	// Tenants are the namespaces the service accepts, each sharded
+	// independently. Order fixes the stats/report ordering.
+	Tenants []string
+	// Shards is the shard count per tenant (default 4).
+	Shards int
+	// Nodes is the logical NUCA node count of the service's runtime;
+	// shards are homed round-robin across nodes (default 2).
+	Nodes int
+	// ThreadsPerNode sizes each node's worker-thread pool; the pool is
+	// the service's concurrency bound and backpressure valve
+	// (default 4).
+	ThreadsPerNode int
+	// Lock names the native algorithm arbitrating every shard (any
+	// core.AllNames entry; default HBO).
+	Lock string
+	// DefaultTTL applies when a request carries no TTL (default 5s);
+	// MaxTTL caps requested TTLs (default 60s).
+	DefaultTTL time.Duration
+	MaxTTL     time.Duration
+	// OpTimeout bounds one operation's thread checkout plus shard-lock
+	// acquire — past it the request is refused as busy (default 100ms).
+	OpTimeout time.Duration
+	// ShardQPS rate-limits each shard (0 = unlimited); ShardBurst is
+	// the bucket depth (default 2×ShardQPS, min 1).
+	ShardQPS   float64
+	ShardBurst int
+	// Clock drives TTL expiry and rate limiting (default: wall clock).
+	Clock Clock
+	// Registry instruments every shard lock when non-nil, feeding
+	// /metrics and the live report; shard locks register as
+	// serv/<tenant>/s<shard>.
+	Registry *obs.Registry
+	// Faults optionally injects service-tier faults (session expiry,
+	// request NACKs).
+	Faults *fault.ServiceInjector
+	// AccessLog, when non-nil, receives the JSONL lease audit trail
+	// that VerifyAccessLog checks.
+	AccessLog io.Writer
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.ThreadsPerNode == 0 {
+		c.ThreadsPerNode = 4
+	}
+	if c.Lock == "" {
+		c.Lock = "HBO"
+	}
+	if c.DefaultTTL == 0 {
+		c.DefaultTTL = 5 * time.Second
+	}
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 60 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 100 * time.Millisecond
+	}
+	if c.ShardBurst == 0 {
+		c.ShardBurst = int(2 * c.ShardQPS)
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	return c
+}
+
+// Validate reports configuration errors with enough context for a CLI
+// to render as usage text.
+func (c Config) Validate() error {
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("lockserv: need at least one tenant")
+	}
+	seen := map[string]bool{}
+	for _, t := range c.Tenants {
+		if t == "" {
+			return fmt.Errorf("lockserv: empty tenant name")
+		}
+		if seen[t] {
+			return fmt.Errorf("lockserv: duplicate tenant %q", t)
+		}
+		seen[t] = true
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("lockserv: Shards = %d, need >= 1", c.Shards)
+	}
+	if c.Nodes < 1 {
+		return fmt.Errorf("lockserv: Nodes = %d, need >= 1", c.Nodes)
+	}
+	if c.ThreadsPerNode < 1 {
+		return fmt.Errorf("lockserv: ThreadsPerNode = %d, need >= 1", c.ThreadsPerNode)
+	}
+	known := false
+	for _, n := range core.AllNames() {
+		if c.Lock == n {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("lockserv: unknown lock %q (known: %s)", c.Lock, strings.Join(core.AllNames(), ", "))
+	}
+	if c.DefaultTTL <= 0 || c.MaxTTL <= 0 || c.DefaultTTL > c.MaxTTL {
+		return fmt.Errorf("lockserv: need 0 < DefaultTTL (%v) <= MaxTTL (%v)", c.DefaultTTL, c.MaxTTL)
+	}
+	if c.OpTimeout <= 0 {
+		return fmt.Errorf("lockserv: OpTimeout = %v, need > 0", c.OpTimeout)
+	}
+	if c.ShardQPS < 0 {
+		return fmt.Errorf("lockserv: ShardQPS = %g, need >= 0", c.ShardQPS)
+	}
+	return nil
+}
+
+// Wire outcome strings: the versioned vocabulary shared by the HTTP
+// layer, the client, and the deterministic driver's tables.
+const (
+	WireGranted   = "granted"
+	WireRenewed   = "renewed"
+	WireReleased  = "released"
+	WireConflict  = "conflict"
+	WireStale     = "stale"
+	WireThrottled = "throttled"
+	WireBusy      = "busy"
+	WireDraining  = "draining"
+	WireNACK      = "nack"
+	WireFree      = "free" // inspect: no live lease
+	WireHeld      = "held" // inspect: live lease exists
+)
+
+// Decision is the service's answer to one operation. Outcome is one of
+// the Wire* strings; Retryable outcomes carry a RetryAfter hint, and
+// grants carry the shard's node-affinity hint plus the live locality
+// of its arbitrating lock (1 = perfectly node-local handoffs).
+type Decision struct {
+	Outcome    string
+	Token      uint64
+	Expiry     time.Time
+	Holder     string
+	Node       int
+	Locality   float64
+	RetryAfter time.Duration
+}
+
+// Retryable reports whether the outcome is transient backpressure the
+// client should retry with backoff (as opposed to a conflict, which
+// retries on the lease timescale, or a stale token, which never
+// succeeds again).
+func (d Decision) Retryable() bool {
+	switch d.Outcome {
+	case WireThrottled, WireBusy, WireDraining, WireNACK:
+		return true
+	}
+	return false
+}
+
+// shardState is one tenant shard: a lease table arbitrated by a
+// native lock homed on a NUCA node.
+type shardState struct {
+	tenant string
+	index  int
+	node   int
+	lock   core.Lock
+	table  *leaseTable
+	limit  *tokenBucket
+	c      shardCounters
+	// metrics is the obs collector of the shard lock (nil when not
+	// instrumented); locality caches its handoff-locality ratio as
+	// Float64bits, refreshed off the hot path by RefreshAffinity.
+	metrics  *obs.LockMetrics
+	locality atomic.Uint64
+}
+
+func (sh *shardState) localityRatio() float64 {
+	if bits := sh.locality.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return 1
+}
+
+type tenantState struct {
+	name   string
+	shards []*shardState
+}
+
+// Service is the transport-independent lease service core. All methods
+// are safe for concurrent use.
+type Service struct {
+	cfg      Config
+	clock    Clock
+	tun      core.Tuning
+	rt       *core.Runtime
+	pools    []chan *core.Thread // per node
+	tenants  map[string]*tenantState
+	order    []*tenantState
+	log      *accessLog
+	faults   *fault.ServiceInjector
+	draining atomic.Bool
+}
+
+// New builds a Service; the Config must pass Validate.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tun := core.DefaultTuning()
+	rt := core.NewRuntime(cfg.Nodes, cfg.Nodes*cfg.ThreadsPerNode)
+	s := &Service{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		tun:     tun,
+		rt:      rt,
+		pools:   make([]chan *core.Thread, cfg.Nodes),
+		tenants: make(map[string]*tenantState, len(cfg.Tenants)),
+		log:     newAccessLog(cfg.AccessLog),
+		faults:  cfg.Faults,
+	}
+	for n := range s.pools {
+		pool := make(chan *core.Thread, cfg.ThreadsPerNode)
+		for i := 0; i < cfg.ThreadsPerNode; i++ {
+			pool <- rt.RegisterThread(n)
+		}
+		s.pools[n] = pool
+	}
+	now := s.clock.Now()
+	for _, name := range cfg.Tenants {
+		ts := &tenantState{name: name}
+		for i := 0; i < cfg.Shards; i++ {
+			sh := &shardState{
+				tenant: name,
+				index:  i,
+				node:   i % cfg.Nodes,
+				table:  newLeaseTable(),
+				limit:  newTokenBucket(cfg.ShardQPS, cfg.ShardBurst, now),
+			}
+			l := core.New(cfg.Lock, rt, tun)
+			if cfg.Registry != nil {
+				wrapped := cfg.Registry.Instrument(l, fmt.Sprintf("serv/%s/s%d", name, i))
+				if il, ok := wrapped.(obs.InstrumentedLock); ok {
+					sh.metrics = il.Metrics()
+				}
+				sh.lock = wrapped
+			} else {
+				sh.lock = l
+			}
+			ts.shards = append(ts.shards, sh)
+		}
+		s.tenants[name] = ts
+		s.order = append(s.order, ts)
+	}
+	return s, nil
+}
+
+// LockName returns the configured shard-arbitration algorithm.
+func (s *Service) LockName() string { return s.cfg.Lock }
+
+// Nodes returns the service runtime's node count.
+func (s *Service) Nodes() int { return s.cfg.Nodes }
+
+// DefaultTTL returns the TTL applied to requests that carry none.
+func (s *Service) DefaultTTL() time.Duration { return s.cfg.DefaultTTL }
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain puts the service into drain mode: every subsequent operation
+// is refused with WireDraining so clients fail over, while in-flight
+// operations complete normally. Part of graceful shutdown.
+func (s *Service) Drain() { s.draining.Store(true) }
+
+// Close flushes the access log. Call after the transport has stopped.
+func (s *Service) Close() error { return s.log.Flush() }
+
+// shardFor routes a key to its tenant shard by FNV-1a hash.
+func (s *Service) shardFor(ts *tenantState, key string) *shardState {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return ts.shards[int(h.Sum32())%len(ts.shards)]
+}
+
+// checkout borrows a worker thread registered on node, first without
+// waiting (the common uncontended case, and the only path exercised
+// in deterministic single-threaded runs — no timer, no scheduler
+// nondeterminism), then blocking up to budget. A false return is the
+// node-saturation backpressure signal.
+func (s *Service) checkout(node int, budget time.Duration) (*core.Thread, bool) {
+	select {
+	case t := <-s.pools[node]:
+		return t, true
+	default:
+	}
+	if budget <= 0 {
+		return nil, false
+	}
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case t := <-s.pools[node]:
+		return t, true
+	case <-timer.C:
+		return nil, false
+	}
+}
+
+// admit runs the pre-table gauntlet every operation passes: drain
+// check, fault-layer NACK, rate limit. It returns a non-nil refusal
+// Decision when the request must not proceed.
+func (s *Service) admit(sh *shardState, now time.Time) *Decision {
+	if s.draining.Load() {
+		return &Decision{Outcome: WireDraining, Node: sh.node, RetryAfter: s.cfg.OpTimeout}
+	}
+	if ra, bounced := s.faults.Bounce(); bounced {
+		sh.c.nacks.Add(1)
+		return &Decision{Outcome: WireNACK, Node: sh.node, RetryAfter: ra}
+	}
+	if ok, ra := sh.limit.admit(now); !ok {
+		sh.c.throttled.Add(1)
+		return &Decision{Outcome: WireThrottled, Node: sh.node, RetryAfter: ra}
+	}
+	return nil
+}
+
+// withShard runs f under the shard's native lock on a home-node worker
+// thread, bounding checkout + acquire by OpTimeout. The shard lock is
+// taken through the timed/abortable path (core.AcquireWithin), so a
+// saturated shard aborts the acquire and sheds the request as busy.
+func (s *Service) withShard(sh *shardState, f func(now time.Time)) *Decision {
+	start := time.Now()
+	t, ok := s.checkout(sh.node, s.cfg.OpTimeout)
+	if !ok {
+		sh.c.busy.Add(1)
+		return &Decision{Outcome: WireBusy, Node: sh.node, RetryAfter: s.cfg.OpTimeout}
+	}
+	defer func() { s.pools[sh.node] <- t }()
+	budget := s.cfg.OpTimeout - time.Since(start)
+	if budget < time.Millisecond {
+		budget = time.Millisecond
+	}
+	if !core.AcquireWithin(sh.lock, t, budget, s.tun) {
+		sh.c.busy.Add(1)
+		return &Decision{Outcome: WireBusy, Node: sh.node, RetryAfter: s.cfg.OpTimeout}
+	}
+	f(s.clock.Now())
+	sh.lock.Release(t)
+	if sh.metrics != nil {
+		// Flush this thread's sampled counters so /metrics and the live
+		// report are exact, not quantized to the sampling interval; the
+		// service's ops are HTTP-dominated, so the flush is noise here.
+		sh.metrics.Sync(t)
+	}
+	return nil
+}
+
+// expireOne logs and counts one lazily-collected lease.
+func (s *Service) expireOne(sh *shardState, dead deadLease, expired bool) {
+	if !expired {
+		return
+	}
+	sh.c.expiries.Add(1)
+	sh.c.keys.Add(-1)
+	s.log.record(AccessEvent{Op: "expire", Tenant: sh.tenant, Key: dead.key, Owner: dead.owner, Token: dead.token})
+}
+
+// clampTTL resolves a requested TTL against the service limits.
+func (s *Service) clampTTL(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		return s.cfg.DefaultTTL
+	}
+	if ttl > s.cfg.MaxTTL {
+		return s.cfg.MaxTTL
+	}
+	return ttl
+}
+
+// tenant resolves a tenant name.
+func (s *Service) tenant(name string) (*tenantState, error) {
+	ts := s.tenants[name]
+	if ts == nil {
+		return nil, fmt.Errorf("lockserv: unknown tenant %q", name)
+	}
+	return ts, nil
+}
+
+// Acquire requests a lease on (tenant, key) for owner. A ttl <= 0
+// means the service default. The error return is reserved for caller
+// mistakes (unknown tenant, empty key/owner); every runtime condition
+// — grant, conflict, backpressure — is a Decision.
+func (s *Service) Acquire(tenant, key, owner string, ttl time.Duration) (Decision, error) {
+	if key == "" || owner == "" {
+		return Decision{}, fmt.Errorf("lockserv: empty key or owner")
+	}
+	ts, err := s.tenant(tenant)
+	if err != nil {
+		return Decision{}, err
+	}
+	sh := s.shardFor(ts, key)
+	now := s.clock.Now()
+	if d := s.admit(sh, now); d != nil {
+		return *d, nil
+	}
+	ttl = s.clampTTL(ttl)
+	var out Decision
+	if d := s.withShard(sh, func(now time.Time) {
+		sh.c.attempts.Add(1)
+		// The session-expiry fault decides at grant time whether this
+		// session dies early; the truncated TTL models the holder
+		// disappearing and its lease falling due ahead of schedule.
+		effTTL, killed := ttl, false
+		if s.faults != nil {
+			if cut, hit := s.faults.TruncateTTL(ttl); hit {
+				effTTL, killed = cut, true
+			}
+		}
+		g, o, holder, dead, expired := sh.table.acquire(key, owner, effTTL, now)
+		s.expireOne(sh, dead, expired)
+		out = Decision{Token: g.Token, Expiry: g.Expiry, Holder: holder, Node: sh.node, Locality: sh.localityRatio()}
+		switch o {
+		case Granted:
+			sh.c.grants.Add(1)
+			sh.c.keys.Add(1)
+			out.Outcome = WireGranted
+			s.log.record(AccessEvent{Op: "grant", Tenant: sh.tenant, Key: key, Owner: owner, Token: g.Token, ExpiryUnixNS: expiryNS(g.Expiry)})
+		case Renewed:
+			sh.c.renews.Add(1)
+			out.Outcome = WireRenewed
+			s.log.record(AccessEvent{Op: "renew", Tenant: sh.tenant, Key: key, Owner: owner, Token: g.Token, ExpiryUnixNS: expiryNS(g.Expiry)})
+		case Conflict:
+			sh.c.conflicts.Add(1)
+			out.Outcome = WireConflict
+			out.RetryAfter = g.Expiry.Sub(now)
+			s.log.record(AccessEvent{Op: "conflict", Tenant: sh.tenant, Key: key, Owner: owner})
+		}
+		if killed && (o == Granted || o == Renewed) {
+			sh.c.sessionKills.Add(1)
+		}
+	}); d != nil {
+		return *d, nil
+	}
+	return out, nil
+}
+
+// Renew extends an existing lease; (owner, token) must name the live
+// grant or the answer is WireStale.
+func (s *Service) Renew(tenant, key, owner string, token uint64, ttl time.Duration) (Decision, error) {
+	if key == "" || owner == "" {
+		return Decision{}, fmt.Errorf("lockserv: empty key or owner")
+	}
+	ts, err := s.tenant(tenant)
+	if err != nil {
+		return Decision{}, err
+	}
+	sh := s.shardFor(ts, key)
+	now := s.clock.Now()
+	if d := s.admit(sh, now); d != nil {
+		return *d, nil
+	}
+	ttl = s.clampTTL(ttl)
+	var out Decision
+	if d := s.withShard(sh, func(now time.Time) {
+		sh.c.attempts.Add(1)
+		g, o, dead, expired := sh.table.renew(key, owner, token, ttl, now)
+		s.expireOne(sh, dead, expired)
+		out = Decision{Token: g.Token, Expiry: g.Expiry, Node: sh.node, Locality: sh.localityRatio()}
+		if o == Renewed {
+			sh.c.renews.Add(1)
+			out.Outcome = WireRenewed
+			s.log.record(AccessEvent{Op: "renew", Tenant: sh.tenant, Key: key, Owner: owner, Token: token, ExpiryUnixNS: expiryNS(g.Expiry)})
+		} else {
+			sh.c.stales.Add(1)
+			out.Outcome = WireStale
+			s.log.record(AccessEvent{Op: "stale", Tenant: sh.tenant, Key: key, Owner: owner, Token: token})
+		}
+	}); d != nil {
+		return *d, nil
+	}
+	return out, nil
+}
+
+// Release returns a lease; (owner, token) must name the live grant or
+// the answer is WireStale (releasing after expiry is the classic
+// fencing race, and the dead token stays dead).
+func (s *Service) Release(tenant, key, owner string, token uint64) (Decision, error) {
+	if key == "" || owner == "" {
+		return Decision{}, fmt.Errorf("lockserv: empty key or owner")
+	}
+	ts, err := s.tenant(tenant)
+	if err != nil {
+		return Decision{}, err
+	}
+	sh := s.shardFor(ts, key)
+	now := s.clock.Now()
+	if d := s.admit(sh, now); d != nil {
+		return *d, nil
+	}
+	var out Decision
+	if d := s.withShard(sh, func(now time.Time) {
+		sh.c.attempts.Add(1)
+		o, dead, expired := sh.table.release(key, owner, token, now)
+		s.expireOne(sh, dead, expired)
+		out = Decision{Node: sh.node, Locality: sh.localityRatio()}
+		if o == Released {
+			sh.c.releases.Add(1)
+			sh.c.keys.Add(-1)
+			out.Outcome = WireReleased
+			s.log.record(AccessEvent{Op: "release", Tenant: sh.tenant, Key: key, Owner: owner, Token: token})
+		} else {
+			sh.c.stales.Add(1)
+			out.Outcome = WireStale
+			s.log.record(AccessEvent{Op: "stale", Tenant: sh.tenant, Key: key, Owner: owner, Token: token})
+		}
+	}); d != nil {
+		return *d, nil
+	}
+	return out, nil
+}
+
+// Inspect reports the live lease on (tenant, key), if any. Inspection
+// passes the same admission gauntlet as mutations — it holds the shard
+// lock — but does not count as a table attempt.
+func (s *Service) Inspect(tenant, key string) (Decision, error) {
+	if key == "" {
+		return Decision{}, fmt.Errorf("lockserv: empty key")
+	}
+	ts, err := s.tenant(tenant)
+	if err != nil {
+		return Decision{}, err
+	}
+	sh := s.shardFor(ts, key)
+	now := s.clock.Now()
+	if d := s.admit(sh, now); d != nil {
+		return *d, nil
+	}
+	var out Decision
+	if d := s.withShard(sh, func(now time.Time) {
+		g, holder, held, dead, expired := sh.table.inspect(key, now)
+		s.expireOne(sh, dead, expired)
+		out = Decision{Node: sh.node, Locality: sh.localityRatio()}
+		if held {
+			out.Outcome = WireHeld
+			out.Token = g.Token
+			out.Expiry = g.Expiry
+			out.Holder = holder
+		} else {
+			out.Outcome = WireFree
+		}
+	}); d != nil {
+		return *d, nil
+	}
+	return out, nil
+}
+
+// SweepDue collects every lease past its deadline across all shards,
+// returning how many expired. The daemon's background sweeper calls
+// this on a tick so leases die promptly even with no traffic on their
+// keys; tests call it directly after advancing a ManualClock. Shards
+// that cannot be locked within OpTimeout are skipped this round (their
+// leases still expire lazily on access).
+func (s *Service) SweepDue() int {
+	total := 0
+	for _, ts := range s.order {
+		for _, sh := range ts.shards {
+			s.withShard(sh, func(now time.Time) {
+				for _, dead := range sh.table.sweep(now) {
+					s.expireOne(sh, dead, true)
+					total++
+				}
+			})
+		}
+	}
+	return total
+}
+
+// RefreshAffinity recomputes every shard's cached handoff-locality
+// hint from the obs layer. Cheap enough for a ticker; never on the
+// request path (a snapshot merges histograms under shard mutexes).
+func (s *Service) RefreshAffinity() {
+	for _, ts := range s.order {
+		for _, sh := range ts.shards {
+			if sh.metrics == nil {
+				continue
+			}
+			ratio := sh.metrics.SnapshotLock().LocalityRatio()
+			sh.locality.Store(math.Float64bits(ratio))
+		}
+	}
+}
+
+// Stats exports the per-tenant/per-shard counters in configuration
+// order (deterministic bytes for stable state).
+func (s *Service) Stats() Stats {
+	out := Stats{
+		Schema:   StatsSchema,
+		Lock:     s.cfg.Lock,
+		Nodes:    s.cfg.Nodes,
+		Draining: s.draining.Load(),
+	}
+	for _, ts := range s.order {
+		t := TenantStats{Tenant: ts.name}
+		for _, sh := range ts.shards {
+			t.Shards = append(t.Shards, sh.c.export(sh.index, sh.node))
+		}
+		out.Tenants = append(out.Tenants, t)
+	}
+	return out
+}

@@ -1,0 +1,482 @@
+package lockserv
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// newTestService builds a service on a manual clock with an in-memory
+// access log, returning all three.
+func newTestService(t *testing.T, mut func(*Config)) (*Service, *ManualClock, *bytes.Buffer) {
+	t.Helper()
+	clock := NewManualClock(time.Unix(1000, 0))
+	var logBuf bytes.Buffer
+	cfg := Config{
+		Tenants:    []string{"t0", "t1"},
+		Shards:     2,
+		Nodes:      2,
+		DefaultTTL: time.Second,
+		MaxTTL:     10 * time.Second,
+		Clock:      clock,
+		AccessLog:  &logBuf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, clock, &logBuf
+}
+
+// verifyLog flushes and checks the service's access log.
+func verifyLog(t *testing.T, svc *Service, logBuf *bytes.Buffer) int {
+	t.Helper()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := VerifyAccessLog(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("fencing invariant violated after %d events: %v", n, err)
+	}
+	return n
+}
+
+// TestServiceLifecycle: grant → conflict → renew → release → re-grant
+// through the service layer, with decisions carrying affinity hints.
+func TestServiceLifecycle(t *testing.T) {
+	svc, clock, logBuf := newTestService(t, nil)
+
+	d, err := svc.Acquire("t0", "jobs/1", "alice", 0)
+	if err != nil || d.Outcome != WireGranted || d.Token != 1 {
+		t.Fatalf("acquire = %+v, %v", d, err)
+	}
+	if d.Expiry != clock.Now().Add(time.Second) {
+		t.Fatalf("default TTL not applied: %v", d.Expiry)
+	}
+	if d.Node < 0 || d.Node >= svc.Nodes() {
+		t.Fatalf("node hint %d out of range", d.Node)
+	}
+
+	c, _ := svc.Acquire("t0", "jobs/1", "bob", 0)
+	if c.Outcome != WireConflict || c.Holder != "alice" || c.RetryAfter <= 0 {
+		t.Fatalf("conflict = %+v", c)
+	}
+
+	r, _ := svc.Renew("t0", "jobs/1", "alice", 1, 5*time.Second)
+	if r.Outcome != WireRenewed || r.Expiry != clock.Now().Add(5*time.Second) {
+		t.Fatalf("renew = %+v", r)
+	}
+
+	rel, _ := svc.Release("t0", "jobs/1", "alice", 1)
+	if rel.Outcome != WireReleased {
+		t.Fatalf("release = %+v", rel)
+	}
+
+	g2, _ := svc.Acquire("t0", "jobs/1", "bob", 0)
+	if g2.Outcome != WireGranted || g2.Token != 2 {
+		t.Fatalf("re-grant = %+v", g2)
+	}
+
+	// Same key name in another tenant: independent namespace.
+	g3, _ := svc.Acquire("t1", "jobs/1", "carol", 0)
+	if g3.Outcome != WireGranted || g3.Token != 1 {
+		t.Fatalf("cross-tenant grant = %+v", g3)
+	}
+
+	if _, err := svc.Acquire("nope", "k", "o", 0); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+	if _, err := svc.Acquire("t0", "", "o", 0); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	verifyLog(t, svc, logBuf)
+}
+
+// TestServiceRenewVsExpiry: after the deadline passes, renew is stale,
+// the expiry is logged before any re-grant, and the next grant token
+// is strictly larger.
+func TestServiceRenewVsExpiry(t *testing.T) {
+	svc, clock, logBuf := newTestService(t, nil)
+	g, _ := svc.Acquire("t0", "k", "alice", time.Second)
+	clock.Advance(time.Second + time.Nanosecond)
+
+	r, _ := svc.Renew("t0", "k", "alice", g.Token, time.Second)
+	if r.Outcome != WireStale {
+		t.Fatalf("renew after expiry = %+v", r)
+	}
+	g2, _ := svc.Acquire("t0", "k", "bob", time.Second)
+	if g2.Outcome != WireGranted || g2.Token <= g.Token {
+		t.Fatalf("re-grant = %+v (old token %d)", g2, g.Token)
+	}
+	// The old holder's release is stale and bob's lease survives it.
+	rel, _ := svc.Release("t0", "k", "alice", g.Token)
+	if rel.Outcome != WireStale {
+		t.Fatalf("stale release = %+v", rel)
+	}
+	ins, _ := svc.Inspect("t0", "k")
+	if ins.Outcome != WireHeld || ins.Holder != "bob" {
+		t.Fatalf("inspect = %+v", ins)
+	}
+	verifyLog(t, svc, logBuf)
+}
+
+// TestServiceSweepDue: the background sweeper's entry point collects
+// idle expired leases and logs them.
+func TestServiceSweepDue(t *testing.T) {
+	svc, clock, logBuf := newTestService(t, nil)
+	for _, key := range []string{"a", "b", "c"} {
+		if d, _ := svc.Acquire("t0", key, "alice", time.Second); d.Outcome != WireGranted {
+			t.Fatalf("%s: %+v", key, d)
+		}
+	}
+	if n := svc.SweepDue(); n != 0 {
+		t.Fatalf("early sweep collected %d", n)
+	}
+	clock.Advance(2 * time.Second)
+	if n := svc.SweepDue(); n != 3 {
+		t.Fatalf("sweep collected %d, want 3", n)
+	}
+	st := svc.Stats()
+	tot := st.Tenants[0].Totals()
+	if tot.Expiries != 3 || tot.Keys != 0 {
+		t.Fatalf("after sweep: %+v", tot)
+	}
+	verifyLog(t, svc, logBuf)
+}
+
+// TestServiceAbortDuringHandoff is the third named race: the shard
+// lock is held across a (simulated) slow handoff, the incoming
+// operation's timed acquire aborts within OpTimeout, and the request
+// is shed as busy — with the lease table untouched and the fencing
+// sequence intact afterwards.
+func TestServiceAbortDuringHandoff(t *testing.T) {
+	svc, _, logBuf := newTestService(t, func(c *Config) {
+		c.Tenants = []string{"t0"}
+		c.Shards = 1
+		c.Nodes = 1
+		c.ThreadsPerNode = 2
+		c.OpTimeout = 20 * time.Millisecond
+	})
+	sh := svc.tenants["t0"].shards[0]
+
+	// Steal a worker thread and sit on the shard lock, as if a handoff
+	// stalled mid-flight.
+	holder := <-svc.pools[0]
+	sh.lock.Acquire(holder)
+
+	start := time.Now()
+	d, err := svc.Acquire("t0", "k", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != WireBusy || d.RetryAfter <= 0 {
+		t.Fatalf("acquire under a stuck shard = %+v", d)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("busy answer took %v for a 20ms budget", e)
+	}
+
+	// Handoff completes; the same operation now succeeds and fencing
+	// starts at token 1 — the aborted attempt left no trace.
+	sh.lock.Release(holder)
+	svc.pools[0] <- holder
+	d2, _ := svc.Acquire("t0", "k", "alice", time.Second)
+	if d2.Outcome != WireGranted || d2.Token != 1 {
+		t.Fatalf("acquire after handoff = %+v", d2)
+	}
+	if got := sh.c.busy.Load(); got != 1 {
+		t.Fatalf("busy counter = %d", got)
+	}
+	verifyLog(t, svc, logBuf)
+}
+
+// TestServiceThrottleAndDrain: the rate limiter answers throttled with
+// a clock-accurate hint; drain refuses everything afterwards.
+func TestServiceThrottleAndDrain(t *testing.T) {
+	svc, clock, _ := newTestService(t, func(c *Config) {
+		c.Tenants = []string{"t0"}
+		c.Shards = 1
+		c.ShardQPS = 10
+		c.ShardBurst = 1
+	})
+	if d, _ := svc.Acquire("t0", "k", "alice", 0); d.Outcome != WireGranted {
+		t.Fatalf("first = %+v", d)
+	}
+	d, _ := svc.Acquire("t0", "k2", "alice", 0)
+	if d.Outcome != WireThrottled || d.RetryAfter <= 0 || d.RetryAfter > 100*time.Millisecond {
+		t.Fatalf("throttled = %+v", d)
+	}
+	clock.Advance(d.RetryAfter)
+	if d2, _ := svc.Acquire("t0", "k2", "alice", 0); d2.Outcome != WireGranted {
+		t.Fatalf("after waiting the hint = %+v", d2)
+	}
+
+	svc.Drain()
+	if !svc.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	for _, op := range []string{"acquire", "renew", "release", "inspect"} {
+		var dd Decision
+		switch op {
+		case "acquire":
+			dd, _ = svc.Acquire("t0", "x", "o", 0)
+		case "renew":
+			dd, _ = svc.Renew("t0", "x", "o", 1, 0)
+		case "release":
+			dd, _ = svc.Release("t0", "x", "o", 1)
+		case "inspect":
+			dd, _ = svc.Inspect("t0", "x")
+		}
+		if dd.Outcome != WireDraining {
+			t.Fatalf("%s while draining = %+v", op, dd)
+		}
+		if !dd.Retryable() {
+			t.Fatalf("%s: draining not Retryable", op)
+		}
+	}
+	st := svc.Stats()
+	if !st.Draining || st.Tenants[0].Totals().Throttled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServiceSessionExpiryFault: the injected fault truncates TTLs so
+// holders lose leases early — and every such death still obeys the
+// fencing protocol in the log.
+func TestServiceSessionExpiryFault(t *testing.T) {
+	inj := fault.NewServiceInjector(fault.ServiceConfig{
+		Seed:    3,
+		Session: fault.SessionExpiryConfig{Enabled: true, Prob: 1, Fraction: 0.5},
+	})
+	svc, clock, logBuf := newTestService(t, func(c *Config) { c.Faults = inj })
+
+	d, _ := svc.Acquire("t0", "k", "alice", 2*time.Second)
+	if d.Outcome != WireGranted {
+		t.Fatalf("grant = %+v", d)
+	}
+	// Prob 1, fraction 0.5: the lease dies at half its TTL.
+	if want := clock.Now().Add(time.Second); d.Expiry != want {
+		t.Fatalf("truncated expiry = %v, want %v", d.Expiry, want)
+	}
+	clock.Advance(time.Second + time.Nanosecond)
+	if r, _ := svc.Renew("t0", "k", "alice", d.Token, time.Second); r.Outcome != WireStale {
+		t.Fatalf("renew of killed session = %+v", r)
+	}
+	tot := svc.Stats().Tenants[0].Totals()
+	if tot.SessionKills != 1 || tot.Expiries != 1 {
+		t.Fatalf("counters = %+v", tot)
+	}
+	verifyLog(t, svc, logBuf)
+}
+
+// TestServiceStatsDelta: differenced stats report window activity and
+// pass gauges through.
+func TestServiceStatsDelta(t *testing.T) {
+	svc, _, _ := newTestService(t, nil)
+	svc.Acquire("t0", "a", "o", 0)
+	before := svc.Stats()
+	svc.Acquire("t0", "b", "o", 0)
+	after := svc.Stats()
+	delta := after.Delta(before)
+	tot := delta.Tenants[0].Totals()
+	if tot.Grants != 1 {
+		t.Fatalf("delta grants = %d", tot.Grants)
+	}
+	if tot.Keys != 2 {
+		t.Fatalf("delta keys gauge = %d, want live value 2", tot.Keys)
+	}
+	var buf bytes.Buffer
+	if err := after.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), StatsSchema) {
+		t.Fatal("stats JSON missing schema")
+	}
+}
+
+// TestServiceObsIntegration: with a registry attached, shard locks
+// appear under serv/<tenant>/s<i> and record the service's acquires.
+func TestServiceObsIntegration(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, _, _ := newTestService(t, func(c *Config) { c.Registry = reg })
+	for i := 0; i < 8; i++ {
+		svc.Acquire("t0", "k", "alice", 0)
+	}
+	svc.RefreshAffinity()
+	snap := reg.Snapshot()
+	found := false
+	for _, l := range snap.Locks {
+		if l.Name == "serv/t0/s0" || l.Name == "serv/t0/s1" {
+			if l.Attempts > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no instrumented shard-lock activity in %d locks", len(snap.Locks))
+	}
+	d, _ := svc.Acquire("t0", "k2", "bob", 0)
+	if d.Locality < 0 || d.Locality > 1 {
+		t.Fatalf("locality hint %v outside [0,1]", d.Locality)
+	}
+}
+
+// TestServiceRaceStress hammers one service from many goroutines with
+// tiny TTLs, a truncating fault layer and a concurrent sweeper, then
+// replays the access log: the fencing invariant must hold under real
+// concurrency, not just under the manual clock. Run with -race.
+func TestServiceRaceStress(t *testing.T) {
+	inj := fault.NewServiceInjector(fault.ServiceConfig{
+		Seed:    7,
+		Session: fault.SessionExpiryConfig{Enabled: true, Prob: 0.3, Fraction: 0.25},
+	})
+	var logBuf bytes.Buffer
+	svc, err := New(Config{
+		Tenants:    []string{"t0", "t1"},
+		Shards:     2,
+		Nodes:      2,
+		DefaultTTL: 2 * time.Millisecond, // expiry races on every key
+		MaxTTL:     10 * time.Millisecond,
+		OpTimeout:  50 * time.Millisecond,
+		Faults:     inj,
+		AccessLog:  &logBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 300
+	stop := make(chan struct{})
+	var sweeps sync.WaitGroup
+	sweeps.Add(1)
+	go func() {
+		defer sweeps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				svc.SweepDue()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := string(rune('a' + w))
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			tenants := []string{"t0", "t1"}
+			keys := []string{"k0", "k1", "k2"}
+			var heldTenant, heldKey string
+			var heldTok uint64
+			for i := 0; i < iters; i++ {
+				if heldTok == 0 {
+					tn, k := tenants[next(2)], keys[next(3)]
+					d, err := svc.Acquire(tn, k, owner, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if d.Outcome == WireGranted {
+						heldTenant, heldKey, heldTok = tn, k, d.Token
+					}
+					continue
+				}
+				switch next(3) {
+				case 0:
+					d, _ := svc.Renew(heldTenant, heldKey, owner, heldTok, 0)
+					if d.Outcome == WireStale {
+						heldTok = 0
+					}
+				case 1:
+					svc.Release(heldTenant, heldKey, owner, heldTok)
+					heldTok = 0
+				default:
+					time.Sleep(time.Duration(next(3)) * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	sweeps.Wait()
+
+	n := verifyLog(t, svc, &logBuf)
+	if n == 0 {
+		t.Fatal("stress run produced no access-log events")
+	}
+	// Conservation: every grant ended in exactly one of release or
+	// expiry, or is still live.
+	var grants, releases, expiries, keys uint64
+	for _, ts := range svc.Stats().Tenants {
+		tot := ts.Totals()
+		grants += tot.Grants
+		releases += tot.Releases
+		expiries += tot.Expiries
+		keys += uint64(tot.Keys)
+	}
+	if grants != releases+expiries+keys {
+		t.Fatalf("lease conservation: grants=%d releases=%d expiries=%d live=%d",
+			grants, releases, expiries, keys)
+	}
+	if grants == 0 {
+		t.Fatal("no grants under stress")
+	}
+}
+
+// TestConfigValidation pins the usage-text contract of every limit.
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Tenants = nil },
+		func(c *Config) { c.Tenants = []string{"a", "a"} },
+		func(c *Config) { c.Tenants = []string{""} },
+		func(c *Config) { c.Shards = -1 },
+		func(c *Config) { c.Nodes = -1 },
+		func(c *Config) { c.ThreadsPerNode = -1 },
+		func(c *Config) { c.Lock = "NOPE" },
+		func(c *Config) { c.DefaultTTL = 5 * time.Second; c.MaxTTL = time.Second },
+		func(c *Config) { c.OpTimeout = -time.Second },
+		func(c *Config) { c.ShardQPS = -1 },
+	}
+	for i, mut := range bad {
+		cfg := Config{Tenants: []string{"t"}}
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	// Every native lock name must work as a shard arbiter.
+	for _, name := range core.AllNames() {
+		svc, err := New(Config{Tenants: []string{"t"}, Lock: name})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if d, _ := svc.Acquire("t", "k", "o", 0); d.Outcome != WireGranted {
+			t.Errorf("%s: acquire = %+v", name, d)
+		}
+		if svc.LockName() != name {
+			t.Errorf("LockName = %q", svc.LockName())
+		}
+	}
+}

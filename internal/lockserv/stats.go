@@ -1,0 +1,164 @@
+package lockserv
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+)
+
+// StatsSchema versions the service stats document served at /v1/stats.
+const StatsSchema = "hbolockd-stats/v1"
+
+// shardCounters is a shard's live counter block. Operations mutate it
+// under the shard's native lock; Stats() reads it without the lock, so
+// every field is atomic. Padding keeps neighbor shards off each
+// other's lines, matching the obs layer's sharding discipline.
+type shardCounters struct {
+	attempts     atomic.Uint64 // acquire requests reaching the table
+	grants       atomic.Uint64 // fresh grants (new fencing token)
+	renews       atomic.Uint64 // renewals incl. reentrant acquires
+	releases     atomic.Uint64
+	conflicts    atomic.Uint64 // acquire denied: lease held by another owner
+	stales       atomic.Uint64 // renew/release denied: dead token
+	expiries     atomic.Uint64 // leases collected past their deadline
+	throttled    atomic.Uint64 // requests refused by the rate limiter
+	busy         atomic.Uint64 // shard-lock timed acquires that gave up
+	sessionKills atomic.Uint64 // fault layer truncated a live lease
+	nacks        atomic.Uint64 // fault layer bounced a request
+	keys         atomic.Int64  // live leases right now
+	_            [32]byte
+}
+
+// ShardStats is one shard's exported counters.
+type ShardStats struct {
+	Shard        int    `json:"shard"`
+	Node         int    `json:"node"` // home NUCA node of the shard's lock
+	Keys         int64  `json:"keys"`
+	Attempts     uint64 `json:"attempts"`
+	Grants       uint64 `json:"grants"`
+	Renews       uint64 `json:"renews"`
+	Releases     uint64 `json:"releases"`
+	Conflicts    uint64 `json:"conflicts"`
+	Stales       uint64 `json:"stales"`
+	Expiries     uint64 `json:"expiries"`
+	Throttled    uint64 `json:"throttled"`
+	Busy         uint64 `json:"busy"`
+	SessionKills uint64 `json:"session_kills"`
+	NACKs        uint64 `json:"nacks"`
+}
+
+func (c *shardCounters) export(shard, node int) ShardStats {
+	return ShardStats{
+		Shard:        shard,
+		Node:         node,
+		Keys:         c.keys.Load(),
+		Attempts:     c.attempts.Load(),
+		Grants:       c.grants.Load(),
+		Renews:       c.renews.Load(),
+		Releases:     c.releases.Load(),
+		Conflicts:    c.conflicts.Load(),
+		Stales:       c.stales.Load(),
+		Expiries:     c.expiries.Load(),
+		Throttled:    c.throttled.Load(),
+		Busy:         c.busy.Load(),
+		SessionKills: c.sessionKills.Load(),
+		NACKs:        c.nacks.Load(),
+	}
+}
+
+func (s ShardStats) sub(p ShardStats) ShardStats {
+	return ShardStats{
+		Shard:        s.Shard,
+		Node:         s.Node,
+		Keys:         s.Keys, // gauge: report current, not differenced
+		Attempts:     s.Attempts - min64(s.Attempts, p.Attempts),
+		Grants:       s.Grants - min64(s.Grants, p.Grants),
+		Renews:       s.Renews - min64(s.Renews, p.Renews),
+		Releases:     s.Releases - min64(s.Releases, p.Releases),
+		Conflicts:    s.Conflicts - min64(s.Conflicts, p.Conflicts),
+		Stales:       s.Stales - min64(s.Stales, p.Stales),
+		Expiries:     s.Expiries - min64(s.Expiries, p.Expiries),
+		Throttled:    s.Throttled - min64(s.Throttled, p.Throttled),
+		Busy:         s.Busy - min64(s.Busy, p.Busy),
+		SessionKills: s.SessionKills - min64(s.SessionKills, p.SessionKills),
+		NACKs:        s.NACKs - min64(s.NACKs, p.NACKs),
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TenantStats groups a tenant's shard counters.
+type TenantStats struct {
+	Tenant string       `json:"tenant"`
+	Shards []ShardStats `json:"shards"`
+}
+
+// Totals sums the tenant's shards.
+func (t TenantStats) Totals() ShardStats {
+	var out ShardStats
+	out.Shard = -1
+	for _, s := range t.Shards {
+		out.Keys += s.Keys
+		out.Attempts += s.Attempts
+		out.Grants += s.Grants
+		out.Renews += s.Renews
+		out.Releases += s.Releases
+		out.Conflicts += s.Conflicts
+		out.Stales += s.Stales
+		out.Expiries += s.Expiries
+		out.Throttled += s.Throttled
+		out.Busy += s.Busy
+		out.SessionKills += s.SessionKills
+		out.NACKs += s.NACKs
+	}
+	return out
+}
+
+// Stats is the service-level stats document: deterministic field
+// order, tenants and shards in fixed configuration order, so stable
+// state yields stable bytes (the same contract obs snapshots keep).
+type Stats struct {
+	Schema   string        `json:"schema"`
+	Lock     string        `json:"lock"`
+	Nodes    int           `json:"nodes"`
+	Draining bool          `json:"draining"`
+	Tenants  []TenantStats `json:"tenants"`
+}
+
+// Delta returns the activity between earlier and s, matched by tenant
+// name and shard index. Gauges (Keys) pass through from s.
+func (s Stats) Delta(earlier Stats) Stats {
+	prev := make(map[string]map[int]ShardStats, len(earlier.Tenants))
+	for _, t := range earlier.Tenants {
+		m := make(map[int]ShardStats, len(t.Shards))
+		for _, sh := range t.Shards {
+			m[sh.Shard] = sh
+		}
+		prev[t.Tenant] = m
+	}
+	out := Stats{Schema: s.Schema, Lock: s.Lock, Nodes: s.Nodes, Draining: s.Draining}
+	for _, t := range s.Tenants {
+		dt := TenantStats{Tenant: t.Tenant}
+		for _, sh := range t.Shards {
+			dt.Shards = append(dt.Shards, sh.sub(prev[t.Tenant][sh.Shard]))
+		}
+		out.Tenants = append(out.Tenants, dt)
+	}
+	return out
+}
+
+// WriteJSON emits the stats as indented JSON with stable bytes.
+func (s Stats) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

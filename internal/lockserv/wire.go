@@ -1,0 +1,87 @@
+package lockserv
+
+import (
+	"time"
+)
+
+// WireSchema versions the JSON wire format of the /v1 endpoints. The
+// service is stdlib-only by design — JSON over net/http rather than
+// gRPC — so the schema string is the compatibility contract: servers
+// stamp every response with it and clients reject mismatches.
+const WireSchema = "hbolock-wire/v1"
+
+// OpRequest is the body of POST /v1/acquire, /v1/renew and
+// /v1/release. Token is required for renew/release; TTLMS <= 0 asks
+// for the server default.
+type OpRequest struct {
+	Tenant string `json:"tenant"`
+	Key    string `json:"key"`
+	Owner  string `json:"owner"`
+	Token  uint64 `json:"token,omitempty"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+}
+
+// OpResponse is the body of every /v1 lease operation response, for
+// success and denial alike: Outcome is one of the Wire* strings, and
+// the HTTP status code is derived from it (200 grant / 409 conflict /
+// 410 stale / 429 throttled / 503 busy-nack-draining). Node and
+// Locality are the node-affinity hint: the NUCA home node of the
+// key's shard, and the live handoff-locality of the shard's
+// arbitrating lock from the obs layer.
+type OpResponse struct {
+	Schema       string  `json:"schema"`
+	Outcome      string  `json:"outcome"`
+	Token        uint64  `json:"token,omitempty"`
+	ExpiryUnixNS int64   `json:"expiry_unix_ns,omitempty"`
+	Holder       string  `json:"holder,omitempty"`
+	Node         int     `json:"node"`
+	Locality     float64 `json:"locality,omitempty"`
+	RetryAfterMS int64   `json:"retry_after_ms,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// responseOf renders a Decision on the wire.
+func responseOf(d Decision) OpResponse {
+	r := OpResponse{
+		Schema:   WireSchema,
+		Outcome:  d.Outcome,
+		Token:    d.Token,
+		Holder:   d.Holder,
+		Node:     d.Node,
+		Locality: d.Locality,
+	}
+	if !d.Expiry.IsZero() {
+		r.ExpiryUnixNS = d.Expiry.UnixNano()
+	}
+	if d.RetryAfter > 0 {
+		r.RetryAfterMS = ceilMS(d.RetryAfter)
+	}
+	return r
+}
+
+// ceilMS rounds a duration up to whole milliseconds (never 0 for a
+// positive duration, so a hint is never lost to rounding).
+func ceilMS(d time.Duration) int64 {
+	ms := int64(d / time.Millisecond)
+	if d%time.Millisecond != 0 || ms == 0 {
+		ms++
+	}
+	return ms
+}
+
+// StatusOf maps a wire outcome to its HTTP status code.
+func StatusOf(outcome string) int {
+	switch outcome {
+	case WireGranted, WireRenewed, WireReleased, WireFree, WireHeld:
+		return 200
+	case WireConflict:
+		return 409
+	case WireStale:
+		return 410
+	case WireThrottled:
+		return 429
+	case WireBusy, WireNACK, WireDraining:
+		return 503
+	}
+	return 500
+}

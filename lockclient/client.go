@@ -1,0 +1,369 @@
+// Package lockclient is the Go client for hbolockd, the lock/lease
+// service built on this repository's NUMA-aware native lock stack.
+// It implements the service tier's half of the paper's backoff policy:
+// retries use capped exponential backoff with deterministic jitter,
+// and every explicit Retry-After hint from the server (backpressure,
+// rate limiting, injected NACKs) overrides the schedule — the client
+// backs off exactly as far as the contended resource asks it to,
+// rather than hammering a saturated shard.
+//
+// Usage:
+//
+//	c := lockclient.New("localhost:9151", lockclient.WithOwner("worker-7"))
+//	lease, err := c.Acquire(ctx, "tenant-a", "jobs/1234", 5*time.Second)
+//	if err == nil {
+//	        defer c.Release(context.Background(), lease)
+//	        // ... fenced work: pass lease.Token downstream ...
+//	}
+//
+// Acquire blocks (honouring ctx) until the lease is granted, retrying
+// conflicts and backpressure; AcquireOnce makes a single attempt.
+package lockclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockserv"
+)
+
+// Lease is a granted lease: present its fencing Token to anything the
+// critical section touches, and hand the whole value back to Renew or
+// Release.
+type Lease struct {
+	Tenant string
+	Key    string
+	Owner  string
+	Token  uint64
+	Expiry time.Time
+	// Node is the server's node-affinity hint: the NUCA home node of
+	// the key's shard. Locality is the live handoff-locality of that
+	// shard's arbitrating lock (1 = handoffs never leave the node).
+	Node     int
+	Locality float64
+}
+
+// ErrStale is returned when the presented token no longer names the
+// live lease — it expired, was released, or the key was re-granted.
+// The token is dead forever; re-Acquire to continue.
+var ErrStale = errors.New("lockclient: stale lease")
+
+// ConflictError reports a key held by another owner, with the
+// server's hint of when the lease falls due.
+type ConflictError struct {
+	Holder     string
+	RetryAfter time.Duration
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("lockclient: held by %q (retry after %v)", e.Holder, e.RetryAfter)
+}
+
+// Backoff is the capped exponential retry schedule. Jitter is
+// deterministic (a splitmix64 stream seeded per client), so a driver
+// run with a fixed seed replays the same schedule.
+type Backoff struct {
+	Base   time.Duration // first delay (default 2ms)
+	Factor float64       // growth per retry (default 2)
+	Cap    time.Duration // ceiling (default 250ms)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 2 * time.Millisecond
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Cap <= 0 {
+		b.Cap = 250 * time.Millisecond
+	}
+	return b
+}
+
+// delay computes the nth (0-based) backoff with jitter in [50%, 100%].
+func (c *Client) delay(n int) time.Duration {
+	d := float64(c.backoff.Base)
+	for i := 0; i < n; i++ {
+		d *= c.backoff.Factor
+		if d >= float64(c.backoff.Cap) {
+			d = float64(c.backoff.Cap)
+			break
+		}
+	}
+	// xorshift-mixed counter: cheap deterministic jitter.
+	x := c.jitter.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	frac := 0.5 + 0.5*float64(x>>11)/float64(1<<53)
+	return time.Duration(d * frac)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithOwner sets the owner identity presented on every request
+// (default "lockclient").
+func WithOwner(owner string) Option { return func(c *Client) { c.owner = owner } }
+
+// WithBackoff replaces the retry schedule.
+func WithBackoff(b Backoff) Option { return func(c *Client) { c.backoff = b.withDefaults() } }
+
+// WithHTTPClient replaces the transport (tests use a local server's
+// client; production might tune timeouts).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithJitterSeed seeds the deterministic jitter stream.
+func WithJitterSeed(seed uint64) Option { return func(c *Client) { c.jitter.Store(seed) } }
+
+// Client talks to one hbolockd. Safe for concurrent use.
+type Client struct {
+	base    string
+	owner   string
+	http    *http.Client
+	backoff Backoff
+	jitter  atomic.Uint64
+}
+
+// New builds a client for addr (host:port or URL).
+func New(addr string, opts ...Option) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	c := &Client{
+		base:    strings.TrimRight(addr, "/"),
+		owner:   "lockclient",
+		http:    &http.Client{Timeout: 10 * time.Second},
+		backoff: Backoff{}.withDefaults(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Owner returns the client's owner identity.
+func (c *Client) Owner() string { return c.owner }
+
+// post runs one wire operation and decodes the schema-checked reply.
+func (c *Client) post(ctx context.Context, path string, reqBody lockserv.OpRequest) (lockserv.OpResponse, error) {
+	var out lockserv.OpResponse
+	b, err := json.Marshal(reqBody)
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(b))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("lockclient: decoding %s reply: %w", path, err)
+	}
+	if out.Schema != lockserv.WireSchema {
+		return out, fmt.Errorf("lockclient: unexpected wire schema %q (want %s)", out.Schema, lockserv.WireSchema)
+	}
+	if out.Outcome == "error" {
+		return out, fmt.Errorf("lockclient: server rejected %s: %s", path, out.Error)
+	}
+	return out, nil
+}
+
+// retryAfter extracts the server's backoff hint, if any.
+func retryAfter(r lockserv.OpResponse) (time.Duration, bool) {
+	if r.RetryAfterMS > 0 {
+		return time.Duration(r.RetryAfterMS) * time.Millisecond, true
+	}
+	return 0, false
+}
+
+// sleep waits for d or ctx, whichever first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// leaseOf builds the client-side lease from a grant response.
+func (c *Client) leaseOf(tenant, key string, r lockserv.OpResponse) *Lease {
+	return &Lease{
+		Tenant:   tenant,
+		Key:      key,
+		Owner:    c.owner,
+		Token:    r.Token,
+		Expiry:   time.Unix(0, r.ExpiryUnixNS),
+		Node:     r.Node,
+		Locality: r.Locality,
+	}
+}
+
+// AcquireOnce makes a single acquire attempt: a *ConflictError when
+// the key is held, a *RetryError on backpressure.
+func (c *Client) AcquireOnce(ctx context.Context, tenant, key string, ttl time.Duration) (*Lease, error) {
+	r, err := c.post(ctx, "/v1/acquire", lockserv.OpRequest{
+		Tenant: tenant, Key: key, Owner: c.owner, TTLMS: int64(ttl / time.Millisecond),
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch r.Outcome {
+	case lockserv.WireGranted, lockserv.WireRenewed:
+		return c.leaseOf(tenant, key, r), nil
+	case lockserv.WireConflict:
+		ra, _ := retryAfter(r)
+		return nil, &ConflictError{Holder: r.Holder, RetryAfter: ra}
+	default:
+		ra, _ := retryAfter(r)
+		return nil, &RetryError{Outcome: r.Outcome, RetryAfter: ra}
+	}
+}
+
+// RetryError is transient backpressure (throttled, busy, draining, or
+// an injected NACK) carrying the server's Retry-After hint.
+type RetryError struct {
+	Outcome    string
+	RetryAfter time.Duration
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("lockclient: %s (retry after %v)", e.Outcome, e.RetryAfter)
+}
+
+// Acquire obtains a lease on (tenant, key), retrying conflicts and
+// backpressure with capped exponential backoff until ctx ends. Server
+// Retry-After hints override the schedule when longer.
+func (c *Client) Acquire(ctx context.Context, tenant, key string, ttl time.Duration) (*Lease, error) {
+	for attempt := 0; ; attempt++ {
+		l, err := c.AcquireOnce(ctx, tenant, key, ttl)
+		if err == nil {
+			return l, nil
+		}
+		d := c.delay(attempt)
+		var ce *ConflictError
+		var re *RetryError
+		switch {
+		case errors.As(err, &ce):
+			if ce.RetryAfter > d {
+				d = ce.RetryAfter
+			}
+		case errors.As(err, &re):
+			if re.RetryAfter > d {
+				d = re.RetryAfter
+			}
+		default:
+			return nil, err
+		}
+		if err := sleep(ctx, d); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Renew extends l by ttl, updating its Token's expiry in place.
+// ErrStale means the lease is gone for good.
+func (c *Client) Renew(ctx context.Context, l *Lease, ttl time.Duration) error {
+	for attempt := 0; ; attempt++ {
+		r, err := c.post(ctx, "/v1/renew", lockserv.OpRequest{
+			Tenant: l.Tenant, Key: l.Key, Owner: l.Owner, Token: l.Token,
+			TTLMS: int64(ttl / time.Millisecond),
+		})
+		if err != nil {
+			return err
+		}
+		switch r.Outcome {
+		case lockserv.WireRenewed:
+			l.Expiry = time.Unix(0, r.ExpiryUnixNS)
+			return nil
+		case lockserv.WireStale:
+			return ErrStale
+		}
+		d := c.delay(attempt)
+		if ra, ok := retryAfter(r); ok && ra > d {
+			d = ra
+		}
+		if err := sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+}
+
+// Release returns l. ErrStale means it had already expired or been
+// re-granted — the caller must treat any fenced work done after the
+// expiry as suspect, which is exactly what the token protocol is for.
+func (c *Client) Release(ctx context.Context, l *Lease) error {
+	for attempt := 0; ; attempt++ {
+		r, err := c.post(ctx, "/v1/release", lockserv.OpRequest{
+			Tenant: l.Tenant, Key: l.Key, Owner: l.Owner, Token: l.Token,
+		})
+		if err != nil {
+			return err
+		}
+		switch r.Outcome {
+		case lockserv.WireReleased:
+			return nil
+		case lockserv.WireStale:
+			return ErrStale
+		}
+		d := c.delay(attempt)
+		if ra, ok := retryAfter(r); ok && ra > d {
+			d = ra
+		}
+		if err := sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+}
+
+// Inspect reports the live lease on (tenant, key): holder and token
+// when held, ok=false when free.
+func (c *Client) Inspect(ctx context.Context, tenant, key string) (*Lease, bool, error) {
+	q := url.Values{"tenant": {tenant}, "key": {key}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/inspect?"+q.Encode(), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	var r lockserv.OpResponse
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, false, err
+	}
+	if r.Schema != lockserv.WireSchema {
+		return nil, false, fmt.Errorf("lockclient: unexpected wire schema %q", r.Schema)
+	}
+	switch r.Outcome {
+	case lockserv.WireHeld:
+		l := c.leaseOf(tenant, key, r)
+		l.Owner = r.Holder
+		return l, true, nil
+	case lockserv.WireFree:
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("lockclient: inspect: %s", r.Outcome)
+}

@@ -1,0 +1,225 @@
+package lockclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lockserv"
+)
+
+// newTestServer runs a real service core behind httptest and returns a
+// client aimed at it.
+func newTestServer(t *testing.T, mut func(*lockserv.Config)) (*lockserv.Service, *Client) {
+	t.Helper()
+	cfg := lockserv.Config{
+		Tenants:    []string{"t0"},
+		Shards:     2,
+		DefaultTTL: time.Second,
+		MaxTTL:     10 * time.Second,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	svc, err := lockserv.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(lockserv.Handler(svc))
+	t.Cleanup(srv.Close)
+	c := New(srv.URL, WithOwner("tester"),
+		WithBackoff(Backoff{Base: time.Millisecond, Cap: 10 * time.Millisecond}),
+		WithHTTPClient(srv.Client()))
+	return svc, c
+}
+
+// TestClientRoundtrip: acquire, renew, release over real HTTP.
+func TestClientRoundtrip(t *testing.T) {
+	_, c := newTestServer(t, nil)
+	ctx := context.Background()
+
+	l, err := c.Acquire(ctx, "t0", "jobs/1", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Token != 1 || l.Owner != "tester" || l.Tenant != "t0" || l.Key != "jobs/1" {
+		t.Fatalf("lease = %+v", l)
+	}
+	if l.Expiry.Before(time.Now()) {
+		t.Fatalf("expiry in the past: %v", l.Expiry)
+	}
+	if l.Locality < 0 || l.Locality > 1 {
+		t.Fatalf("locality hint = %v", l.Locality)
+	}
+
+	old := l.Expiry
+	if err := c.Renew(ctx, l, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Expiry.After(old) {
+		t.Fatalf("renew did not extend: %v -> %v", old, l.Expiry)
+	}
+
+	got, held, err := c.Inspect(ctx, "t0", "jobs/1")
+	if err != nil || !held || got.Owner != "tester" || got.Token != 1 {
+		t.Fatalf("inspect = %+v held=%v err=%v", got, held, err)
+	}
+
+	if err := c.Release(ctx, l); err != nil {
+		t.Fatal(err)
+	}
+	if _, held, _ := c.Inspect(ctx, "t0", "jobs/1"); held {
+		t.Fatal("still held after release")
+	}
+}
+
+// TestClientConflictThenAcquire: AcquireOnce surfaces the holder;
+// Acquire retries through the conflict until the lease frees up.
+func TestClientConflictThenAcquire(t *testing.T) {
+	_, c := newTestServer(t, nil)
+	ctx := context.Background()
+	other := New(c.base, WithOwner("other"), WithHTTPClient(c.http))
+
+	l, err := other.Acquire(ctx, "t0", "k", 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.AcquireOnce(ctx, "t0", "k", time.Second)
+	var ce *ConflictError
+	if !errors.As(err, &ce) || ce.Holder != "other" {
+		t.Fatalf("AcquireOnce = %v", err)
+	}
+
+	// Release concurrently; the blocked Acquire must win soon after.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		other.Release(ctx, l)
+	}()
+	got, err := c.Acquire(ctx, "t0", "k", time.Second)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Token <= l.Token {
+		t.Fatalf("fencing: new token %d not > %d", got.Token, l.Token)
+	}
+}
+
+// TestClientStaleAfterExpiry: a lease that times out renews as
+// ErrStale, and the stale error is terminal (no retry loop).
+func TestClientStaleAfterExpiry(t *testing.T) {
+	_, c := newTestServer(t, func(cfg *lockserv.Config) {
+		cfg.DefaultTTL = 30 * time.Millisecond
+		cfg.MaxTTL = 30 * time.Millisecond
+	})
+	ctx := context.Background()
+	l, err := c.Acquire(ctx, "t0", "k", 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := c.Renew(ctx, l, time.Second); err != ErrStale {
+		t.Fatalf("renew after expiry = %v, want ErrStale", err)
+	}
+	if err := c.Release(ctx, l); err != ErrStale {
+		t.Fatalf("release after expiry = %v, want ErrStale", err)
+	}
+}
+
+// TestClientRetriesNACKs: with the fault layer bouncing requests, the
+// retry loop grinds through to a grant; AcquireOnce surfaces the
+// bounce as a RetryError carrying the server's hint.
+func TestClientRetriesNACKs(t *testing.T) {
+	_, c := newTestServer(t, func(cfg *lockserv.Config) {
+		cfg.Faults = fault.NewServiceInjector(fault.ServiceConfig{
+			Seed: 5,
+			NACK: fault.ServiceNACKConfig{Enabled: true, Prob: 0.7, RetryAfter: time.Millisecond},
+		})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sawRetry := false
+	for i := 0; i < 50; i++ {
+		_, err := c.AcquireOnce(ctx, "t0", "probe", time.Second)
+		var re *RetryError
+		if errors.As(err, &re) {
+			if re.Outcome != lockserv.WireNACK || re.RetryAfter <= 0 {
+				t.Fatalf("RetryError = %+v", re)
+			}
+			sawRetry = true
+			break
+		}
+	}
+	if !sawRetry {
+		t.Fatal("0.7-probability NACK never observed in 50 attempts")
+	}
+
+	l, err := c.Acquire(ctx, "t0", "k", time.Second)
+	if err != nil {
+		t.Fatalf("Acquire through NACKs: %v", err)
+	}
+	// Release's own loop retries through the bounces; it lands on
+	// released (nil) or, if the short lease lapsed meanwhile, ErrStale.
+	if err := c.Release(ctx, l); err != nil && err != ErrStale {
+		t.Fatalf("Release through NACKs: %v", err)
+	}
+}
+
+// TestClientBackoffSchedule: the jittered schedule is deterministic
+// for a fixed seed, grows toward the cap, and stays within [50%, 100%]
+// of the nominal delay.
+func TestClientBackoffSchedule(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		c := New("localhost:0",
+			WithBackoff(Backoff{Base: 2 * time.Millisecond, Factor: 2, Cap: 50 * time.Millisecond}),
+			WithJitterSeed(seed))
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, c.delay(i))
+		}
+		return out
+	}
+	a, b := mk(9), mk(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs for same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	nominal := []time.Duration{2, 4, 8, 16, 32, 50, 50, 50}
+	for i, d := range a {
+		top := nominal[i] * time.Millisecond
+		if d > top || d < top/2 {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, top/2, top)
+		}
+	}
+	diff := mk(10)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different jitter seeds produced identical schedules")
+	}
+}
+
+// TestClientSchemaRejection: a non-lockserv endpoint is rejected by
+// the wire-schema check, not silently misparsed.
+func TestClientSchemaRejection(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	c := New(srv.URL, WithHTTPClient(srv.Client()))
+	if _, err := c.AcquireOnce(context.Background(), "t0", "k", time.Second); err == nil {
+		t.Fatal("garbage endpoint accepted")
+	}
+}
