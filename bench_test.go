@@ -187,3 +187,27 @@ func BenchmarkAllExperiments(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAllExperimentsSimWorkers sweeps the inner PDES width instead
+// of (not on top of) the cell pool: -parallel is pinned to 1 so the
+// whole suite's wall clock isolates how much the partitioned
+// simulations (clu1) gain from running one machine across w cores.
+// Output is byte-identical at every width; only time/op should move.
+func BenchmarkAllExperimentsSimWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("simworkers=%d", w), func(b *testing.B) {
+			o := benchOptions()
+			o.Parallel = 1
+			o.SimWorkers = w
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, e := range experiments.All() {
+					if tables := e.Run(o); len(tables) == 0 {
+						b.Fatalf("experiment %s produced no output", e.ID)
+					}
+				}
+			}
+		})
+	}
+}

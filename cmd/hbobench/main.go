@@ -27,6 +27,15 @@
 // fixed canonical order: output is byte-identical for any -parallel
 // value, including 1.
 //
+// -sim-workers adds a second, inner fan-out layer: partitioned
+// simulations (the cluster-scale experiments, e.g. clu1) run ONE
+// machine across that many cores via conservative PDES. The two layers
+// compose — -parallel across cells, -sim-workers inside a cell — and
+// the product is capped at GOMAXPROCS, so "-parallel 2 -sim-workers 4"
+// uses at most 8 cores. Classic word-level cells are single-partition
+// and ignore the flag. Like -parallel, any -sim-workers value yields
+// byte-identical output; only wall-clock time changes.
+//
 // -json runs the new microbenchmark (the Table 2 operating point) with
 // the full observability stack attached and emits a JSON report with
 // per-lock wait/hold quantiles (p50/p90/p99), node-handoff matrices and
@@ -90,6 +99,7 @@ func main() {
 		scale    = flag.Int("scale", 100, "application work divisor (1 = paper scale)")
 		threads  = flag.Int("threads", 0, "override thread count (0 = paper default)")
 		parallel = flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for independent simulation cells (1 = sequential)")
+		simWkrs  = flag.Int("sim-workers", 1, "PDES worker width inside one partitioned simulation (cluster experiments); composes with -parallel, product capped at GOMAXPROCS")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -169,11 +179,12 @@ func main() {
 	}
 
 	opts := experiments.Options{
-		Seeds:    *seeds,
-		Scale:    *scale,
-		Quick:    *quick,
-		Threads:  *threads,
-		Parallel: *parallel,
+		Seeds:      *seeds,
+		Scale:      *scale,
+		Quick:      *quick,
+		Threads:    *threads,
+		Parallel:   *parallel,
+		SimWorkers: *simWkrs,
 	}
 
 	if *faults {

@@ -12,6 +12,13 @@
 //	lockcheck -selftest                # prove the oracles catch known bugs
 //	lockcheck -json report.json        # also write the JSON report
 //
+// -selftest also proves the parallel simulation engine honest: it runs
+// the cluster-scale machine at PDES worker widths 1 and -sim-workers
+// and fails unless the two runs' results are byte-identical. A
+// determinism bug in the parallel engine would silently corrupt every
+// report produced with -sim-workers > 1, so the selftest treats "same
+// bytes at every width" as an oracle like any other.
+//
 // The explorer is deterministic: the same -seed explores the same
 // schedule set for each lock and produces a byte-identical JSON report.
 // The -twins layer runs real goroutines and is therefore not
@@ -28,6 +35,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +45,54 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/simlock"
 )
+
+// parEngineSelfTest runs the cluster-scale machine — the model that
+// actually exercises sim.ParEngine's cross-partition messaging — under
+// both backoff policies at PDES widths 1 and `workers`, and fails
+// unless each pair of runs serializes to identical bytes. Workers is a
+// wall-clock knob, never a semantic one; any divergence is an engine
+// determinism bug.
+func parEngineSelfTest(seed uint64, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	for _, policy := range []machine.ClusterPolicy{machine.ClusterTATASExp, machine.ClusterHBO} {
+		cfg := machine.ClusterConfig{
+			Nodes:       16,
+			CPUsPerNode: 4,
+			ClusterSize: 4,
+			Lat:         machine.WildFireLatencies(),
+			Policy:      policy,
+			Iters:       8,
+			Think:       2000,
+			Hold:        600,
+			Base:        2,
+			Cap:         256,
+			RemoteCap:   4096,
+			Seed:        seed,
+		}
+		digest := func(w int) ([]byte, error) {
+			r := machine.RunCluster(cfg, w)
+			r.Workers = 0 // metadata, not simulation output
+			return json.Marshal(r)
+		}
+		seq, err := digest(1)
+		if err != nil {
+			return err
+		}
+		par, err := digest(workers)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(seq, par) {
+			return fmt.Errorf("parallel engine NOT deterministic: policy %s diverges between widths 1 and %d", policy, workers)
+		}
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -47,7 +102,8 @@ func main() {
 		locks     = flag.String("locks", "", "comma-separated lock names (default: all simulated locks)")
 		twins     = flag.Bool("twins", false, "also run the native-twin differential comparison")
 		faults    = flag.Bool("faults", false, "also re-explore every lock under each fault class")
-		selftest  = flag.Bool("selftest", false, "run the broken-lock oracle self-test and exit")
+		selftest  = flag.Bool("selftest", false, "run the broken-lock oracle self-test and the parallel-engine determinism check, then exit")
+		simWkrs   = flag.Int("sim-workers", 4, "PDES worker width the selftest checks against width 1")
 		jsonPath  = flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
 	)
 	flag.Parse()
@@ -70,6 +126,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("selftest: all injected bugs detected")
+		if err := parEngineSelfTest(*seed, *simWkrs); err != nil {
+			fmt.Fprintf(os.Stderr, "lockcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("selftest: parallel engine byte-identical at widths 1 and %d\n", *simWkrs)
 		return
 	}
 

@@ -110,6 +110,7 @@ func main() {
 		list     = flag.Bool("list", false, "list lock algorithms and exit")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for multi-lock runs (1 = sequential)")
+		simWkrs  = flag.Int("sim-workers", 1, "reserved PDES width per run; shrinks -parallel so the product stays within GOMAXPROCS (word-level traces are single-partition)")
 		fSched   = flag.String("fault-schedule", "", "degrade the machine: "+strings.Join(fault.Schedules(), ", ")+" (empty = healthy)")
 		fIntens  = flag.Float64("fault-intensity", 0.75, "fault intensity, in (0, 1]")
 		fSeed    = flag.Uint64("fault-seed", 42, "fault-plan seed")
@@ -167,7 +168,8 @@ func main() {
 	// in the listed order.
 	simTimeout := sim.Time(timeout.Nanoseconds())
 	results := make([]runResult, len(locks))
-	par.ForEach(*parallel, len(locks), func(i int) {
+	pool, _ := par.Compose(*parallel, *simWkrs)
+	par.ForEach(pool, len(locks), func(i int) {
 		results[i] = runScenario(locks[i], *threads, *iters, *cs, *think, *seed, fc, simTimeout)
 	})
 

@@ -8,14 +8,20 @@
 //     nodes (the CMP future the paper predicts).
 //   - Throttle ablation: HBO vs HBO_GT vs HBO_GT_SD global traffic as
 //     remote contention grows.
+//   - Cluster sweep: the cluster-scale interconnect machine at hundreds
+//     of nodes, where each cell is ONE partitioned simulation spread
+//     across -sim-workers cores by the conservative PDES engine.
 //
 // Every cell is an independent deterministic simulation, so each study
 // fans its cells out over a -parallel worker pool; results land in
-// fixed slots and the table is identical for any pool width.
+// fixed slots and the table is identical for any pool width. The
+// cluster study adds the inner fan-out layer: -parallel spreads cells,
+// -sim-workers spreads one cell's partitions, and the product is capped
+// at GOMAXPROCS. Neither knob changes a single output byte.
 //
 // Usage:
 //
-//	nucaexplore -study ratio|nodes|throttle
+//	nucaexplore -study ratio|nodes|throttle|cluster
 package main
 
 import (
@@ -31,19 +37,23 @@ import (
 )
 
 func main() {
-	study := flag.String("study", "ratio", "ratio | nodes | throttle")
+	study := flag.String("study", "ratio", "ratio | nodes | throttle | cluster")
 	threads := flag.Int("threads", 16, "contending threads")
 	iters := flag.Int("iters", 200, "lock acquisitions per thread")
 	parallel := flag.Int("parallel", par.DefaultWorkers(), "worker-pool width for independent cells (1 = sequential)")
+	simWkrs := flag.Int("sim-workers", 1, "PDES worker width inside one partitioned simulation (cluster study); composes with -parallel, product capped at GOMAXPROCS")
 	flag.Parse()
 
+	pool, inner := par.Compose(*parallel, *simWkrs)
 	switch *study {
 	case "ratio":
-		ratioStudy(*threads, *iters, *parallel)
+		ratioStudy(*threads, *iters, pool)
 	case "nodes":
-		nodeStudy(*threads, *iters, *parallel)
+		nodeStudy(*threads, *iters, pool)
 	case "throttle":
-		throttleStudy(*threads, *iters, *parallel)
+		throttleStudy(*threads, *iters, pool)
+	case "cluster":
+		clusterStudy(*iters, pool, inner)
 	default:
 		fmt.Fprintf(os.Stderr, "nucaexplore: unknown study %q\n", *study)
 		os.Exit(2)
@@ -154,6 +164,50 @@ func nodeStudy(threads, iters, workers int) {
 			stats.F(float64(cells[r*len(locks)+0].per)/1000, 2),
 			stats.F(float64(cells[r*len(locks)+1].per)/1000, 2),
 			stats.F(float64(cells[r*len(locks)+2].per)/1000, 2))
+	}
+	fmt.Print(t.String())
+}
+
+// clusterStudy sweeps the cluster-scale interconnect machine: node
+// counts far past the word-level machine's sharer bitmap, uniform
+// exponential backoff vs HBO remote throttling. Each cell is one
+// partitioned simulation run across `inner` PDES workers; the cells
+// themselves fan over the `pool`-wide worker pool.
+func clusterStudy(iters, pool, inner int) {
+	nodeCounts := []int{16, 64, 256}
+	policies := []machine.ClusterPolicy{machine.ClusterTATASExp, machine.ClusterHBO}
+	lat := machine.WildFireLatencies()
+	lat.C2CFar = 3400
+	lat.MemFar = 3000
+	results := make([]machine.ClusterResult, len(nodeCounts)*len(policies))
+	par.ForEach(pool, len(results), func(i int) {
+		cfg := machine.ClusterConfig{
+			Nodes:       nodeCounts[i/len(policies)],
+			CPUsPerNode: 4,
+			ClusterSize: 8,
+			Lat:         lat,
+			Policy:      policies[i%len(policies)],
+			Iters:       iters,
+			Think:       4000,
+			Hold:        600,
+			Base:        2,
+			Cap:         256,
+			RemoteCap:   4096,
+			Seed:        9,
+		}
+		results[i] = machine.RunCluster(cfg, inner)
+	})
+	t := stats.NewTable(
+		"Cluster sweep: one big machine per cell, partitioned across -sim-workers cores",
+		"Nodes", "Policy", "Acquires", "Global/acq", "Fairness", "Sim time (µs)")
+	for i, r := range results {
+		t.AddRow(
+			fmt.Sprintf("%d", nodeCounts[i/len(policies)]),
+			string(r.Policy),
+			fmt.Sprintf("%d", r.Acquires),
+			stats.F(r.GlobalPerAcquire(), 2),
+			stats.F(r.Fairness(), 2),
+			stats.F(float64(r.Elapsed)/1000, 1))
 	}
 	fmt.Print(t.String())
 }

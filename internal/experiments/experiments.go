@@ -31,6 +31,15 @@ type Options struct {
 	// back in a fixed canonical order, so tables and JSON reports are
 	// byte-identical for any width.
 	Parallel int
+	// SimWorkers is the intra-simulation PDES worker width: how many
+	// host cores one partitioned simulation (the cluster-scale machine,
+	// sim.ParEngine) may use. It composes with Parallel — Parallel fans
+	// *across* cells, SimWorkers fans *inside* one — and the product is
+	// capped at GOMAXPROCS (see simWorkersFor). Classic word-level
+	// machine cells are single-partition and ignore it. Like Parallel,
+	// any value produces byte-identical tables and JSON reports; only
+	// wall-clock time changes.
+	SimWorkers int
 }
 
 // DefaultOptions returns the settings used for the recorded results.
@@ -64,6 +73,28 @@ func (o Options) parallel() int {
 		return 1
 	}
 	return o.Parallel
+}
+
+func (o Options) simWorkers() int {
+	if o.SimWorkers < 1 {
+		return 1
+	}
+	return o.SimWorkers
+}
+
+// simWorkersFor returns the PDES worker width one of `cells` concurrent
+// simulations may use, capping the cell-level × intra-run product at
+// GOMAXPROCS (par.Compose) so the two fan-out layers compose instead of
+// oversubscribing the host. The cap only trims wall-clock concurrency:
+// results are width-independent by the PDES determinism contract, so
+// the host-dependent clamp never leaks into output bytes.
+func (o Options) simWorkersFor(cells int) int {
+	pool := o.parallel()
+	if pool > cells && cells > 0 {
+		pool = cells
+	}
+	_, inner := par.Compose(pool, o.simWorkers())
+	return inner
 }
 
 // parfor fans fn(i) for i in [0, n) over the configured worker pool.
@@ -108,6 +139,7 @@ func All() []Experiment {
 		{"ext3", "Extension: compacting guarded data onto one cache line", Ext3},
 		{"deg1", "Degradation: fault-intensity sweep on the new microbenchmark", Deg1},
 		{"deg2", "Degradation: node-count sweep under a fixed fault plan", Deg2},
+		{"clu1", "Cluster scale: backoff policies on a parallel-simulated big machine", Clu1},
 		{"cmp1", "Comparison: Table 1 measured vs paper", Cmp1},
 		{"cmp2", "Comparison: Table 2 measured vs paper", Cmp2},
 		{"cmp4", "Comparison: Table 4 measured vs paper", Cmp4},

@@ -165,6 +165,35 @@ func (c Config) Validate() error {
 // TotalCPUs returns Nodes * CPUsPerNode.
 func (c Config) TotalCPUs() int { return c.Nodes * c.CPUsPerNode }
 
+// MinCrossNodeFlight returns the smallest one-way (request-in-flight)
+// latency of any transaction that crosses nodes: half the smallest
+// cross-node transfer cost, matching the miss model's flight/service
+// split (Proc.miss charges d/2 for the request to reach the line). This
+// is the conservative-PDES lookahead the latency tree admits: no node
+// can affect another in less simulated time than this, so a partition
+// may execute that far past its neighbors' clocks without waiting.
+// The result is floored at 1ns (a zero lookahead admits no window).
+func (l Latencies) MinCrossNodeFlight() sim.Time {
+	min := l.C2CRemote
+	pick := func(v sim.Time) {
+		if v > 0 && (min <= 0 || v < min) {
+			min = v
+		}
+	}
+	pick(l.MemRemote)
+	pick(l.C2CFar)
+	pick(l.MemFar)
+	f := min / 2
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Lookahead returns the conservative parallel-simulation lookahead
+// derived from this machine's latency tree (see MinCrossNodeFlight).
+func (c Config) Lookahead() sim.Time { return c.Lat.MinCrossNodeFlight() }
+
 // WildFireLatencies is the latency calibration for the paper's 2-node Sun
 // WildFire (two E6000 cabinets, 250 MHz UltraSPARC-II). The constants are
 // chosen so the uncontested lock costs of Table 1 land on the measured

@@ -20,6 +20,33 @@ import (
 // schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// Compose reconciles the two fan-out layers — pool cells running
+// concurrently, each allowed inner PDES workers — so their product
+// never exceeds GOMAXPROCS. The inner width wins the contest for cores
+// (one big partitioned run benefits more from an extra core than one
+// more queued cell), the pool shrinks to fit, and both floor at 1.
+// Neither value affects simulation output, only wall-clock concurrency,
+// so the host-dependent clamp never breaks byte-identity.
+func Compose(pool, inner int) (int, int) {
+	if pool < 1 {
+		pool = 1
+	}
+	if inner < 1 {
+		inner = 1
+	}
+	max := runtime.GOMAXPROCS(0)
+	if inner > max {
+		inner = max
+	}
+	if pool*inner > max {
+		pool = max / inner
+		if pool < 1 {
+			pool = 1
+		}
+	}
+	return pool, inner
+}
+
 // CellPanic is re-raised on the calling goroutine when a work item
 // panics inside ForEach. The pool drains cleanly first — already-started
 // items finish, no worker goroutine leaks, the caller never hangs — and
