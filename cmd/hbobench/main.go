@@ -11,6 +11,7 @@
 //	hbobench -experiment ext2              # beyond-the-paper studies
 //	hbobench -experiment all -out results  # also write per-table files
 //	hbobench -json                         # machine-readable run report
+//	hbobench -modern                       # HBO vs CNA/HMCS-T JSON report
 //	hbobench -faults                       # degraded-mode JSON report
 //	hbobench -experiment deg1              # degradation curve tables
 //	hbobench -list                         # show available experiments
@@ -89,6 +90,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut  = flag.Bool("json", false, "emit a JSON run report of the new microbenchmark")
+		modern   = flag.Bool("modern", false, "emit a JSON run report comparing HBO against the modern NUMA locks (CNA, HMCS-T)")
 		seed     = flag.Uint64("seed", 11, "seed for the -json report run")
 		faults   = flag.Bool("faults", false, "emit a degraded-mode JSON report (implies -json)")
 		fSched   = flag.String("fault-schedule", "all", "fault schedule for -faults: "+strings.Join(fault.Schedules(), ", "))
@@ -200,8 +202,11 @@ func main() {
 		return
 	}
 
-	if *jsonOut {
+	if *jsonOut || *modern {
 		rep := experiments.MicroReport(opts, *seed)
+		if *modern {
+			rep = experiments.ModernReport(opts, *seed)
+		}
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
 			os.Exit(1)

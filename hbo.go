@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lockspec"
 	"repro/internal/obs"
 )
 
@@ -39,6 +40,13 @@ const (
 	// Cohort is a ticket-ticket cohort lock (Dice-Marathe-Shavit), the
 	// NUMA-lock lineage HBO helped start.
 	Cohort Algorithm = "COHORT"
+	// CNA is the compact NUMA-aware queue lock (Dice & Kogan, EuroSys
+	// 2019): an MCS queue whose releaser passes within its node first,
+	// parking remote waiters on a secondary queue.
+	CNA Algorithm = "CNA"
+	// HMCST is HMCS-T (Chabbi et al.), a two-level hierarchical MCS
+	// queue lock with timed-out (abortable) acquires.
+	HMCST Algorithm = "HMCS_T"
 )
 
 // AlgorithmNames lists the paper's eight algorithms in its table order.
@@ -65,14 +73,9 @@ func AllAlgorithmNames() []Algorithm {
 	return append(AlgorithmNames(), ExtendedAlgorithmNames()...)
 }
 
-// NUCAAware reports whether the algorithm exploits node locality.
-func (a Algorithm) NUCAAware() bool {
-	switch a {
-	case RH, HBO, HBOGT, HBOGTSD, HBOHier, Cohort:
-		return true
-	}
-	return false
-}
+// NUCAAware reports whether the algorithm exploits node locality,
+// derived from the lockspec registry's NUCA flag.
+func (a Algorithm) NUCAAware() bool { return lockspec.NUCAAware(string(a)) }
 
 // Runtime describes the logical NUCA topology and registers worker
 // threads. See core.Runtime.

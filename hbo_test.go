@@ -78,13 +78,14 @@ func TestNewLockTuned(t *testing.T) {
 
 func TestExtendedAlgorithmsPublic(t *testing.T) {
 	ext := hbo.ExtendedAlgorithmNames()
-	if len(ext) != 5 {
+	if len(ext) != 7 {
 		t.Fatalf("extensions = %v", ext)
 	}
-	if len(hbo.AllAlgorithmNames()) != 13 {
+	if len(hbo.AllAlgorithmNames()) != 15 {
 		t.Fatalf("AllAlgorithmNames = %v", hbo.AllAlgorithmNames())
 	}
-	if !hbo.Cohort.NUCAAware() || hbo.Ticket.NUCAAware() {
+	if !hbo.Cohort.NUCAAware() || !hbo.CNA.NUCAAware() || !hbo.HMCST.NUCAAware() ||
+		hbo.Ticket.NUCAAware() {
 		t.Error("NUCA-awareness of extensions wrong")
 	}
 	for _, a := range ext {

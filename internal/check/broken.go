@@ -177,12 +177,179 @@ func (l *brokenAbortHBO) Quiescent(m *machine.Machine) error {
 	return nil
 }
 
+// brokenCNATailDrop is a compact queue lock in CNA's shape whose empty
+// release path "optimises" the tail CAS into a plain store. The real
+// CNA (and MCS before it) must CAS the tail back to zero precisely
+// because an enqueuer can swap itself in *between* the releaser reading
+// an empty next link and clearing the tail; when the CAS fails, the
+// releaser waits for the link and hands off. The blind store loses that
+// enqueuer: its predecessor link points at a node that has already
+// left, so it spins on its grant word forever while later arrivals
+// stream past through the freed tail — a starvation/deadlock the
+// progress watchdog catches.
+type brokenCNATailDrop struct {
+	tail machine.Addr
+	next []machine.Addr // per thread, encoded tid+1
+	spin []machine.Addr // per thread grant word
+}
+
+// NewBrokenCNATailDrop builds the tail-dropping CNA-style queue lock (a
+// simlock.Factory).
+func NewBrokenCNATailDrop(m *machine.Machine, home int, cpus []int, tun simlock.Tuning) simlock.Lock {
+	l := &brokenCNATailDrop{tail: m.Alloc(home, 1)}
+	l.next = make([]machine.Addr, len(cpus))
+	l.spin = make([]machine.Addr, len(cpus))
+	for t := range cpus {
+		l.next[t] = m.Alloc(home, 1)
+		l.spin[t] = m.Alloc(home, 1)
+	}
+	return l
+}
+
+func (l *brokenCNATailDrop) Name() string { return "BROKEN_CNA_TAILDROP" }
+
+func (l *brokenCNATailDrop) Acquire(p *machine.Proc, tid int) {
+	me := uint64(tid) + 1
+	p.Store(l.next[tid], 0)
+	p.Store(l.spin[tid], 0)
+	prev := p.Swap(l.tail, me)
+	if prev == 0 {
+		return
+	}
+	// The swap-to-link gap is the race the dropped CAS was guarding.
+	// CNA's real window is a few cycles wide; the delay widens it so a
+	// small self-test budget reliably reaches the interleaving.
+	p.Delay(50)
+	p.Store(l.next[prev-1], me)
+	p.SpinUntil(l.spin[tid], func(v uint64) bool { return v != 0 })
+}
+
+func (l *brokenCNATailDrop) Release(p *machine.Proc, tid int) {
+	succ := p.Load(l.next[tid])
+	if succ == 0 {
+		// BUG: must be CAS(tail, me, 0) with a wait-for-link retry on
+		// failure; the plain store drops any enqueuer mid-swap.
+		p.Store(l.tail, 0)
+		return
+	}
+	p.Store(l.spin[succ-1], 1)
+}
+
+// Quiescent exposes a dropped waiter to the quiescence oracle on runs
+// that manage to finish anyway.
+func (l *brokenCNATailDrop) Quiescent(m *machine.Machine) error {
+	if v := m.Peek(l.tail); v != 0 {
+		return fmt.Errorf("%s: tail %d not empty at quiescence", l.Name(), v)
+	}
+	return nil
+}
+
+// brokenHMCSTLeakAbort is an abortable grant-handoff lock in HMCS-T's
+// shape whose timeout path carries the two abort bugs Chabbi et al.'s
+// model checking exists to catch:
+//
+//  1. the abort returns without the waiting→abandoned status
+//     transition, so its announcement slot stays claimed and the next
+//     releaser hands the lock to a waiter that already left;
+//  2. at the deadline it does not re-check whether the grant has
+//     already landed — the abort-during-handoff race — so a handoff
+//     delivered in that window is discarded and the lock is held by
+//     nobody.
+//
+// Both collapse the queue: every later acquirer spins behind a grant
+// no one will consume, which the progress watchdog reports. Schedules
+// that still drain expose the leaked status word to the quiescence
+// oracle instead. Like BROKEN_HBO_LEAK_ABORT it is clean under
+// blocking schedules and only fails once FaultScheduleConfig actually
+// expires timed acquires.
+type brokenHMCSTLeakAbort struct {
+	lock machine.Addr
+	stat []machine.Addr // per thread: 0 free, 1 waiting, 2 granted
+}
+
+// NewBrokenHMCSTLeakAbort builds the abort-leaking HMCS-style lock (a
+// simlock.Factory).
+func NewBrokenHMCSTLeakAbort(m *machine.Machine, home int, cpus []int, tun simlock.Tuning) simlock.Lock {
+	l := &brokenHMCSTLeakAbort{lock: m.Alloc(home, 1)}
+	l.stat = make([]machine.Addr, len(cpus))
+	for t := range cpus {
+		l.stat[t] = m.Alloc(home, 1)
+	}
+	return l
+}
+
+func (l *brokenHMCSTLeakAbort) Name() string { return "BROKEN_HMCST_LEAK_ABORT" }
+
+func (l *brokenHMCSTLeakAbort) Acquire(p *machine.Proc, tid int) {
+	l.acquire(p, tid, 0)
+}
+
+// AcquireTimeout implements simlock.TimedLock — incorrectly, on abort.
+func (l *brokenHMCSTLeakAbort) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	if d <= 0 {
+		l.acquire(p, tid, 0)
+		return true
+	}
+	return l.acquire(p, tid, p.Now()+d)
+}
+
+func (l *brokenHMCSTLeakAbort) acquire(p *machine.Proc, tid int, deadline sim.Time) bool {
+	my := uint64(tid) + 1
+	if p.CAS(l.lock, 0, my) == 0 {
+		return true
+	}
+	p.Store(l.stat[tid], 1) // announce: waiting
+	for {
+		if deadline != 0 && p.Now() >= deadline {
+			// BUG 1: no waiting→abandoned transition — the slot stays
+			// announced and a releaser will grant it to nobody.
+			// BUG 2: no final grant check — a handoff that landed since
+			// the last poll is silently discarded.
+			return false
+		}
+		if p.Load(l.stat[tid]) == 2 { // granted: the releaser handed over
+			p.Store(l.stat[tid], 0)
+			return true
+		}
+		p.Delay(64)
+	}
+}
+
+func (l *brokenHMCSTLeakAbort) Release(p *machine.Proc, tid int) {
+	// Hand off to the first announced waiter, HMCS-style: transfer
+	// ownership, then flip its status to granted.
+	for t := range l.stat {
+		if p.Load(l.stat[t]) == 1 {
+			p.Store(l.lock, uint64(t)+1)
+			p.Store(l.stat[t], 2)
+			return
+		}
+	}
+	p.Store(l.lock, 0)
+}
+
+// Quiescent exposes the leaked announcement to the quiescence oracle.
+func (l *brokenHMCSTLeakAbort) Quiescent(m *machine.Machine) error {
+	if v := m.Peek(l.lock); v != 0 {
+		return fmt.Errorf("%s: lock word %d not free at quiescence", l.Name(), v)
+	}
+	for t, a := range l.stat {
+		if v := m.Peek(a); v != 0 {
+			return fmt.Errorf("%s: status[%d] = %d at quiescence (leaked by an abort)",
+				l.Name(), t, v)
+		}
+	}
+	return nil
+}
+
 // BrokenNames lists the injected-bug locks with their factories.
 func BrokenNames() map[string]simlock.Factory {
 	return map[string]simlock.Factory{
-		"BROKEN_TATAS_RACE":     NewBrokenTATAS,
-		"BROKEN_HBO_SKIPCAS":    NewBrokenHBOSkipCAS,
-		"BROKEN_HBO_LEAK_ABORT": NewBrokenAbortHBO,
+		"BROKEN_TATAS_RACE":       NewBrokenTATAS,
+		"BROKEN_HBO_SKIPCAS":      NewBrokenHBOSkipCAS,
+		"BROKEN_HBO_LEAK_ABORT":   NewBrokenAbortHBO,
+		"BROKEN_CNA_TAILDROP":     NewBrokenCNATailDrop,
+		"BROKEN_HMCST_LEAK_ABORT": NewBrokenHMCSTLeakAbort,
 	}
 }
 
@@ -193,22 +360,27 @@ func BrokenNames() map[string]simlock.Factory {
 // the timeout path.
 func SelfTest(seed uint64, b Budget) []string {
 	var undetected []string
-	for _, name := range []string{"BROKEN_TATAS_RACE", "BROKEN_HBO_SKIPCAS"} {
+	for _, name := range []string{"BROKEN_TATAS_RACE", "BROKEN_HBO_SKIPCAS", "BROKEN_CNA_TAILDROP"} {
 		lr := ExploreLock(name, BrokenNames()[name], seed, b)
 		if lr.Passed() {
 			undetected = append(undetected, name)
 		}
 	}
-	lr := exploreLock("BROKEN_HBO_LEAK_ABORT", NewBrokenAbortHBO, seed, b,
-		func(s, tb uint64) ScheduleConfig {
-			cfg, err := FaultScheduleConfig("pause", s, tb)
-			if err != nil {
-				panic(err)
-			}
-			return cfg
-		})
-	if lr.Passed() {
-		undetected = append(undetected, "BROKEN_HBO_LEAK_ABORT")
+	// The abort-path mutants fail only once timed acquires actually
+	// expire; run them under the fault-mode configuration (paused
+	// holders plus a small timeout budget).
+	faultCfg := func(s, tb uint64) ScheduleConfig {
+		cfg, err := FaultScheduleConfig("pause", s, tb)
+		if err != nil {
+			panic(err)
+		}
+		return cfg
+	}
+	for _, name := range []string{"BROKEN_HBO_LEAK_ABORT", "BROKEN_HMCST_LEAK_ABORT"} {
+		lr := exploreLock(name, BrokenNames()[name], seed, b, faultCfg)
+		if lr.Passed() {
+			undetected = append(undetected, name)
+		}
 	}
 	return undetected
 }

@@ -1,29 +1,19 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/lockspec"
+)
 
 // Tuning holds the backoff constants for the native locks. Units are
 // iterations of the busy-wait loop in spinDelay; the effective duration
 // depends on the host CPU, exactly as the paper notes ("backoff
 // parameters must be tuned by trial and error for each individual
-// architecture").
-type Tuning struct {
-	BackoffBase       int
-	BackoffFactor     int
-	BackoffCap        int
-	RemoteBackoffBase int
-	RemoteBackoffCap  int
-	GetAngryLimit     int
-	// RH-specific knobs (see internal/simlock for their meaning).
-	RHRemoteBase  int
-	RHRemoteCap   int
-	RHFairTries   int
-	RHGlobalEvery int
-	// YieldThreshold: spinDelay calls runtime.Gosched once per this many
-	// loop iterations so oversubscribed GOMAXPROCS configurations make
-	// progress. 0 selects the default.
-	YieldThreshold int
-}
+// architecture"). The type is shared with internal/simlock via
+// lockspec, so one value can configure an algorithm's twin in either
+// stack.
+type Tuning = lockspec.Tuning
 
 // DefaultTuning returns constants that behave reasonably on commodity
 // hardware.
@@ -41,13 +31,6 @@ func DefaultTuning() Tuning {
 		RHGlobalEvery:     64,
 		YieldThreshold:    1024,
 	}
-}
-
-func (t Tuning) yieldThreshold() int {
-	if t.YieldThreshold <= 0 {
-		return 1024
-	}
-	return t.YieldThreshold
 }
 
 // spinDelay busy-waits for roughly n loop iterations, yielding the

@@ -15,6 +15,8 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/lockspec"
 )
 
 // Runtime holds the logical topology and the thread registry that locks
@@ -126,42 +128,32 @@ func (lk Locker) Lock() { lk.L.Acquire(lk.T) }
 // Unlock releases the underlying lock for the bound thread.
 func (lk Locker) Unlock() { lk.L.Release(lk.T) }
 
-// Names lists the algorithms in the paper's table order.
-func Names() []string {
-	return []string{"TATAS", "TATAS_EXP", "MCS", "CLH", "RH", "HBO", "HBO_GT", "HBO_GT_SD"}
-}
+// Names lists the algorithms in the paper's table order, derived from
+// the lockspec registry.
+func Names() []string { return lockspec.PaperNames() }
 
 // ExtendedNames lists the additional algorithms beyond the paper's
-// eight; see internal/simlock.ExtendedNames for their provenance.
-func ExtendedNames() []string {
-	return []string{"TICKET", "ANDERSON", "REACTIVE", "HBO_HIER", "COHORT"}
-}
+// eight (simulator-only protocols omitted); see
+// internal/simlock.ExtendedNames for their provenance.
+func ExtendedNames() []string { return lockspec.ExtendedNames(false) }
 
 // AllNames lists the paper's eight plus the extensions.
-func AllNames() []string { return append(Names(), ExtendedNames()...) }
+func AllNames() []string { return lockspec.AllNames(false) }
 
-// New builds the named lock on runtime r with tuning tun. It panics on
-// an unknown name.
+// New builds the named lock on runtime r with tuning tun: spec-backed
+// algorithms instantiate through FromSpec, the rest keep hand-written
+// native implementations. It panics on an unknown name.
 func New(name string, r *Runtime, tun Tuning) Lock {
+	if s := lockspec.Lookup(name); s != nil && s.Backed() && !s.SimOnly {
+		return FromSpec(s, r, tun)
+	}
 	switch name {
-	case "TATAS":
-		return NewTATAS()
-	case "TATAS_EXP":
-		return NewTATASExp(tun)
 	case "MCS":
 		return NewMCS(r)
 	case "CLH":
 		return NewCLH(r)
 	case "RH":
 		return NewRH(r, tun)
-	case "HBO":
-		return NewHBO(r, tun)
-	case "HBO_GT":
-		return NewHBOGT(r, tun)
-	case "HBO_GT_SD":
-		return NewHBOGTSD(r, tun)
-	case "TICKET":
-		return NewTicket()
 	case "ANDERSON":
 		return NewAnderson(r)
 	case "REACTIVE":

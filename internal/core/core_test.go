@@ -284,11 +284,11 @@ func TestSingleNodeRuntimeAllLocks(t *testing.T) {
 
 func TestTuningYieldThresholdDefault(t *testing.T) {
 	var z Tuning
-	if z.yieldThreshold() != 1024 {
-		t.Fatalf("zero Tuning yield threshold = %d", z.yieldThreshold())
+	if z.YieldEvery() != 1024 {
+		t.Fatalf("zero Tuning yield threshold = %d", z.YieldEvery())
 	}
 	tn := Tuning{YieldThreshold: 7}
-	if tn.yieldThreshold() != 7 {
+	if tn.YieldEvery() != 7 {
 		t.Fatalf("explicit yield threshold ignored")
 	}
 }

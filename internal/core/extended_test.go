@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/lockspec"
 )
 
 func TestExtendedRegistryNative(t *testing.T) {
@@ -100,7 +102,7 @@ func TestHBOHierOnHierarchicalRuntime(t *testing.T) {
 // concurrency by checking the final ticket counts match.
 func TestTicketFIFONative(t *testing.T) {
 	r := newTestRuntime(1, 4)
-	l := NewTicket()
+	l := NewTicket().(specQ)
 	var wg sync.WaitGroup
 	const iters = 500
 	for w := 0; w < 4; w++ {
@@ -115,8 +117,13 @@ func TestTicketFIFONative(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if l.next.v.Load() != 4*iters || l.owner.v.Load() != 4*iters {
-		t.Fatalf("tickets %d/%d, want %d", l.next.v.Load(), l.owner.v.Load(), 4*iters)
+	next := l.peek(l.spec.WordIndex("next"), 0)
+	owner := l.peek(l.spec.WordIndex("owner"), 0)
+	if next != 4*iters || owner != 4*iters {
+		t.Fatalf("tickets %d/%d, want %d", next, owner, 4*iters)
+	}
+	if err := l.Quiescent(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -254,7 +261,17 @@ func TestNativeBarrierValidation(t *testing.T) {
 }
 
 func TestTryAcquire(t *testing.T) {
-	names := []string{"TATAS", "TATAS_EXP", "MCS", "RH", "HBO", "HBO_GT", "HBO_GT_SD", "HBO_HIER"}
+	// The membership is the registry's Try flag, not a hand list, so a
+	// new try-capable algorithm is covered the day it is registered.
+	var names []string
+	for _, s := range lockspec.All() {
+		if s.Try && !s.SimOnly {
+			names = append(names, s.Name)
+		}
+	}
+	if len(names) < 8 {
+		t.Fatalf("registry lists only %d try-capable native locks", len(names))
+	}
 	for _, name := range names {
 		name := name
 		t.Run(name, func(t *testing.T) {
@@ -286,7 +303,7 @@ func TestTryAcquire(t *testing.T) {
 
 func TestTryAcquireUnderContention(t *testing.T) {
 	r := newTestRuntime(2, 8)
-	l := NewHBOGTSD(r, DefaultTuning())
+	l := NewHBOGTSD(r, DefaultTuning()).(TryLocker)
 	var wg sync.WaitGroup
 	hits := int64(0)
 	misses := int64(0)
@@ -316,7 +333,7 @@ func TestTryAcquireUnderContention(t *testing.T) {
 
 func TestQueueLocksDoNotOfferTry(t *testing.T) {
 	r := newTestRuntime(2, 2)
-	for _, name := range []string{"CLH", "TICKET", "ANDERSON", "COHORT", "REACTIVE"} {
+	for _, name := range []string{"CLH", "TICKET", "ANDERSON", "COHORT", "REACTIVE", "HMCS_T"} {
 		if _, ok := New(name, r, DefaultTuning()).(TryLocker); ok {
 			t.Errorf("%s unexpectedly offers TryAcquire", name)
 		}
@@ -325,7 +342,7 @@ func TestQueueLocksDoNotOfferTry(t *testing.T) {
 
 func TestAcquireTimeout(t *testing.T) {
 	r := newTestRuntime(2, 2)
-	l := NewHBOGTSD(r, DefaultTuning())
+	l := NewHBOGTSD(r, DefaultTuning()).(TryLocker)
 	a := r.RegisterThread(0)
 	b := r.RegisterThread(1)
 
@@ -349,7 +366,7 @@ func TestAcquireTimeout(t *testing.T) {
 
 func TestAcquireTimeoutUnderChurn(t *testing.T) {
 	r := newTestRuntime(2, 4)
-	l := NewTATASExp(DefaultTuning())
+	l := NewTATASExp(DefaultTuning()).(TryLocker)
 	var wg sync.WaitGroup
 	var got int64
 	for w := 0; w < 4; w++ {

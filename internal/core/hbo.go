@@ -1,9 +1,12 @@
 package core
 
-import (
-	"fmt"
-	"time"
-)
+import "repro/internal/lockspec"
+
+// The HBO family (HBO, HBO_GT, HBO_GT_SD) is spec-backed: the paper's
+// Figure 1/2 protocol lives once in internal/lockspec and instantiates
+// here through FromSpec. What remains in this file are the lock-word
+// encodings, shared with the hand-written hierarchical variant
+// (hbohier.go), and the constructors.
 
 // HBO-family lock-word values: 0 is free, otherwise node id + 1.
 const hboFree uint64 = 0
@@ -14,268 +17,19 @@ func hboNodeVal(node int) uint64 { return uint64(node) + 1 }
 // otherwise holds an opaque non-zero tag identifying the lock.
 const hboDummy uint64 = 0
 
-type hboMode int
+// NewHBO returns an unlocked HBO lock (Figure 1): the acquiring thread
+// cas-es its node id into the lock word; contenders in the owner's node
+// back off gently, contenders in other nodes back off hard, so the lock
+// (and the data it guards) tends to stay within a node.
+func NewHBO(r *Runtime, tun Tuning) Lock { return FromSpec(lockspec.Lookup("HBO"), r, tun) }
 
-const (
-	modeHBO hboMode = iota
-	modeGT
-	modeGTSD
-)
+// NewHBOGT returns an unlocked HBO lock with global-traffic throttling:
+// one word per node that a remote-spinning "node winner" uses to hold
+// its neighbors back.
+func NewHBOGT(r *Runtime, tun Tuning) Lock { return FromSpec(lockspec.Lookup("HBO_GT"), r, tun) }
 
-// HBO is the paper's hierarchical backoff lock (Figure 1): the acquiring
-// thread cas-es its node id into the lock word; contenders in the
-// owner's node back off gently, contenders in other nodes back off hard,
-// so the lock (and the data it guards) tends to stay within a node.
-//
-// The GT variant adds per-node traffic throttling (one word per node
-// that a remote-spinning "node winner" uses to hold its neighbors back),
-// and GT_SD adds the node-centric starvation detection of Figure 2.
-type HBO struct {
-	name string
-	mode hboMode
-	word paddedUint64
-	tag  uint64 // non-zero identity stored in is_spinning words
-	// isSpinning[n] is node n's throttle word (GT modes).
-	isSpinning []paddedUint64
-	tun        Tuning
-	probeHolder
-}
-
-func newHBOVariant(name string, mode hboMode, r *Runtime, tun Tuning) *HBO {
-	l := &HBO{name: name, mode: mode, tun: tun, tag: lockIDs.Add(1)}
-	if mode != modeHBO {
-		l.isSpinning = make([]paddedUint64, r.nodes)
-	}
-	return l
-}
-
-// NewHBO returns an unlocked HBO lock.
-func NewHBO(r *Runtime, tun Tuning) *HBO { return newHBOVariant("HBO", modeHBO, r, tun) }
-
-// NewHBOGT returns an unlocked HBO lock with global-traffic throttling.
-func NewHBOGT(r *Runtime, tun Tuning) *HBO { return newHBOVariant("HBO_GT", modeGT, r, tun) }
-
-// NewHBOGTSD returns an unlocked HBO_GT lock with starvation detection.
-func NewHBOGTSD(r *Runtime, tun Tuning) *HBO {
-	return newHBOVariant("HBO_GT_SD", modeGTSD, r, tun)
-}
-
-// Name returns the variant name.
-func (l *HBO) Name() string { return l.name }
-
-// Acquire implements hbo_acquire (Figure 1, lines 1–10). The fast path
-// is a single CAS, so an uncontested HBO acquire costs the same as
-// TATAS — the paper's low-latency design goal.
-func (l *HBO) Acquire(t *Thread) {
-	l.acquire(t, time.Time{})
-}
-
-// AcquireFor is the timed, abortable acquire: the same protocol with
-// the deadline checked at backoff boundaries. d <= 0 means no bound.
-// An abort restores every protocol invariant — the lock word is never
-// claimed, the aborting waiter's throttle word is reset and any nodes
-// the GT_SD anger logic stopped are released — so Quiescent holds
-// after any mix of aborts.
-func (l *HBO) AcquireFor(t *Thread, d time.Duration) bool {
-	if d <= 0 {
-		l.acquire(t, time.Time{})
-		return true
-	}
-	return l.acquire(t, time.Now().Add(d))
-}
-
-// acquire runs the protocol; a zero deadline means unbounded (always
-// returns true).
-func (l *HBO) acquire(t *Thread, deadline time.Time) bool {
-	my := hboNodeVal(t.node)
-	if l.mode != modeHBO {
-		if !l.waitThrottled(t, deadline) {
-			return false
-		}
-	}
-	tmp := l.cas(my)
-	if tmp == hboFree {
-		return true
-	}
-	return l.acquireSlowpath(t, tmp, deadline)
-}
-
-// waitThrottled waits while this node's throttle word names us, giving
-// up at the deadline (zero deadline = wait forever).
-func (l *HBO) waitThrottled(t *Thread, deadline time.Time) bool {
-	y := l.tun.yieldThreshold()
-	timed := !deadline.IsZero()
-	for l.isSpinning[t.node].v.Load() == l.tag {
-		if timed && time.Now().After(deadline) {
-			return false
-		}
-		spinDelay(l.tun.BackoffBase, y)
-	}
-	return true
-}
-
-// cas mirrors the paper's cas(L, FREE, my): it returns FREE exactly when
-// the lock was obtained, else the observed owner value. A failed
-// CompareAndSwap that then observes FREE (the owner released in between)
-// retries, because returning FREE without owning would be a false
-// acquisition.
-func (l *HBO) cas(my uint64) uint64 {
-	for {
-		if l.word.v.CompareAndSwap(hboFree, my) {
-			return hboFree
-		}
-		if v := l.word.v.Load(); v != hboFree {
-			return v
-		}
-	}
-}
-
-// acquireSlowpath implements Figure 1 lines 17–61 (with the Figure 2
-// replacement in GT_SD mode). A zero deadline means unbounded.
-func (l *HBO) acquireSlowpath(t *Thread, tmp uint64, deadline time.Time) bool {
-	my := hboNodeVal(t.node)
-	gt := l.mode != modeHBO
-	y := l.tun.yieldThreshold()
-	timed := !deadline.IsZero()
-	expired := func() bool { return timed && time.Now().After(deadline) }
-
-	l.contended(t)
-	var spins int64
-	defer func() { l.spun(t, spins) }()
-
-	getAngry := 0
-	angry := false
-	var stopped []int
-	releaseStopped := func() {
-		for _, n := range stopped {
-			l.isSpinning[n].v.Store(hboDummy)
-		}
-		stopped = stopped[:0]
-	}
-
-start:
-	if tmp == my { // lock held in our node: gentle backoff
-		b := l.tun.BackoffBase
-		for {
-			if expired() {
-				return false // local waiters publish no auxiliary state
-			}
-			spins++
-			backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
-			tmp = l.cas(my)
-			if tmp == hboFree {
-				return true
-			}
-			if tmp != my {
-				backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
-				goto restart
-			}
-		}
-	}
-
-	// Lock held in a remote node: hard backoff; in GT modes, throttle
-	// our neighbors while we are the node winner.
-	{
-		b := l.tun.RemoteBackoffBase
-		bcap := l.tun.RemoteBackoffCap
-		if gt {
-			l.isSpinning[t.node].v.Store(l.tag)
-		}
-		for {
-			if expired() {
-				if gt {
-					// Abort mirrors the successful exit so the abandoned
-					// attempt leaves the protocol idle.
-					l.isSpinning[t.node].v.Store(hboDummy)
-					releaseStopped()
-				}
-				return false
-			}
-			spins++
-			backoff(&b, l.tun.BackoffFactor, bcap, y)
-			tmp = l.cas(my)
-			if tmp == hboFree {
-				if gt {
-					l.isSpinning[t.node].v.Store(hboDummy)
-					releaseStopped()
-				}
-				return true
-			}
-			if tmp == my {
-				if gt {
-					l.isSpinning[t.node].v.Store(hboDummy)
-					releaseStopped()
-				}
-				goto restart
-			}
-			if l.mode == modeGTSD {
-				getAngry++
-				if getAngry >= l.tun.GetAngryLimit {
-					getAngry = 0
-					owner := int(tmp) - 1
-					if owner >= 0 && owner < len(l.isSpinning) &&
-						owner != t.node && !containsInt(stopped, owner) {
-						stopped = append(stopped, owner)
-						l.isSpinning[owner].v.Store(l.tag)
-					}
-					if !angry {
-						angry = true
-						b = l.tun.BackoffBase
-						bcap = l.tun.BackoffCap
-					}
-				}
-			}
-		}
-	}
-
-restart:
-	// No auxiliary state is held here: both jumps to restart reset the
-	// throttle word and the stopped list first.
-	if gt {
-		if !l.waitThrottled(t, deadline) {
-			return false
-		}
-	}
-	tmp = l.cas(my)
-	if tmp == hboFree {
-		return true
-	}
-	if expired() {
-		return false
-	}
-	goto start
-}
-
-// Release implements hbo_release: a single store.
-func (l *HBO) Release(t *Thread) { l.word.v.Store(hboFree) }
-
-// InjectWord overwrites the raw lock word — a fault-injection probe for
-// the correctness harness (internal/check), which feeds both HBO twins
-// the same corrupted owner encodings and compares survival. Not part of
-// the lock algorithm.
-func (l *HBO) InjectWord(v uint64) { l.word.v.Store(v) }
-
-// Quiescent verifies the lock's shared state is fully idle: the lock
-// word is free and every per-node throttle word has returned to
-// hboDummy. Call only when no acquires are in flight.
-func (l *HBO) Quiescent() error {
-	if v := l.word.v.Load(); v != hboFree {
-		return fmt.Errorf("%s: lock word %d not free at quiescence", l.name, v)
-	}
-	for n := range l.isSpinning {
-		if v := l.isSpinning[n].v.Load(); v != hboDummy {
-			return fmt.Errorf("%s: is_spinning[%d] = %d at quiescence (node left throttled)",
-				l.name, n, v)
-		}
-	}
-	return nil
-}
-
-func containsInt(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
+// NewHBOGTSD returns an unlocked HBO_GT lock with the node-centric
+// starvation detection of Figure 2.
+func NewHBOGTSD(r *Runtime, tun Tuning) Lock {
+	return FromSpec(lockspec.Lookup("HBO_GT_SD"), r, tun)
 }

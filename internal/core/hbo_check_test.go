@@ -27,7 +27,7 @@ func TestHBOQuiescentAfterStress(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			const threads, iters = 8, 150
 			r := NewRuntime(2, threads)
-			l := New(name, r, angryTestTuning()).(*HBO)
+			l := New(name, r, angryTestTuning()).(specTimedTryQI)
 			var wg sync.WaitGroup
 			counter := 0
 			for i := 0; i < threads; i++ {
@@ -59,7 +59,7 @@ func TestHBOQuiescentAfterStress(t *testing.T) {
 // out and completes once the word clears.
 func TestHBOGTSDCorruptedOwnerSurvives(t *testing.T) {
 	r := NewRuntime(2, 2)
-	l := NewHBOGTSD(r, angryTestTuning())
+	l := NewHBOGTSD(r, angryTestTuning()).(specTimedTryQI)
 	l.InjectWord(hboNodeVal(99)) // owner 99 on a 2-node runtime
 
 	th := r.RegisterThread(0)

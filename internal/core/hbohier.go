@@ -56,7 +56,7 @@ func (l *HBOHier) Acquire(t *Thread) {
 
 func (l *HBOHier) acquireSlowpath(t *Thread, tmp uint64) {
 	my := hboNodeVal(t.node)
-	y := l.tun.yieldThreshold()
+	y := l.tun.YieldEvery()
 	l.contended(t)
 	var spins int64
 	for {

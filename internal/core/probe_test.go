@@ -86,8 +86,8 @@ func TestProbeRemovable(t *testing.T) {
 	rt := NewRuntime(1, 2)
 	l := NewTATAS()
 	p := &countProbe{}
-	l.SetProbe(p)
-	l.SetProbe(nil)
+	l.(Probed).SetProbe(p)
+	l.(Probed).SetProbe(nil)
 	t0 := rt.RegisterThread(0)
 	l.Acquire(t0)
 	l.Release(t0)

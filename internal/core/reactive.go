@@ -7,9 +7,13 @@ package core
 type Reactive struct {
 	mode    paddedUint64 // 0 = spin, 1 = queue in front of the word
 	counter paddedUint64 // hysteresis, written only while holding
-	tatas   *TATASExp
-	mcs     *MCS
-	queued  []bool
+	// word is the TATAS_EXP-style lock word that carries mutual
+	// exclusion in both modes.
+	word   paddedUint64
+	tun    Tuning
+	mcs    *MCS
+	queued []bool
+	probeHolder
 }
 
 // Hysteresis thresholds (see internal/simlock/reactive.go).
@@ -21,17 +25,38 @@ const (
 // NewReactive returns an unlocked reactive lock.
 func NewReactive(r *Runtime, tun Tuning) *Reactive {
 	return &Reactive{
-		tatas:  NewTATASExp(tun),
+		tun:    tun,
 		mcs:    NewMCS(r),
 		queued: make([]bool, r.maxThreads),
 	}
 }
 
-// SetProbe cascades the probe to the inner TATAS word and MCS queue, so
-// a queued-then-contended acquire may fire Contended twice (see Probe).
+// SetProbe cascades the probe to the spin word and the MCS queue, so a
+// queued-then-contended acquire may fire Contended twice (see Probe).
 func (l *Reactive) SetProbe(p Probe) {
-	l.tatas.SetProbe(p)
+	l.probeHolder.SetProbe(p)
 	l.mcs.SetProbe(p)
+}
+
+// spinSlowpath is the TATAS_EXP contention loop (exponential backoff
+// between test&set attempts), inlined here so the spin mode matches the
+// spec-backed TATAS_EXP's behavior without reaching into it.
+func (l *Reactive) spinSlowpath(t *Thread) {
+	l.contended(t)
+	b := l.tun.BackoffBase
+	y := l.tun.YieldEvery()
+	var spins int64
+	for {
+		spins++
+		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
+		if l.word.v.Load() != 0 {
+			continue
+		}
+		if l.word.v.Swap(1) == 0 {
+			l.spun(t, spins)
+			return
+		}
+	}
 }
 
 // Name returns "REACTIVE".
@@ -44,9 +69,9 @@ func (l *Reactive) Acquire(t *Thread) {
 	if viaQueue {
 		l.mcs.Acquire(t)
 	}
-	contended := l.tatas.word.v.Swap(1) != 0
+	contended := l.word.v.Swap(1) != 0
 	if contended {
-		l.tatas.acquireSlowpath(t)
+		l.spinSlowpath(t)
 	}
 	// Bookkeeping while holding the lock.
 	c := l.counter.v.Load()
@@ -76,7 +101,7 @@ func (l *Reactive) Acquire(t *Thread) {
 
 // Release unlocks through the protocol the caller acquired with.
 func (l *Reactive) Release(t *Thread) {
-	l.tatas.word.v.Store(0)
+	l.word.v.Store(0)
 	if l.queued[t.id] {
 		l.mcs.Release(t)
 	}

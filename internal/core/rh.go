@@ -75,7 +75,7 @@ func (l *RH) acquireSlowpath(t *Thread) {
 	node := t.node
 	my := &l.copies[node].v
 	val := rhThreadVal(t.id)
-	y := l.tun.yieldThreshold()
+	y := l.tun.YieldEvery()
 	l.waiters[node].v.Add(1)
 	defer l.waiters[node].v.Add(^uint64(0))
 
@@ -113,7 +113,7 @@ func (l *RH) remoteSpin(t *Thread) int64 {
 	other := &l.copies[1-node].v
 	my := &l.copies[node].v
 	val := rhThreadVal(t.id)
-	y := l.tun.yieldThreshold()
+	y := l.tun.YieldEvery()
 	b := l.tun.RHRemoteBase
 	tries := 0
 	var spins int64

@@ -164,7 +164,8 @@ func TestSDAngerFiresNative(t *testing.T) {
 	tun.GetAngryLimit = 2
 	tun.RemoteBackoffBase = 64
 	tun.RemoteBackoffCap = 128
-	l := NewHBOGTSD(r, tun)
+	l := NewHBOGTSD(r, tun).(specTimedTryQI)
+	spinIdx := l.spec.WordIndex("is_spinning")
 	holder := r.RegisterThread(0)
 	angry := r.RegisterThread(1)
 
@@ -174,7 +175,7 @@ func TestSDAngerFiresNative(t *testing.T) {
 		acquired = true
 		// The anger path stopped node 0; releasing must reopen it.
 		l.Release(angry)
-		if l.isSpinning[0].v.Load() != hboDummy {
+		if l.peek(spinIdx, 0) != hboDummy {
 			// is_spinning is cleared on acquire, before release.
 			t.Error("stopped node not released after angry acquire")
 		}

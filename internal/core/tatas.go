@@ -1,88 +1,14 @@
 package core
 
-import "runtime"
+import "repro/internal/lockspec"
 
-// TATAS is the traditional test-and-test&set lock. Storage is one word;
-// cost does not grow with the number of threads.
-type TATAS struct {
-	_    cacheLinePad
-	word paddedUint64
-	probeHolder
-}
+// TATAS and TATAS_EXP are spec-backed (internal/lockspec); only the
+// constructors remain here. Storage is one word; cost does not grow
+// with the number of threads.
 
-// NewTATAS returns an unlocked TATAS lock.
-func NewTATAS() *TATAS { return &TATAS{} }
+// NewTATAS returns an unlocked test-and-test&set lock.
+func NewTATAS() Lock { return FromSpec(lockspec.Lookup("TATAS"), nil, DefaultTuning()) }
 
-// Name returns "TATAS".
-func (l *TATAS) Name() string { return "TATAS" }
-
-// Acquire spins until the lock is obtained.
-func (l *TATAS) Acquire(t *Thread) {
-	if l.word.v.Swap(1) == 0 {
-		return
-	}
-	l.acquireSlowpath(t)
-}
-
-func (l *TATAS) acquireSlowpath(t *Thread) {
-	l.contended(t)
-	var spins int64
-	for {
-		// Test phase: read until the lock looks free.
-		for l.word.v.Load() != 0 {
-			spins++
-			runtime.Gosched()
-		}
-		if l.word.v.Swap(1) == 0 {
-			l.spun(t, spins)
-			return
-		}
-	}
-}
-
-// Release unlocks.
-func (l *TATAS) Release(t *Thread) { l.word.v.Store(0) }
-
-// TATASExp is TATAS with Ethernet-style exponential backoff between
-// test&set attempts.
-type TATASExp struct {
-	_    cacheLinePad
-	word paddedUint64
-	tun  Tuning
-	probeHolder
-}
-
-// NewTATASExp returns an unlocked TATAS_EXP lock.
-func NewTATASExp(tun Tuning) *TATASExp { return &TATASExp{tun: tun} }
-
-// Name returns "TATAS_EXP".
-func (l *TATASExp) Name() string { return "TATAS_EXP" }
-
-// Acquire obtains the lock, backing off exponentially under contention.
-func (l *TATASExp) Acquire(t *Thread) {
-	if l.word.v.Swap(1) == 0 {
-		return
-	}
-	l.acquireSlowpath(t)
-}
-
-func (l *TATASExp) acquireSlowpath(t *Thread) {
-	l.contended(t)
-	b := l.tun.BackoffBase
-	y := l.tun.yieldThreshold()
-	var spins int64
-	for {
-		spins++
-		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
-		if l.word.v.Load() != 0 {
-			continue
-		}
-		if l.word.v.Swap(1) == 0 {
-			l.spun(t, spins)
-			return
-		}
-	}
-}
-
-// Release unlocks.
-func (l *TATASExp) Release(t *Thread) { l.word.v.Store(0) }
+// NewTATASExp returns an unlocked TATAS lock with Ethernet-style
+// exponential backoff between test&set attempts.
+func NewTATASExp(tun Tuning) Lock { return FromSpec(lockspec.Lookup("TATAS_EXP"), nil, tun) }

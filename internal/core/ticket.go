@@ -1,54 +1,18 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
 
-// Ticket is the classic ticket lock: fetch-and-increment takes a ticket;
-// the release publishes the next number. FIFO-fair and two words of
-// storage, but every waiter re-reads the grant word on each handover.
-type Ticket struct {
-	next  paddedUint64
-	owner paddedUint64
-	probeHolder
-}
+	"repro/internal/lockspec"
+)
+
+// The ticket lock is spec-backed (internal/lockspec): fetch-and-increment
+// takes a ticket; the release publishes the next number. FIFO-fair and
+// two words of storage, but every waiter re-reads the grant word on each
+// handover. This file keeps its constructor and the Anderson array lock.
 
 // NewTicket returns an unlocked ticket lock.
-func NewTicket() *Ticket { return &Ticket{} }
-
-// Name returns "TICKET".
-func (l *Ticket) Name() string { return "TICKET" }
-
-// Acquire takes a ticket and waits for its turn, spinning proportionally
-// to the number of waiters ahead.
-func (l *Ticket) Acquire(t *Thread) {
-	my := l.next.v.Add(1) - 1
-	if l.owner.v.Load() == my {
-		return
-	}
-	l.contended(t)
-	var spins int64
-	for {
-		cur := l.owner.v.Load()
-		if cur == my {
-			l.spun(t, spins)
-			return
-		}
-		spins++
-		ahead := int(my - cur)
-		if ahead < 1 {
-			ahead = 1
-		}
-		spinDelay(ahead*16, 1024)
-		// The proportional delay alone never reaches spinDelay's yield
-		// threshold when few waiters are ahead, so a host with fewer
-		// CPUs than contenders would strand a preempted lock holder
-		// behind quantum-burning spinners. One yield per grant probe
-		// guarantees progress; with idle CPUs it is nearly free.
-		runtime.Gosched()
-	}
-}
-
-// Release grants the next ticket.
-func (l *Ticket) Release(t *Thread) { l.owner.v.Add(1) }
+func NewTicket() Lock { return FromSpec(lockspec.Lookup("TICKET"), nil, DefaultTuning()) }
 
 // Anderson is Anderson's array-based queue lock: contenders claim slots
 // in a circular flag array and spin each on their own slot.

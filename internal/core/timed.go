@@ -1,8 +1,9 @@
 package core
 
 import (
-	"runtime"
 	"time"
+
+	"repro/internal/lockspec"
 )
 
 // TimedLock is implemented by native locks with a genuinely timed,
@@ -26,63 +27,9 @@ type TimedLock interface {
 	AcquireFor(t *Thread, d time.Duration) bool
 }
 
-// TimedNames lists the native locks that implement TimedLock.
-func TimedNames() []string { return []string{"TATAS", "TATAS_EXP", "HBO", "HBO_GT", "HBO_GT_SD"} }
-
-// AcquireFor is the timed TATAS acquire. An abort needs no cleanup: a
-// failed tas writes 1 over an already-set word.
-func (l *TATAS) AcquireFor(t *Thread, d time.Duration) bool {
-	if d <= 0 {
-		l.Acquire(t)
-		return true
-	}
-	deadline := time.Now().Add(d)
-	for {
-		if l.word.v.Swap(1) == 0 {
-			return true
-		}
-		for l.word.v.Load() != 0 {
-			if time.Now().After(deadline) {
-				return false
-			}
-			runtime.Gosched()
-		}
-	}
-}
-
-// AcquireFor is the timed TATAS_EXP acquire: the usual exponential
-// backoff with the deadline checked at every backoff boundary.
-func (l *TATASExp) AcquireFor(t *Thread, d time.Duration) bool {
-	if d <= 0 {
-		l.Acquire(t)
-		return true
-	}
-	if l.word.v.Swap(1) == 0 {
-		return true
-	}
-	deadline := time.Now().Add(d)
-	b := l.tun.BackoffBase
-	y := l.tun.yieldThreshold()
-	for {
-		if time.Now().After(deadline) {
-			return false
-		}
-		backoff(&b, l.tun.BackoffFactor, l.tun.BackoffCap, y)
-		if l.word.v.Load() != 0 {
-			continue
-		}
-		if l.word.v.Swap(1) == 0 {
-			return true
-		}
-	}
-}
-
-// Interface checks for the TimedLock implementations.
-var (
-	_ TimedLock = (*TATAS)(nil)
-	_ TimedLock = (*TATASExp)(nil)
-	_ TimedLock = (*HBO)(nil)
-)
+// TimedNames lists the native locks that implement TimedLock, derived
+// from the lockspec registry (simulator-only protocols omitted).
+func TimedNames() []string { return lockspec.TimedNames(false) }
 
 // AcquireWithin is the capability-dispatching timed acquire: the
 // plumbing callers use when the lock algorithm is configuration (the

@@ -14,25 +14,9 @@ type TryLocker interface {
 	TryAcquire(t *Thread) bool
 }
 
-// TryAcquire attempts a single test&set.
-func (l *TATAS) TryAcquire(t *Thread) bool {
-	return l.word.v.Load() == 0 && l.word.v.Swap(1) == 0
-}
-
-// TryAcquire attempts a single test&set.
-func (l *TATASExp) TryAcquire(t *Thread) bool {
-	return l.word.v.Load() == 0 && l.word.v.Swap(1) == 0
-}
-
-// TryAcquire attempts a single cas of the caller's node id.
-func (l *HBO) TryAcquire(t *Thread) bool {
-	if l.mode != modeHBO && l.isSpinning[t.node].v.Load() == l.tag {
-		return false // a neighbor holds the node back; don't barge
-	}
-	return l.word.v.CompareAndSwap(hboFree, hboNodeVal(t.node))
-}
-
-// TryAcquire attempts a single cas of the caller's node id.
+// TryAcquire attempts a single cas of the caller's node id. (The
+// spec-backed algorithms — TATAS family, HBO family, CNA — carry their
+// try paths in their specs' TryBody.)
 func (l *HBOHier) TryAcquire(t *Thread) bool {
 	return l.word.v.CompareAndSwap(hboFree, hboNodeVal(t.node))
 }
@@ -75,11 +59,9 @@ func (l *MCS) TryAcquire(t *Thread) bool {
 	return l.tail.v.CompareAndSwap(-1, int64(t.id))
 }
 
-// Interface checks for the TryLocker implementations.
+// Interface checks for the hand-written TryLocker implementations (the
+// spec-backed ones are checked in spec.go).
 var (
-	_ TryLocker = (*TATAS)(nil)
-	_ TryLocker = (*TATASExp)(nil)
-	_ TryLocker = (*HBO)(nil)
 	_ TryLocker = (*HBOHier)(nil)
 	_ TryLocker = (*RH)(nil)
 	_ TryLocker = (*MCS)(nil)
@@ -98,7 +80,7 @@ func AcquireTimeout(l TryLocker, t *Thread, d time.Duration, tun Tuning) bool {
 	if b < 1 {
 		b = 64
 	}
-	y := tun.yieldThreshold()
+	y := tun.YieldEvery()
 	for {
 		if l.TryAcquire(t) {
 			return true

@@ -134,9 +134,10 @@ func All() []Experiment {
 		{"fig8", "Fairness study", Fig8},
 		{"fig9", "Sensitivity: REMOTE_BACKOFF_CAP", Fig9},
 		{"fig10", "Sensitivity: GET_ANGRY_LIMIT", Fig10},
-		{"ext1", "Extension: all thirteen algorithms on the new microbenchmark", Ext1},
+		{"ext1", "Extension: every registered algorithm on the new microbenchmark", Ext1},
 		{"ext2", "Extension: hierarchical CMP-server machine", Ext2},
 		{"ext3", "Extension: compacting guarded data onto one cache line", Ext3},
+		{"ext4", "Extension: HBO vs modern NUMA locks (CNA, HMCS-T)", Ext4},
 		{"deg1", "Degradation: fault-intensity sweep on the new microbenchmark", Deg1},
 		{"deg2", "Degradation: node-count sweep under a fixed fault plan", Deg2},
 		{"clu1", "Cluster scale: backoff policies on a parallel-simulated big machine", Clu1},

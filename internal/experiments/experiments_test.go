@@ -11,7 +11,7 @@ func quick() Options { return Options{Seeds: 1, Scale: 800, Quick: true} }
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "fig5", "table2", "table3", "table4",
 		"table5", "table6", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"ext1", "ext2", "ext3", "deg1", "deg2", "clu1",
+		"ext1", "ext2", "ext3", "ext4", "deg1", "deg2", "clu1",
 		"cmp1", "cmp2", "cmp4", "cmp5"}
 	ids := IDs()
 	if len(ids) != len(want) {

@@ -10,9 +10,10 @@ import (
 	"repro/internal/stats"
 )
 
-// Ext1 runs the new microbenchmark over all thirteen algorithms — the
-// paper's eight plus this library's extensions — at three contention
-// levels, extending Figure 5 with the baselines and follow-on designs.
+// Ext1 runs the new microbenchmark over every registered algorithm —
+// the paper's eight plus this library's extensions — at three
+// contention levels, extending Figure 5 with the baselines and
+// follow-on designs.
 func Ext1(o Options) []*stats.Table {
 	threads, iters, private := newBenchDefaults(o)
 	works := []int{250, 1000, 2000}

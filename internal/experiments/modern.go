@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/microbench"
+	"repro/internal/report"
+	"repro/internal/simlock"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// modernLocks is the HBO-vs-modern comparison set: the paper's two
+// strongest baselines (TATAS_EXP, MCS), its HBO variants, and the two
+// follow-on NUMA queue locks this library expresses as lockspecs —
+// CNA (Dice & Kogan, EuroSys 2019) and HMCS-T (Chabbi et al.). The
+// sweep asks the question the paper's future-work section left open:
+// does explicit queueing with NUMA-aware handoff beat HBO's
+// backoff-only locality on the same machine?
+func modernLocks() []string {
+	return []string{"TATAS_EXP", "MCS", "HBO", "HBO_GT_SD", "CNA", "HMCS_T"}
+}
+
+// Ext4 races the HBO family against the modern NUMA queue locks on the
+// new microbenchmark across processor counts, reporting iteration
+// time, node-handoff ratio and global coherence transactions per
+// acquisition — the three axes the NUMA-lock literature compares on.
+func Ext4(o Options) []*stats.Table {
+	iters := 30
+	if o.Quick {
+		iters = 10
+	}
+	procs := fig3Procs(o)
+	names := modernLocks()
+	type cell struct {
+		time, hand, global float64
+	}
+	cells := make([]cell, len(procs)*len(names))
+	o.parfor(len(cells), func(i int) {
+		p, name := procs[i/len(names)], names[i%len(names)]
+		res := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      wildfire(uint64(p) + 43),
+			Lock:         name,
+			Threads:      p,
+			Iterations:   iters,
+			CriticalWork: 1500,
+			PrivateWork:  4000,
+			Tuning:       simlock.DefaultTuning(),
+		})
+		cells[i] = cell{
+			time:   float64(res.IterationTime),
+			hand:   res.HandoffRatio,
+			global: float64(res.Traffic.Global) / float64(p*iters),
+		}
+	})
+	cols := append([]string{"Processors"}, names...)
+	tTime := stats.NewTable("Extension 4 (a): HBO vs modern NUMA locks — iteration time, µs", cols...)
+	tHand := stats.NewTable("Extension 4 (b): HBO vs modern NUMA locks — node handoff ratio", cols...)
+	tGlob := stats.NewTable("Extension 4 (c): HBO vs modern NUMA locks — global txns per acquisition", cols...)
+	for pi, p := range procs {
+		timeRow := []string{fmt.Sprint(p)}
+		handRow := []string{fmt.Sprint(p)}
+		globRow := []string{fmt.Sprint(p)}
+		for ni := range names {
+			c := cells[pi*len(names)+ni]
+			timeRow = append(timeRow, stats.F(c.time/1000, 2))
+			handRow = append(handRow, stats.F(c.hand, 3))
+			globRow = append(globRow, stats.F(c.global, 2))
+		}
+		tTime.AddRow(timeRow...)
+		tHand.AddRow(handRow...)
+		tGlob.AddRow(globRow...)
+	}
+	return []*stats.Table{tTime, tHand, tGlob}
+}
+
+// ModernReport is MicroReport restricted to the HBO-vs-modern
+// comparison set: one hbo-run-report/v1 run per lock at the Table 2
+// operating point, with wait/hold quantiles, handoff matrices and
+// per-line traffic. Deterministic for a fixed seed; the recorded copy
+// lives in results/modern-compare.json.
+func ModernReport(o Options, seed uint64) *Report {
+	threads, iters, private := newBenchDefaults(o)
+	cfg := wildfire(seed)
+	rep := &Report{
+		Schema:     ReportSchema,
+		Tool:       "hbobench",
+		Experiment: "modern",
+		Seed:       seed,
+		Host:       report.Host(),
+		Machine: MachineSummary{
+			Nodes:       cfg.Nodes,
+			CPUsPerNode: cfg.CPUsPerNode,
+			Preset:      "WildFire",
+		},
+		Params: map[string]int{
+			"threads":       threads,
+			"iterations":    iters,
+			"critical_work": 1500,
+			"private_work":  private,
+		},
+	}
+	names := modernLocks()
+	rep.Locks = make([]LockReport, len(names))
+	o.parfor(len(names), func(i int) {
+		an := trace.NewAnalyzer()
+		res := microbench.NewBench(microbench.NewBenchConfig{
+			Machine:      cfg,
+			Lock:         names[i],
+			Threads:      threads,
+			Iterations:   iters,
+			CriticalWork: 1500,
+			PrivateWork:  private,
+			Tuning:       simlock.DefaultTuning(),
+			WrapLock:     func(l simlock.Lock) simlock.Lock { return trace.Wrap(l, an) },
+		})
+		st := an.Aggregate()
+		lr := BuildLockReport(names[i], st, threads, res.Traffic, res.Lines)
+		lr.IterationTimeNS = int64(res.IterationTime)
+		lr.TotalTimeNS = int64(res.TotalTime)
+		rep.Locks[i] = lr
+	})
+	return rep
+}

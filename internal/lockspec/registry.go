@@ -1,0 +1,120 @@
+package lockspec
+
+// The registry: every lock algorithm either stack knows, in canonical
+// order — the paper's eight first (its table order), then the
+// extensions in the order they were added. Spec-backed algorithms
+// carry transition bodies (Acquire != nil) and instantiate into both
+// stacks from this one description; the remaining entries are
+// metadata-only and still have hand-written twins (their name lists,
+// capability flags and docs derive from here all the same, so a lock
+// cannot exist in one list and not another).
+var registry = []*Spec{
+	tatasSpec(),
+	tatasExpSpec(),
+	{Meta: Meta{Name: "MCS", Paper: true, Try: true,
+		Doc: "Mellor-Crummey & Scott list queue lock; each waiter spins on its own node"}},
+	{Meta: Meta{Name: "CLH", Paper: true,
+		Doc: "Craig/Landin-Hagersten implicit-queue lock; spin on predecessor's node"}},
+	{Meta: Meta{Name: "RH", Paper: true, NUCA: true, Try: true, MaxNodes: 2,
+		Doc: "Radovic-Hagersten two-copy lock; node winner steals the remote copy"}},
+	hboSpec("HBO", modeHBO),
+	hboSpec("HBO_GT", modeGT),
+	hboSpec("HBO_GT_SD", modeGTSD),
+	ticketSpec(),
+	{Meta: Meta{Name: "ANDERSON",
+		Doc: "Anderson array queue lock; slots in one circular flag array"}},
+	{Meta: Meta{Name: "REACTIVE",
+		Doc: "Lim-Agarwal reactive lock; switches TATAS_EXP <-> MCS by contention"}},
+	{Meta: Meta{Name: "HBO_HIER", NUCA: true, Try: true,
+		Doc: "hierarchical HBO (paper §4.1); third backoff tier across clusters"}},
+	{Meta: Meta{Name: "COHORT", NUCA: true,
+		Doc: "Dice-Marathe-Shavit ticket-ticket cohort lock; node-local handoffs"}},
+	{Meta: Meta{Name: "CLH_TRY", Timed: true, SimOnly: true,
+		Doc: "CLH with Scott-Scherer timeout splice-out (simulator only)"}},
+	cnaSpec(),
+	hmcstSpec(),
+}
+
+// All returns every registered algorithm in canonical order.
+func All() []*Spec { return registry }
+
+// Lookup returns the named algorithm's entry, or nil. Spec-backed
+// entries (Backed) can be instantiated; metadata-only entries cannot.
+func Lookup(name string) *Spec {
+	for _, s := range registry {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Backed reports whether s carries transition bodies (instantiable via
+// simlock.FromSpec / core.FromSpec) rather than metadata alone.
+func (s *Spec) Backed() bool { return s.Acquire != nil }
+
+// names filters the registry in order.
+func names(keep func(*Spec) bool) []string {
+	var out []string
+	for _, s := range registry {
+		if keep(s) {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// PaperNames lists the paper's eight algorithms in its table order.
+func PaperNames() []string {
+	return names(func(s *Spec) bool { return s.Paper })
+}
+
+// ExtendedNames lists the algorithms beyond the paper's eight. With
+// simOnly false it omits the simulator-only protocols (the native
+// stack's view).
+func ExtendedNames(simOnly bool) []string {
+	return names(func(s *Spec) bool { return !s.Paper && (simOnly || !s.SimOnly) })
+}
+
+// AllNames lists the paper's eight plus the extensions.
+func AllNames(simOnly bool) []string {
+	return names(func(s *Spec) bool { return simOnly || !s.SimOnly })
+}
+
+// TimedNames lists the algorithms with a genuinely timed, abortable
+// acquire, in registry order.
+func TimedNames(simOnly bool) []string {
+	return names(func(s *Spec) bool { return s.Timed && (simOnly || !s.SimOnly) })
+}
+
+// NUCAAware reports whether the named algorithm exploits node locality
+// (the paper's "NUCA-aware" group). Unknown names are not NUCA-aware.
+func NUCAAware(name string) bool {
+	s := Lookup(name)
+	return s != nil && s.NUCA
+}
+
+// MarkdownTable renders the registry as the README's lock table. The
+// README embeds the output verbatim (TestREADMETableMatchesRegistry
+// pins it), so the docs cannot drift from the code: add an algorithm
+// and the test fails until the table is regenerated.
+func MarkdownTable() string {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return ""
+	}
+	out := "| Algorithm | Paper | NUCA | Try | Timed | Stacks | Description |\n" +
+		"|---|---|---|---|---|---|---|\n"
+	for _, s := range registry {
+		stacks := "sim+native"
+		if s.SimOnly {
+			stacks = "sim only"
+		}
+		out += "| `" + s.Name + "` | " + mark(s.Paper) + " | " + mark(s.NUCA) +
+			" | " + mark(s.Try) + " | " + mark(s.Timed) + " | " + stacks +
+			" | " + s.Doc + " |\n"
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package lockspec
+
+// Tuning collects the backoff constants every algorithm draws from —
+// the paper tunes them "by trial and error for each individual
+// architecture". It is the union of the knobs both stacks use: the
+// simulator interprets delay counts as iterations of the machine's
+// empty backoff loop (machine.Latencies.BackoffUnit each), the native
+// library as iterations of its spinDelay busy-wait. internal/simlock
+// and internal/core alias this type, so one Tuning value configures a
+// lock in either stack; each package keeps its own DefaultTuning with
+// stack-appropriate magnitudes.
+type Tuning struct {
+	// TATAS_EXP and the HBO local path.
+	BackoffBase   int
+	BackoffFactor int
+	BackoffCap    int
+	// HBO remote path.
+	RemoteBackoffBase int
+	RemoteBackoffCap  int
+	// HBO_HIER cross-cluster path (0 = 4x the remote constants).
+	FarBackoffBase int
+	FarBackoffCap  int
+	// HBO_GT_SD starvation detection (Figure 2).
+	GetAngryLimit int
+	// RH node-winner remote spin and be-fair threshold.
+	RHRemoteBase  int
+	RHRemoteCap   int
+	RHFairTries   int
+	RHGlobalEvery int // force a global release after this many local handoffs
+	// CNAFairEvery flushes CNA's secondary (remote-waiter) queue back
+	// into the main queue after this many lock handoffs that bypassed
+	// it, bounding remote-waiter starvation (0 = 32). Deterministic —
+	// the upstream design's random coin is replaced by a counter so
+	// schedules replay.
+	CNAFairEvery int
+	// HMCSThreshold caps consecutive same-node handoffs of HMCS-T's
+	// local level before the global lock is released (0 = 8).
+	HMCSThreshold int
+	// YieldThreshold: the native spinDelay calls runtime.Gosched once
+	// per this many loop iterations so oversubscribed GOMAXPROCS
+	// configurations make progress (0 = 1024). The simulator ignores it.
+	YieldThreshold int
+}
+
+// YieldEvery returns the effective native yield threshold.
+func (t Tuning) YieldEvery() int {
+	if t.YieldThreshold <= 0 {
+		return 1024
+	}
+	return t.YieldThreshold
+}
+
+// FairEvery returns the effective CNA flush period.
+func (t Tuning) FairEvery() int {
+	if t.CNAFairEvery <= 0 {
+		return 32
+	}
+	return t.CNAFairEvery
+}
+
+// PassLimit returns the effective HMCS-T local pass threshold.
+func (t Tuning) PassLimit() int {
+	if t.HMCSThreshold <= 0 {
+		return 8
+	}
+	return t.HMCSThreshold
+}
+
+// TimedPollUnits paces the polling loops of timed acquires in both
+// stacks: the simulator's event-driven parked spin may outsleep the
+// deadline, and a native tuning-sized delay may outspin it, so timed
+// waiters poll on this fixed backoff quantum instead.
+const TimedPollUnits = 64

@@ -1,11 +1,10 @@
 package simlock
 
-import (
-	"fmt"
-
-	"repro/internal/machine"
-	"repro/internal/sim"
-)
+// The HBO family (HBO, HBO_GT, HBO_GT_SD) is spec-backed: the paper's
+// Figure 1/2 protocol lives once in internal/lockspec and instantiates
+// here through FromSpec. What remains in this file are the lock-word
+// encodings, shared with the hand-written hierarchical variant
+// (hbohier.go).
 
 // Lock-word values for the HBO family. The paper cas-es the acquiring
 // thread's node_id into the lock; we shift node ids by one so FREE can
@@ -18,273 +17,3 @@ func hboNodeVal(node int) uint64 { return uint64(node) + 1 }
 // winner is remote-spinning (blocking its neighbors) and hboDummy
 // otherwise. Addresses from machine.Alloc are never zero.
 const hboDummy = 0
-
-// hbo implements the paper's Figure 1. mode selects plain HBO (the
-// emphasized GT lines skipped), HBO_GT (global-traffic throttling via
-// per-node is_spinning words), or HBO_GT_SD (GT plus the node-centric
-// starvation detection of Figure 2).
-type hbo struct {
-	name       string
-	mode       hboMode
-	addr       machine.Addr
-	isSpinning []machine.Addr // one word per node (GT modes)
-	tun        Tuning
-	nodes      int
-}
-
-type hboMode int
-
-const (
-	modeHBO hboMode = iota
-	modeGT
-	modeGTSD
-)
-
-func newHBOVariant(name string, mode hboMode) Factory {
-	return func(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
-		l := &hbo{
-			name:  name,
-			mode:  mode,
-			addr:  m.Alloc(home, 1),
-			tun:   tun,
-			nodes: m.Config().Nodes,
-		}
-		if mode != modeHBO {
-			l.isSpinning = make([]machine.Addr, l.nodes)
-			for n := range l.isSpinning {
-				// "not necessarily allocated in the local memory" — we
-				// do home each node's throttle word locally, which is
-				// the intended deployment.
-				l.isSpinning[n] = m.Alloc(n, 1)
-			}
-		}
-		return l
-	}
-}
-
-var (
-	newHBO     = newHBOVariant("HBO", modeHBO)
-	newHBOGT   = newHBOVariant("HBO_GT", modeGT)
-	newHBOGTSD = newHBOVariant("HBO_GT_SD", modeGTSD)
-)
-
-func (l *hbo) Name() string { return l.name }
-
-// Acquire is hbo_acquire (Figure 1, lines 1–10).
-func (l *hbo) Acquire(p *machine.Proc, tid int) {
-	l.acquire(p, 0)
-}
-
-// AcquireTimeout is the timed path: the same protocol with a deadline
-// checked at backoff boundaries (deadline checks cost no simulated
-// time, so the unbounded path is instruction-identical to Acquire). An
-// abort restores every protocol invariant: the lock word is never
-// claimed, the aborting waiter's is_spinning throttle is reset to the
-// dummy value — the same store the successful remote path issues — and
-// any nodes the GT_SD anger logic stopped are released.
-func (l *hbo) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
-	if d <= 0 {
-		l.acquire(p, 0)
-		return true
-	}
-	return l.acquire(p, p.Now()+d)
-}
-
-// acquire runs the protocol; deadline 0 means unbounded (always true).
-func (l *hbo) acquire(p *machine.Proc, deadline sim.Time) bool {
-	my := hboNodeVal(p.Node())
-	if l.mode != modeHBO {
-		// Line 5: while (L == is_spinning[my_node_id]) ; // spin
-		if !l.waitThrottled(p, deadline) {
-			return false
-		}
-	}
-	tmp := p.CAS(l.addr, hboFree, my)
-	if tmp == hboFree {
-		return true // lock was free, and is now locked
-	}
-	return l.acquireSlowpath(p, tmp, deadline)
-}
-
-// spinWhileThrottled blocks while this node's is_spinning word names our
-// lock (a neighbor is already remote-spinning on it).
-func (l *hbo) spinWhileThrottled(p *machine.Proc) {
-	p.SpinWhileEquals(l.isSpinning[p.Node()], uint64(l.addr))
-}
-
-// waitThrottled is spinWhileThrottled with a deadline: timed waiters
-// poll (the parked spin could outlive the deadline), unbounded waiters
-// keep the event-driven park.
-func (l *hbo) waitThrottled(p *machine.Proc, deadline sim.Time) bool {
-	if deadline == 0 {
-		l.spinWhileThrottled(p)
-		return true
-	}
-	for p.Load(l.isSpinning[p.Node()]) == uint64(l.addr) {
-		if p.Now() >= deadline {
-			return false
-		}
-		p.Delay(timedPollUnits)
-	}
-	return true
-}
-
-// acquireSlowpath is hbo_acquire_slowpath (Figure 1, lines 17–61), with
-// the Figure 2 replacement for the GT_SD variant. The paper's goto
-// start / goto restart structure maps onto the labeled outer loop.
-// deadline 0 means unbounded; the deadline checks read only the clock,
-// so the unbounded path issues the exact event sequence it always did.
-func (l *hbo) acquireSlowpath(p *machine.Proc, tmp uint64, deadline sim.Time) bool {
-	my := hboNodeVal(p.Node())
-	gt := l.mode != modeHBO
-
-	// SD state (Figure 2): per-acquire anger counter and stopped nodes.
-	getAngry := 0
-	angry := false
-	var stopped []int
-
-	releaseStopped := func() {
-		for _, n := range stopped {
-			p.Store(l.isSpinning[n], hboDummy)
-		}
-		stopped = stopped[:0]
-	}
-	expired := func() bool { return deadline != 0 && p.Now() >= deadline }
-
-start:
-	if tmp == my { // local lock (Figure 1, lines 23–36)
-		b := l.tun.BackoffBase
-		for {
-			if expired() {
-				return false // local waiters publish no auxiliary state
-			}
-			backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
-			tmp = p.CAS(l.addr, hboFree, my)
-			if tmp == hboFree {
-				return true
-			}
-			if tmp != my {
-				backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
-				goto restart
-			}
-		}
-	}
-
-	// Remote lock (Figure 1, lines 37–52).
-	{
-		b := l.tun.RemoteBackoffBase
-		bcap := l.tun.RemoteBackoffCap
-		if gt {
-			p.Store(l.isSpinning[p.Node()], uint64(l.addr))
-		}
-		for {
-			if expired() {
-				if gt {
-					// Abort mirrors the successful exit: un-throttle our
-					// node's neighbors and release any stopped nodes, so
-					// the abandoned attempt leaves the protocol idle.
-					p.Store(l.isSpinning[p.Node()], hboDummy)
-					releaseStopped()
-				}
-				return false
-			}
-			backoff(p, &b, l.tun.BackoffFactor, bcap)
-			tmp = p.CAS(l.addr, hboFree, my)
-			if tmp == hboFree {
-				if gt {
-					// Release the threads from our node.
-					p.Store(l.isSpinning[p.Node()], hboDummy)
-					releaseStopped()
-				}
-				return true
-			}
-			if tmp == my {
-				if gt {
-					p.Store(l.isSpinning[p.Node()], hboDummy)
-					releaseStopped()
-				}
-				goto restart
-			}
-			if l.mode == modeGTSD {
-				// Figure 2, lines 57–63: the lock is still in some
-				// remote node; get angry. An angry node spins more
-				// frequently and stops the owning node's other
-				// threads from re-acquiring.
-				getAngry++
-				if getAngry >= l.tun.GetAngryLimit {
-					getAngry = 0
-					owner := int(tmp) - 1
-					// Bounds-guard the decoded owner before indexing
-					// is_spinning: a corrupted lock word must not take
-					// down the whole machine (twin of core/hbo.go).
-					if owner >= 0 && owner < len(l.isSpinning) &&
-						owner != p.Node() && !contains(stopped, owner) {
-						stopped = append(stopped, owner)
-						p.Store(l.isSpinning[owner], uint64(l.addr))
-					}
-					if !angry {
-						angry = true
-						b = l.tun.BackoffBase
-						bcap = l.tun.BackoffCap
-					}
-				}
-			}
-		}
-	}
-
-restart:
-	// Figure 1, lines 55–60. No auxiliary state is held here: both jumps
-	// to restart reset is_spinning and the stopped list first.
-	if gt {
-		if !l.waitThrottled(p, deadline) {
-			return false
-		}
-	}
-	tmp = p.CAS(l.addr, hboFree, my)
-	if tmp == hboFree {
-		return true
-	}
-	if expired() {
-		return false
-	}
-	goto start
-}
-
-// Release is hbo_release (Figure 1, lines 62–65).
-func (l *hbo) Release(p *machine.Proc, tid int) {
-	p.Store(l.addr, hboFree)
-}
-
-// InjectWord overwrites the raw lock word without simulated cost — a
-// fault-injection probe for the correctness harness (internal/check),
-// which feeds both HBO twins the same corrupted owner encodings and
-// compares survival. Not part of the lock algorithm.
-func (l *hbo) InjectWord(m *machine.Machine, v uint64) {
-	m.Poke(l.addr, v)
-}
-
-// Quiescent verifies the lock's shared state is fully idle: the lock
-// word is free and every per-node is_spinning word has returned to
-// hboDummy (a stale GT/GT_SD store would permanently throttle a node).
-// Call only when no acquires are in flight.
-func (l *hbo) Quiescent(m *machine.Machine) error {
-	if v := m.Peek(l.addr); v != hboFree {
-		return fmt.Errorf("%s: lock word %d not free at quiescence", l.name, v)
-	}
-	for n, a := range l.isSpinning {
-		if v := m.Peek(a); v != hboDummy {
-			return fmt.Errorf("%s: is_spinning[%d] = %d at quiescence (node left throttled)",
-				l.name, n, v)
-		}
-	}
-	return nil
-}
-
-func contains(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}

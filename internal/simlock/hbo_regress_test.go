@@ -32,7 +32,8 @@ func TestHBOGTSDOwnerBoundsGuard(t *testing.T) {
 	cfg.TimeLimit = 50 * sim.Millisecond // watchdog: fail, don't hang
 	m := machine.New(cfg)
 	cpus := []int{0, 1}
-	l := New("HBO_GT_SD", m, 0, cpus, angryTuning()).(*hbo)
+	l := New("HBO_GT_SD", m, 0, cpus, angryTuning()).(specTQI)
+	lockWord := l.wordAddr(0, 0)
 
 	// Corrupt the lock word: owner id 99 on a 2-node machine.
 	l.InjectWord(m, hboNodeVal(99))
@@ -49,7 +50,7 @@ func TestHBOGTSDOwnerBoundsGuard(t *testing.T) {
 		// (and therefore several starvation-detection episodes), the
 		// corrupted word is cleared.
 		p.Work(200 * sim.Microsecond)
-		p.Store(l.addr, hboFree)
+		p.Store(lockWord, hboFree)
 	})
 	m.Run()
 

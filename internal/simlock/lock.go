@@ -11,6 +11,7 @@ package simlock
 import (
 	"fmt"
 
+	"repro/internal/lockspec"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -43,16 +44,15 @@ type TimedLock interface {
 	AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool
 }
 
-// TimedNames lists the registered locks that implement TimedLock.
-// MCS, CLH, TICKET, ANDERSON, REACTIVE, RH, HBO_HIER and COHORT are
-// deliberately non-abortable: their enqueue (or node-election) step
-// publishes state a departing waiter cannot retract without the full
-// HMCS-T-style abandonment protocol, which only CLH_TRY carries. A
-// test pins this membership so a lock gaining or losing a timed path
-// updates the documentation.
-func TimedNames() []string {
-	return []string{"TATAS", "TATAS_EXP", "HBO", "HBO_GT", "HBO_GT_SD", "CLH_TRY"}
-}
+// TimedNames lists the registered locks that implement TimedLock,
+// derived from the lockspec registry. MCS, CLH, TICKET, ANDERSON,
+// REACTIVE, RH, HBO_HIER, COHORT and CNA are deliberately
+// non-abortable: their enqueue (or node-election) step publishes state
+// a departing waiter cannot retract without a full abandonment
+// protocol, which only CLH_TRY (splice-out) and HMCS_T (status-word
+// abort race) carry. A test pins this membership so a lock gaining or
+// losing a timed path updates the documentation.
+func TimedNames() []string { return lockspec.TimedNames(true) }
 
 // Quiescer is implemented by locks whose auxiliary shared state (e.g.
 // the HBO family's per-node is_spinning words) must return to a known
@@ -71,26 +71,11 @@ type WordInjector interface {
 
 // Tuning collects the backoff constants that the paper tunes "by trial
 // and error for each individual architecture". Units are iterations of
-// the empty delay loop (machine.Latencies.BackoffUnit each).
-type Tuning struct {
-	// TATAS_EXP and the HBO local path.
-	BackoffBase   int
-	BackoffFactor int
-	BackoffCap    int
-	// HBO remote path.
-	RemoteBackoffBase int
-	RemoteBackoffCap  int
-	// HBO_HIER cross-cluster path (0 = 4x the remote constants).
-	FarBackoffBase int
-	FarBackoffCap  int
-	// HBO_GT_SD starvation detection (Figure 2).
-	GetAngryLimit int
-	// RH node-winner remote spin and be-fair threshold.
-	RHRemoteBase  int
-	RHRemoteCap   int
-	RHFairTries   int
-	RHGlobalEvery int // force a global release after this many local handoffs
-}
+// the empty delay loop (machine.Latencies.BackoffUnit each). The type
+// is shared with internal/core via lockspec, so one value can configure
+// an algorithm's twin in either stack (the native-only fields, like
+// YieldThreshold, are ignored here).
+type Tuning = lockspec.Tuning
 
 // DefaultTuning returns constants tuned for the WildFire latency preset
 // (BackoffUnit = 4 ns): local backoff 128 ns .. 2 µs, remote backoff
@@ -119,32 +104,24 @@ func DefaultTuning() Tuning {
 // node).
 type Factory func(m *machine.Machine, home int, cpus []int, tun Tuning) Lock
 
-// Names lists the algorithms in the order the paper's tables use.
-func Names() []string {
-	return []string{"TATAS", "TATAS_EXP", "MCS", "CLH", "RH", "HBO", "HBO_GT", "HBO_GT_SD"}
-}
+// Names lists the algorithms in the order the paper's tables use,
+// derived from the lockspec registry.
+func Names() []string { return lockspec.PaperNames() }
 
 // ExtendedNames lists the additional algorithms this library implements
 // beyond the paper's eight: classic baselines from its related work
 // (TICKET, ANDERSON, REACTIVE), the hierarchical HBO the paper sketches
-// in section 4.1 (HBO_HIER), and the cohort-lock family that HBO helped
-// inspire (COHORT).
-func ExtendedNames() []string {
-	return []string{"TICKET", "ANDERSON", "REACTIVE", "HBO_HIER", "COHORT", "CLH_TRY"}
-}
+// in section 4.1 (HBO_HIER), the cohort-lock family that HBO helped
+// inspire (COHORT), a timeout-capable CLH (CLH_TRY), and the modern
+// NUMA locks CNA and HMCS_T.
+func ExtendedNames() []string { return lockspec.ExtendedNames(true) }
 
 // AllNames lists the paper's eight plus the extensions.
-func AllNames() []string { return append(Names(), ExtendedNames()...) }
+func AllNames() []string { return lockspec.AllNames(true) }
 
 // NUCAAware reports whether the named algorithm exploits node locality
 // (the paper's "NUCA-aware" group).
-func NUCAAware(name string) bool {
-	switch name {
-	case "RH", "HBO", "HBO_GT", "HBO_GT_SD", "HBO_HIER", "COHORT":
-		return true
-	}
-	return false
-}
+func NUCAAware(name string) bool { return lockspec.NUCAAware(name) }
 
 // New builds the named lock. It panics on an unknown name (experiment
 // configuration is programmer input).
@@ -156,21 +133,30 @@ func New(name string, m *machine.Machine, home int, cpus []int, tun Tuning) Lock
 	return f(m, home, cpus, tun)
 }
 
+// factories maps every algorithm to its builder: spec-backed
+// algorithms instantiate through FromSpec (init below), the rest keep
+// hand-written sim implementations.
 var factories = map[string]Factory{
-	"TATAS":     newTATAS,
-	"TATAS_EXP": newTATASExp,
-	"MCS":       newMCS,
-	"CLH":       newCLH,
-	"RH":        newRH,
-	"HBO":       newHBO,
-	"HBO_GT":    newHBOGT,
-	"HBO_GT_SD": newHBOGTSD,
-	"TICKET":    newTicket,
-	"ANDERSON":  newAnderson,
-	"REACTIVE":  newReactive,
-	"HBO_HIER":  newHBOHier,
-	"COHORT":    newCohort,
-	"CLH_TRY":   newCLHTry,
+	"MCS":      newMCS,
+	"CLH":      newCLH,
+	"RH":       newRH,
+	"ANDERSON": newAnderson,
+	"REACTIVE": newReactive,
+	"HBO_HIER": newHBOHier,
+	"COHORT":   newCohort,
+	"CLH_TRY":  newCLHTry,
+}
+
+func init() {
+	for _, s := range lockspec.All() {
+		if !s.Backed() {
+			continue
+		}
+		s := s
+		factories[s.Name] = func(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+			return FromSpec(s, m, home, cpus, tun)
+		}
+	}
 }
 
 // backoff executes the paper's backoff helper (Figure 1, lines 11–16):

@@ -17,8 +17,11 @@ type reactive struct {
 	mode machine.Addr // 0 = spin, 1 = queue in front of the word
 	// Hysteresis counter, written only while holding the lock.
 	counter machine.Addr
-	tatas   *tatasExp
-	mcs     *mcs
+	// word is the TATAS_EXP-style lock word that carries mutual
+	// exclusion in both modes.
+	word machine.Addr
+	tun  Tuning
+	mcs  *mcs
 	// queued records whether each thread entered through the queue
 	// (thread-private register).
 	queued []bool
@@ -36,9 +39,26 @@ func newReactive(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
 	return &reactive{
 		mode:    m.Alloc(home, 1),
 		counter: m.Alloc(home, 1),
-		tatas:   newTATASExp(m, home, cpus, tun).(*tatasExp),
+		word:    m.Alloc(home, 1),
+		tun:     tun,
 		mcs:     newMCS(m, home, cpus, tun).(*mcs),
 		queued:  make([]bool, len(cpus)),
+	}
+}
+
+// spinSlowpath is the TATAS_EXP contention loop (exponential backoff
+// between tas attempts), inlined here so the spin mode matches the
+// spec-backed TATAS_EXP's behavior without reaching into it.
+func (l *reactive) spinSlowpath(p *machine.Proc) {
+	b := l.tun.BackoffBase
+	for {
+		backoff(p, &b, l.tun.BackoffFactor, l.tun.BackoffCap)
+		if p.Load(l.word) != 0 {
+			continue
+		}
+		if p.TAS(l.word) == 0 {
+			return
+		}
 	}
 }
 
@@ -50,9 +70,9 @@ func (l *reactive) Acquire(p *machine.Proc, tid int) {
 	if viaQueue {
 		l.mcs.Acquire(p, tid)
 	}
-	contended := p.TAS(l.tatas.addr) != 0
+	contended := p.TAS(l.word) != 0
 	if contended {
-		l.tatas.acquireSlowpath(p)
+		l.spinSlowpath(p)
 	}
 	// Holding the lock now; run the hysteresis bookkeeping.
 	c := p.Load(l.counter)
@@ -82,7 +102,7 @@ func (l *reactive) Acquire(p *machine.Proc, tid int) {
 }
 
 func (l *reactive) Release(p *machine.Proc, tid int) {
-	p.Store(l.tatas.addr, 0)
+	p.Store(l.word, 0)
 	if l.queued[tid] {
 		l.mcs.Release(p, tid)
 	}

@@ -1,0 +1,306 @@
+package simlock
+
+import (
+	"repro/internal/lockspec"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// specLock runs a lockspec.Spec on the simulated machine: every Env
+// operation maps onto machine.Proc word accesses, so the spec body pays
+// simulated coherence traffic exactly like the hand-written locks it
+// replaced. Unbounded waits park on the watched cache line (the
+// machine's event-driven spin); timed waits poll on the fixed
+// lockspec.TimedPollUnits quantum, because a parked spinner may only
+// wake long after its deadline.
+type specLock struct {
+	spec    *lockspec.Spec
+	tun     Tuning
+	nodes   int
+	threads int
+	// addrs[w][i] is the simulated word backing element i of declared
+	// word w, in lockspec.Ref's flattened addressing. Allocation order
+	// is part of the lock's observable identity (addresses seed the
+	// machine's deterministic schedule), so FromSpec allocates words in
+	// declaration order, elements in index order.
+	addrs   [][]machine.Addr
+	scratch [][4]uint64
+}
+
+// FromSpec instantiates a spec-backed algorithm on machine m. home is
+// the node whose memory backs lock-scoped words; per-node words live in
+// their node and per-thread words in the owning thread's node (cpus
+// maps thread ids to CPUs, as in Factory).
+func FromSpec(spec *lockspec.Spec, m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
+	if spec == nil || !spec.Backed() {
+		panic("simlock: FromSpec needs a spec-backed algorithm")
+	}
+	nodes := m.Config().Nodes
+	if spec.MaxNodes > 0 && nodes > spec.MaxNodes {
+		panic("simlock: " + spec.Name + " supports fewer nodes than the machine has")
+	}
+	l := &specLock{
+		spec:    spec,
+		tun:     tun,
+		nodes:   nodes,
+		threads: len(cpus),
+		addrs:   make([][]machine.Addr, len(spec.Words)),
+		scratch: make([][4]uint64, len(cpus)),
+	}
+	for wi, w := range spec.Words {
+		as := make([]machine.Addr, w.Elems(nodes, len(cpus)))
+		k := 0
+		per := w.Elems(1, 1) // elements per unit
+		switch w.Scope {
+		case lockspec.ScopePerNode:
+			for n := 0; n < nodes; n++ {
+				for j := 0; j < per; j++ {
+					as[k] = m.Alloc(n, 1)
+					k++
+				}
+			}
+		case lockspec.ScopePerThread:
+			for _, cpu := range cpus {
+				for j := 0; j < per; j++ {
+					as[k] = m.Alloc(m.NodeOf(cpu), 1)
+					k++
+				}
+			}
+		default:
+			for j := 0; j < per; j++ {
+				as[k] = m.Alloc(home, 1)
+				k++
+			}
+		}
+		if w.Init != 0 {
+			for _, a := range as {
+				m.Poke(a, w.Init)
+			}
+		}
+		l.addrs[wi] = as
+	}
+
+	// Wrap in the capability combination the spec declares, so interface
+	// assertions (TimedLock, Quiescer, WordInjector) keep meaning what
+	// they meant for the hand-written locks.
+	timed, quiesce, inject := spec.Timed, spec.Quiesce != nil, spec.Inject != nil
+	switch {
+	case inject && !quiesce:
+		// No wrapper for injection sans quiescence; add one if a spec
+		// ever wants it rather than silently dropping the capability.
+		panic("simlock: " + spec.Name + " declares Inject without Quiesce")
+	case timed && quiesce && inject:
+		return specTQI{specTQ{specT{l}}}
+	case timed && quiesce:
+		return specTQ{specT{l}}
+	case timed:
+		return specT{l}
+	case quiesce && inject:
+		return specQI{specQ{l}}
+	case quiesce:
+		return specQ{l}
+	default:
+		return l
+	}
+}
+
+func (l *specLock) Name() string { return l.spec.Name }
+
+func (l *specLock) wordAddr(w, i int) machine.Addr { return l.addrs[w][i] }
+
+func (l *specLock) Acquire(p *machine.Proc, tid int) {
+	l.spec.Acquire(&simEnv{l: l, p: p, tid: tid}, l.tun)
+}
+
+func (l *specLock) Release(p *machine.Proc, tid int) {
+	l.spec.Release(&simEnv{l: l, p: p, tid: tid}, l.tun)
+}
+
+func (l *specLock) acquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	if d <= 0 {
+		l.Acquire(p, tid)
+		return true
+	}
+	return l.spec.Acquire(&simEnv{l: l, p: p, tid: tid, deadline: p.Now() + d}, l.tun)
+}
+
+func (l *specLock) quiescent(m *machine.Machine) error {
+	return l.spec.Quiesce(simPeeker{l: l, m: m})
+}
+
+func (l *specLock) injectWord(m *machine.Machine, v uint64) {
+	m.Poke(l.addrs[l.spec.Inject.W][l.spec.Inject.I], v)
+}
+
+// Capability wrappers. Embedding exposes every promoted method, so each
+// wrapper only adds the interfaces its layer introduces.
+type specT struct{ *specLock }
+
+func (l specT) AcquireTimeout(p *machine.Proc, tid int, d sim.Time) bool {
+	return l.acquireTimeout(p, tid, d)
+}
+
+type specQ struct{ *specLock }
+
+func (l specQ) Quiescent(m *machine.Machine) error { return l.quiescent(m) }
+
+type specQI struct{ specQ }
+
+func (l specQI) InjectWord(m *machine.Machine, v uint64) { l.injectWord(m, v) }
+
+type specTQ struct{ specT }
+
+func (l specTQ) Quiescent(m *machine.Machine) error { return l.quiescent(m) }
+
+type specTQI struct{ specTQ }
+
+func (l specTQI) InjectWord(m *machine.Machine, v uint64) { l.injectWord(m, v) }
+
+// simPeeker is the zero-cost quiescence view.
+type simPeeker struct {
+	l *specLock
+	m *machine.Machine
+}
+
+func (q simPeeker) Peek(w, i int) uint64 { return q.m.Peek(q.l.addrs[w][i]) }
+func (q simPeeker) Nodes() int           { return q.l.nodes }
+func (q simPeeker) Threads() int         { return q.l.threads }
+
+// simEnv is the per-acquire execution environment. deadline 0 means
+// unbounded. Deadline checks read only the simulated clock, so a spec
+// body's unbounded path issues the exact event sequence of the
+// hand-written lock it replaced.
+type simEnv struct {
+	l        *specLock
+	p        *machine.Proc
+	tid      int
+	deadline sim.Time
+}
+
+func (e *simEnv) addr(w, i int) machine.Addr { return e.l.addrs[w][i] }
+
+func (e *simEnv) TID() int     { return e.tid }
+func (e *simEnv) Node() int    { return e.p.Node() }
+func (e *simEnv) Nodes() int   { return e.l.nodes }
+func (e *simEnv) Threads() int { return e.l.threads }
+
+// Tag is the first declared word's address — never zero (machine.Alloc
+// starts above zero), unique per lock, and exactly the value the
+// hand-written HBO family published in is_spinning.
+func (e *simEnv) Tag() uint64 { return uint64(e.l.addrs[0][0]) }
+
+func (e *simEnv) Load(w, i int) uint64     { return e.p.Load(e.addr(w, i)) }
+func (e *simEnv) Store(w, i int, v uint64) { e.p.Store(e.addr(w, i), v) }
+func (e *simEnv) Swap(w, i int, v uint64) uint64 {
+	return e.p.Swap(e.addr(w, i), v)
+}
+func (e *simEnv) TAS(w, i int) uint64 { return e.p.TAS(e.addr(w, i)) }
+func (e *simEnv) CAS(w, i int, expect, v uint64) uint64 {
+	return e.p.CAS(e.addr(w, i), expect, v)
+}
+func (e *simEnv) CASOnce(w, i int, expect, v uint64) bool {
+	return e.p.CAS(e.addr(w, i), expect, v) == expect
+}
+
+// FetchInc is the cas-loop idiom available on SPARC.
+func (e *simEnv) FetchInc(w, i int) uint64 {
+	a := e.addr(w, i)
+	for {
+		v := e.p.Load(a)
+		if e.p.CAS(a, v, v+1) == v {
+			return v
+		}
+	}
+}
+
+func (e *simEnv) HolderInc(w, i int) {
+	a := e.addr(w, i)
+	v := e.p.Load(a)
+	e.p.Store(a, v+1)
+}
+
+func (e *simEnv) Delay(units int) { e.p.Delay(units) }
+
+func (e *simEnv) Backoff(b *int, factor, cap int) {
+	backoff(e.p, b, factor, cap)
+}
+
+func (e *simEnv) Expired() bool {
+	return e.deadline != 0 && e.p.Now() >= e.deadline
+}
+
+func (e *simEnv) AwaitZero(w, i int) bool {
+	a := e.addr(w, i)
+	if e.deadline == 0 {
+		e.p.SpinUntilZero(a)
+		return true
+	}
+	for e.p.Load(a) != 0 {
+		if e.p.Now() >= e.deadline {
+			return false
+		}
+		e.p.Delay(lockspec.TimedPollUnits)
+	}
+	return true
+}
+
+func (e *simEnv) AwaitWhile(w, i int, v uint64) (uint64, bool) {
+	a := e.addr(w, i)
+	if e.deadline == 0 {
+		return e.p.SpinWhileEquals(a, v), true
+	}
+	for {
+		cur := e.p.Load(a)
+		if cur != v {
+			return cur, true
+		}
+		if e.p.Now() >= e.deadline {
+			return 0, false
+		}
+		e.p.Delay(lockspec.TimedPollUnits)
+	}
+}
+
+func (e *simEnv) AwaitLink(w, i int) uint64 {
+	return e.p.SpinUntil(e.addr(w, i), func(v uint64) bool { return v != 0 })
+}
+
+func (e *simEnv) ThrottleWait(w, i int, v uint64) bool {
+	a := e.addr(w, i)
+	if e.deadline == 0 {
+		e.p.SpinWhileEquals(a, v)
+		return true
+	}
+	for e.p.Load(a) == v {
+		if e.p.Now() >= e.deadline {
+			return false
+		}
+		e.p.Delay(lockspec.TimedPollUnits)
+	}
+	return true
+}
+
+func (e *simEnv) GrantWait(w, i int, my uint64) bool {
+	a := e.addr(w, i)
+	if e.deadline == 0 {
+		// Test-and-test&set style wait: spin on a cached copy and
+		// re-read after each release's invalidation (each release bumps
+		// the word, so every waiter re-reads once per handover — the
+		// ticket lock's known O(waiters) refill cost per release).
+		e.p.SpinUntil(a, func(v uint64) bool { return v == my })
+		return true
+	}
+	for {
+		if e.p.Load(a) == my {
+			return true
+		}
+		if e.p.Now() >= e.deadline {
+			return false
+		}
+		e.p.Delay(lockspec.TimedPollUnits)
+	}
+}
+
+func (e *simEnv) SlowPath() {}
+
+func (e *simEnv) Scratch() *[4]uint64 { return &e.l.scratch[e.tid] }

@@ -2,25 +2,8 @@ package simlock
 
 import "repro/internal/machine"
 
-// ticket is the classic ticket lock with proportional backoff: a
-// fetch-and-increment (built from cas, as on SPARC) takes a ticket, and
-// the holder's release publishes the next ticket number. Proportional
-// backoff waits longer the further back in line the caller is. The
-// paper's related work (Mellor-Crummey & Scott 1991) uses it as the
-// fair-but-centralized baseline between TATAS and queue locks.
-type ticket struct {
-	next  machine.Addr // next ticket to hand out
-	owner machine.Addr // ticket currently served
-}
-
-func newTicket(m *machine.Machine, home int, cpus []int, tun Tuning) Lock {
-	return &ticket{
-		next:  m.Alloc(home, 1),
-		owner: m.Alloc(home, 1),
-	}
-}
-
-func (l *ticket) Name() string { return "TICKET" }
+// The ticket lock is spec-backed (internal/lockspec); this file keeps
+// the shared fetch-and-increment idiom and the Anderson array lock.
 
 // fetchInc atomically increments the word at a and returns its previous
 // value, using the cas-loop idiom available on SPARC.
@@ -31,21 +14,6 @@ func fetchInc(p *machine.Proc, a machine.Addr) uint64 {
 			return v
 		}
 	}
-}
-
-func (l *ticket) Acquire(p *machine.Proc, tid int) {
-	my := fetchInc(p, l.next)
-	// Test-and-test&set style wait: spin on a cached copy of owner and
-	// re-read after each release's invalidation (each release bumps
-	// owner, so every waiter re-reads once per handover — the ticket
-	// lock's known O(waiters) refill cost per release).
-	p.SpinUntil(l.owner, func(v uint64) bool { return v == my })
-}
-
-func (l *ticket) Release(p *machine.Proc, tid int) {
-	// Only the holder writes owner, so a plain increment is safe.
-	v := p.Load(l.owner)
-	p.Store(l.owner, v+1)
 }
 
 // anderson is Anderson's array-based queue lock: a fetch-and-increment

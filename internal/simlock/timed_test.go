@@ -156,6 +156,79 @@ func TestTimedAbortStormQuiesces(t *testing.T) {
 	}
 }
 
+// TestTimedAbortDuringHandoff sweeps a timed waiter's deadline in fine
+// steps across the instant the holder releases, so some runs abort
+// exactly while the handoff (or the free window) is landing — the race
+// HMCS-T's timeout protocol exists to resolve, and the one a naive
+// abort gets wrong in two ways: consuming a grant after reporting
+// failure (lock held by nobody) or leaving its queue node/announcement
+// behind (next handoff goes to a ghost). Whatever side of the race a
+// run lands on, the outcome must be coherent: a waiter that reported
+// success held the lock exclusively, a waiter that aborted left the
+// protocol reusable (a later blocking acquire succeeds), and the lock
+// quiesces.
+func TestTimedAbortDuringHandoff(t *testing.T) {
+	const hold = 100 * sim.Microsecond
+	for _, name := range TimedNames() {
+		for d := hold - 10*sim.Microsecond; d <= hold+10*sim.Microsecond; d += 500 * sim.Nanosecond {
+			m, _ := timedTestMachine()
+			l := New(name, m, 0, []int{0, 1, 2, 3}, DefaultTuning()).(TimedLock)
+			inCS, chased := 0, false
+			bad := func(who string) {
+				t.Fatalf("%s (deadline %v): %s entered with %d already in the critical section",
+					name, d, who, inCS)
+			}
+			m.Spawn(0, func(p *machine.Proc) {
+				l.Acquire(p, 0)
+				inCS++
+				p.Work(hold)
+				inCS--
+				l.Release(p, 0)
+			})
+			// The timed waiter sits on the remote node; its deadline lands
+			// in a ±10µs window around the holder's release.
+			m.Spawn(2, func(p *machine.Proc) {
+				p.Work(2 * sim.Microsecond) // let the holder win
+				if l.AcquireTimeout(p, 1, d) {
+					inCS++
+					if inCS != 1 {
+						bad("timed waiter")
+					}
+					p.Work(5 * sim.Microsecond)
+					inCS--
+					l.Release(p, 1)
+				}
+			})
+			// A chaser proves the lock outlives the abort: whichever way
+			// the race went, a blocking acquire must still get through.
+			m.Spawn(1, func(p *machine.Proc) {
+				p.Work(hold + 50*sim.Microsecond)
+				l.Acquire(p, 2)
+				inCS++
+				if inCS != 1 {
+					bad("chaser")
+				}
+				inCS--
+				l.Release(p, 2)
+				chased = true
+			})
+			m.Run()
+			if !chased {
+				t.Fatalf("%s (deadline %v): blocking acquire never completed after the abort window",
+					name, d)
+			}
+			if q, ok := l.(Quiescer); ok {
+				if err := q.Quiescent(m); err != nil {
+					t.Fatalf("%s (deadline %v): %v", name, d, err)
+				}
+			}
+			if err := m.ProbeError(); err != nil {
+				t.Fatalf("%s (deadline %v): %v", name, d, err)
+			}
+		}
+	}
+}
+
 // TestTimedUnderFaults runs every timed lock with all fault classes on
 // and a retry-until-acquired loop, checking that every thread
 // eventually gets through and the lock quiesces.
