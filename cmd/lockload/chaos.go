@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/lockserv"
+	"repro/internal/report"
+	"repro/lockclient"
+)
+
+// chaosConfig shapes a crash-restart soak: lockload owns the daemon's
+// lifecycle, SIGKILLs it mid-load -kills times, restarts it against
+// the same -data-dir, and audits the stitched access log afterwards.
+type chaosConfig struct {
+	bin     string // hbolockd binary
+	dataDir string // durable state dir, shared across restarts
+	args    string // extra daemon args (space separated)
+	kills   int
+}
+
+// daemon is one spawn of hbolockd. exec.Cmd is single-use, so every
+// restart builds a fresh one over the same argv.
+type daemon struct {
+	bin  string
+	args []string
+	cmd  *exec.Cmd
+}
+
+func (d *daemon) start() error {
+	cmd := exec.Command(d.bin, d.args...)
+	cmd.Stderr = os.Stderr
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", d.bin, err)
+	}
+	d.cmd = cmd
+	return nil
+}
+
+// sigkill models a hard crash: no drain, no fsync, buffered access-log
+// tail lost. Recovery must come entirely from the WAL.
+func (d *daemon) sigkill() {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Kill()
+	_, _ = d.cmd.Process.Wait()
+	d.cmd = nil
+}
+
+// sigterm asks for a graceful drain and waits up to the budget.
+func (d *daemon) sigterm(budget time.Duration) error {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return nil
+	}
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		d.cmd = nil
+		return err
+	case <-time.After(budget):
+		_ = d.cmd.Process.Kill()
+		<-done
+		d.cmd = nil
+		return fmt.Errorf("daemon did not drain within %v", budget)
+	}
+}
+
+// waitReady polls /v1/stats until the daemon answers 200. A 503 means
+// the listener is up but WAL replay is still running (the recovering
+// handler), so keep polling — that window is exactly what clients see
+// on a crash restart.
+func waitReady(ctx context.Context, addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: time.Second}
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		resp, err := client.Get("http://" + addr + "/v1/stats")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("daemon on %s not ready within %v", addr, budget)
+}
+
+// runChaos is the crash-restart soak. The load itself is the live
+// session loop; the extra machinery is the kill schedule (evenly
+// spaced: duration/(kills+1) apart) and the post-run audit of the
+// append-mode access log, which spans every incarnation of the daemon
+// with "recovered" markers at each restart boundary.
+func runChaos(w io.Writer, cfg loadConfig, addr string, chaos chaosConfig) (*report.Report, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	accessPath := filepath.Join(chaos.dataDir, "access.jsonl")
+	argv := []string{"-addr", addr, "-data-dir", chaos.dataDir, "-access-log", accessPath}
+	if chaos.args != "" {
+		argv = append(argv, strings.Fields(chaos.args)...)
+	}
+	d := &daemon{bin: chaos.bin, args: argv}
+	if err := d.start(); err != nil {
+		return nil, err
+	}
+	defer d.sigkill() // no-op after a clean sigterm
+	if err := waitReady(ctx, addr, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	deadline := time.Now().Add(cfg.duration)
+	interval := time.Duration(float64(cfg.concurrency) / cfg.qps * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+
+	var mu sync.Mutex
+	merged := map[string]*tally{}
+	for i := 0; i < cfg.tenants; i++ {
+		merged[cfg.tenantName(i)] = &tally{}
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			c := lockclient.New(addr,
+				lockclient.WithOwner(fmt.Sprintf("chaos-%d", wkr)),
+				lockclient.WithJitterSeed(cfg.seed+uint64(wkr)))
+			local := map[string]*tally{}
+			for i := 0; i < cfg.tenants; i++ {
+				local[cfg.tenantName(i)] = &tally{}
+			}
+			rng := newSessionRNG(cfg.seed + uint64(wkr)*0x9e37)
+			var held *lockclient.Lease
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				tenant := cfg.tenantName(rng.intn(cfg.tenants))
+				if held != nil {
+					tenant = held.Tenant
+				}
+				// Bound each step so a kill window costs one short
+				// retry burst, not the rest of the run.
+				sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				sessionStep(sctx, c, rng, cfg, tenant, local[tenant], &held)
+				cancel()
+				select {
+				case <-ctx.Done():
+				case <-tick.C:
+				}
+			}
+			if held != nil {
+				rctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_ = c.Release(rctx, held)
+				cancel()
+			}
+			mu.Lock()
+			for n, t := range local {
+				merged[n].merge(t)
+			}
+			mu.Unlock()
+		}(wkr)
+	}
+
+	// The kill schedule runs in the foreground while workers load the
+	// daemon. Each cycle: SIGKILL (hard crash), restart over the same
+	// data dir, wait for WAL replay to finish.
+	killInterval := cfg.duration / time.Duration(chaos.kills+1)
+	restarts := 0
+	for i := 0; i < chaos.kills && ctx.Err() == nil; i++ {
+		select {
+		case <-ctx.Done():
+		case <-time.After(killInterval):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "lockload: chaos kill %d/%d (SIGKILL + restart)\n", i+1, chaos.kills)
+		d.sigkill()
+		if err := d.start(); err != nil {
+			return nil, err
+		}
+		if err := waitReady(ctx, addr, 10*time.Second); err != nil {
+			return nil, fmt.Errorf("restart %d: %w", i+1, err)
+		}
+		restarts++
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "lockload: interrupted, flushing partial results")
+	}
+
+	// Graceful final stop so the access-log tail and WAL are flushed
+	// before the audit reads them.
+	if err := d.sigterm(15 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "lockload: daemon stop: %v\n", err)
+	}
+
+	f, err := os.Open(accessPath)
+	if err != nil {
+		return nil, fmt.Errorf("chaos audit: %w", err)
+	}
+	defer f.Close()
+	n, err := lockserv.VerifyAccessLog(f)
+	if err != nil {
+		return nil, fmt.Errorf("chaos audit failed after %d events: %w", n, err)
+	}
+	fmt.Fprintf(w, "chaos audit ok: %d events across %d crash/restart cycles, fencing-token invariant holds\n",
+		n, restarts)
+
+	printSummary(w, fmt.Sprintf("lockload chaos  %s  qps=%g concurrency=%d duration=%v kills=%d",
+		addr, cfg.qps, cfg.concurrency, cfg.duration, restarts), merged, true)
+	rep := buildReport(cfg, "lockload", "service-chaos", 0, merged, true)
+	rep.Params["chaos_kills"] = restarts
+	rep.Params["audited_events"] = n
+	return rep, nil
+}

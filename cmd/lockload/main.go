@@ -7,6 +7,15 @@
 //	lockload -addr localhost:9151 -duration 30s -qps 200 -concurrency 8 -tenants 2
 //	lockload -deterministic -seed 7 -duration 10s -qps 500   # no daemon needed
 //	lockload -checklog access.jsonl                          # fencing audit
+//	lockload -chaos-kills 3 -daemon-bin ./hbolockd -data-dir ./state   # crash soak
+//
+// Chaos mode (-chaos-kills N) owns the daemon's lifecycle: it spawns
+// -daemon-bin against -data-dir, runs the live session loop, SIGKILLs
+// the daemon N times at even intervals and restarts it over the same
+// durable state, then SIGTERMs it and replays the append-mode access
+// log — which spans every incarnation, stitched by "recovered"
+// markers — through the fencing verifier. Any double-grant or
+// dead-token resurrection across a crash boundary fails the run.
 //
 // Live mode drives the daemon over HTTP with -concurrency workers
 // paced to a global -qps, each running the session loop: acquire a
@@ -70,6 +79,11 @@ func main() {
 		faultSeed     = flag.Uint64("fault-seed", 11, "service fault seed")
 		faultInt      = flag.Float64("fault-intensity", 0.75, "service fault intensity, in (0, 1]")
 
+		chaosKills = flag.Int("chaos-kills", 0, "chaos mode: SIGKILL and restart the daemon this many times mid-load")
+		daemonBin  = flag.String("daemon-bin", "", "chaos mode: hbolockd binary to spawn, kill and restart")
+		dataDir    = flag.String("data-dir", "", "chaos mode: daemon durable state directory (shared across restarts)")
+		daemonArgs = flag.String("daemon-args", "", "chaos mode: extra args for the spawned daemon")
+
 		checklog = flag.String("checklog", "", "verify a JSONL access log's fencing invariant and exit")
 	)
 	flag.Parse()
@@ -114,6 +128,20 @@ func main() {
 	if *ttl <= 0 {
 		fail("-ttl must be positive (got %v)", *ttl)
 	}
+	if *chaosKills < 0 {
+		fail("-chaos-kills must be >= 0 (got %d)", *chaosKills)
+	}
+	if *chaosKills > 0 {
+		if *deterministic {
+			fail("-chaos-kills needs a real daemon; it is incompatible with -deterministic")
+		}
+		if *daemonBin == "" {
+			fail("-chaos-kills requires -daemon-bin (the hbolockd binary to crash)")
+		}
+		if *dataDir == "" {
+			fail("-chaos-kills requires -data-dir (durable state shared across restarts)")
+		}
+	}
 
 	cfg := loadConfig{
 		duration:    *duration,
@@ -127,9 +155,14 @@ func main() {
 
 	var rep *report.Report
 	var err error
-	if *deterministic {
+	switch {
+	case *deterministic:
 		rep, err = runDeterministic(os.Stdout, cfg, *lockName, *shards, *faultSched, *faultSeed, *faultInt)
-	} else {
+	case *chaosKills > 0:
+		rep, err = runChaos(os.Stdout, cfg, *addr, chaosConfig{
+			bin: *daemonBin, dataDir: *dataDir, args: *daemonArgs, kills: *chaosKills,
+		})
+	default:
 		rep, err = runLive(os.Stdout, cfg, *addr)
 	}
 	if err != nil {

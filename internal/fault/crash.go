@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+// Crash-point injection for durable-state writers (the lock service's
+// write-ahead log). Where the machine-layer Injector models a sick
+// interconnect and the ServiceInjector a sick distributed system, the
+// CrashWriter models the ultimate abort: the process dies mid-write.
+// It wraps the io.Writer a WAL appends frames through and kills the
+// stream at a planned byte offset, in one of three tail shapes real
+// crashes leave behind:
+//
+//   - CrashKill: the write crossing the budget lands only partially —
+//     bytes up to the offset reach the file, the rest never do (a torn
+//     final frame when the offset falls inside one);
+//   - CrashTorn: the partial tail is followed by garbage bytes where
+//     the rest of the frame would have been (sector trash under the
+//     checksum, which replay must reject);
+//   - CrashDup: the crossing write lands fully and then lands again
+//     before the process dies (a duplicated tail frame, which replay
+//     must apply idempotently).
+//
+// Every write after the crash fails with ErrCrashed, so the wrapped
+// store goes sticky-failed exactly like a dead process's file
+// descriptor. The plan is a pure value (offset, mode): a crash-matrix
+// test enumerates offsets across a seeded workload and replays each
+// one deterministically, and CrashPlanFor derives a seed-addressable
+// plan for soak-style use.
+type CrashMode int
+
+const (
+	// CrashKill stops the stream mid-write at the planned offset.
+	CrashKill CrashMode = iota
+	// CrashTorn stops mid-write and fills the remainder of the crossing
+	// write with garbage bytes.
+	CrashTorn
+	// CrashDup completes the crossing write, duplicates it, then stops.
+	CrashDup
+)
+
+// String renders the mode for test labels and reports.
+func (m CrashMode) String() string {
+	switch m {
+	case CrashKill:
+		return "kill"
+	case CrashTorn:
+		return "torn"
+	case CrashDup:
+		return "dup"
+	}
+	return "invalid"
+}
+
+// CrashModes lists the modes in fixed order for matrix sweeps.
+func CrashModes() []CrashMode { return []CrashMode{CrashKill, CrashTorn, CrashDup} }
+
+// ErrCrashed is returned by every CrashWriter write at or after the
+// planned crash point.
+var ErrCrashed = errors.New("fault: injected crash")
+
+// CrashPlan pins one deterministic crash: the stream dies when
+// cumulative written bytes would exceed AfterBytes, with Mode shaping
+// what the crossing write leaves behind.
+type CrashPlan struct {
+	AfterBytes int64
+	Mode       CrashMode
+}
+
+// CrashPlanFor derives a seed-addressable plan over a stream of
+// totalBytes: the offset lands in [1, totalBytes] and the mode cycles
+// through all three shapes, so a (seed) coordinate replays exactly.
+func CrashPlanFor(seed uint64, totalBytes int64) CrashPlan {
+	if totalBytes < 1 {
+		totalBytes = 1
+	}
+	x := splitmix64(seed)
+	return CrashPlan{
+		AfterBytes: 1 + int64(x%uint64(totalBytes)),
+		Mode:       CrashModes()[int(splitmix64(x)%3)],
+	}
+}
+
+// CrashWriter kills a write stream at a planned byte offset. Not safe
+// for concurrent use; the WAL it wraps serializes appends already.
+type CrashWriter struct {
+	w       io.Writer
+	plan    CrashPlan
+	written int64
+	crashed bool
+}
+
+// NewCrashWriter wraps w with the given plan. An AfterBytes <= 0 plan
+// crashes on the first write.
+func NewCrashWriter(w io.Writer, plan CrashPlan) *CrashWriter {
+	return &CrashWriter{w: w, plan: plan}
+}
+
+// Write forwards p until the plan's offset, then shapes the tail per
+// the mode and fails this and every later write with ErrCrashed. The
+// crossing write reports ErrCrashed even when (Dup) its bytes landed:
+// the modeled process died before the syscall returned, so the caller
+// never learns the write survived.
+func (cw *CrashWriter) Write(p []byte) (int, error) {
+	if cw.crashed {
+		return 0, ErrCrashed
+	}
+	rem := cw.plan.AfterBytes - cw.written
+	if int64(len(p)) <= rem {
+		n, err := cw.w.Write(p)
+		cw.written += int64(n)
+		return n, err
+	}
+	cw.crashed = true
+	keep := 0
+	if rem > 0 {
+		keep = int(rem)
+	}
+	switch cw.plan.Mode {
+	case CrashKill:
+		if keep > 0 {
+			n, _ := cw.w.Write(p[:keep])
+			cw.written += int64(n)
+		}
+	case CrashTorn:
+		if keep > 0 {
+			n, _ := cw.w.Write(p[:keep])
+			cw.written += int64(n)
+		}
+		garbage := bytes.Repeat([]byte{0xA5}, len(p)-keep)
+		n, _ := cw.w.Write(garbage)
+		cw.written += int64(n)
+	case CrashDup:
+		n, _ := cw.w.Write(p)
+		cw.written += int64(n)
+		n, _ = cw.w.Write(p)
+		cw.written += int64(n)
+	}
+	return 0, ErrCrashed
+}
+
+// Crashed reports whether the planned crash point has been reached.
+func (cw *CrashWriter) Crashed() bool { return cw.crashed }
+
+// Written returns the bytes that actually reached the underlying
+// writer, including any torn or duplicated tail.
+func (cw *CrashWriter) Written() int64 { return cw.written }

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestCrashWriterKill: the crossing write lands only up to the planned
+// offset, and every later write fails sticky.
+func TestCrashWriterKill(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCrashWriter(&buf, CrashPlan{AfterBytes: 10, Mode: CrashKill})
+
+	if n, err := cw.Write(make([]byte, 8)); n != 8 || err != nil {
+		t.Fatalf("pre-crash write = (%d, %v), want (8, nil)", n, err)
+	}
+	if cw.Crashed() {
+		t.Fatal("crashed before the planned offset")
+	}
+	if n, err := cw.Write(make([]byte, 8)); n != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write = (%d, %v), want (0, ErrCrashed)", n, err)
+	}
+	if !cw.Crashed() {
+		t.Fatal("Crashed() false after the crossing write")
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("kill tail: %d bytes landed, want 10 (8 + 2 torn)", buf.Len())
+	}
+	if n, err := cw.Write([]byte("x")); n != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = (%d, %v), want sticky ErrCrashed", n, err)
+	}
+	if buf.Len() != 10 {
+		t.Fatal("post-crash write leaked bytes")
+	}
+}
+
+// TestCrashWriterTorn: the remainder of the crossing write is garbage,
+// not absent — the total length matches what a full write would have
+// been, but the tail bytes are trash.
+func TestCrashWriterTorn(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCrashWriter(&buf, CrashPlan{AfterBytes: 4, Mode: CrashTorn})
+
+	payload := []byte("ABCDEFGH")
+	if _, err := cw.Write(payload); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write error = %v, want ErrCrashed", err)
+	}
+	got := buf.Bytes()
+	if len(got) != len(payload) {
+		t.Fatalf("torn tail length = %d, want %d", len(got), len(payload))
+	}
+	if !bytes.Equal(got[:4], payload[:4]) {
+		t.Fatalf("prefix garbled: %q", got[:4])
+	}
+	if bytes.Equal(got[4:], payload[4:]) {
+		t.Fatal("tail not garbled — torn mode wrote the real bytes")
+	}
+	for _, b := range got[4:] {
+		if b != 0xA5 {
+			t.Fatalf("garbage byte %#x, want 0xA5", b)
+		}
+	}
+}
+
+// TestCrashWriterDup: the crossing write lands twice, and the caller
+// still sees ErrCrashed — the process died before the syscall
+// returned, so the duplicate is invisible to the writer.
+func TestCrashWriterDup(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCrashWriter(&buf, CrashPlan{AfterBytes: 4, Mode: CrashDup})
+
+	payload := []byte("ABCDEFGH")
+	if n, err := cw.Write(payload); n != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write = (%d, %v), want (0, ErrCrashed)", n, err)
+	}
+	want := append(append([]byte{}, payload...), payload...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("dup tail = %q, want the payload twice", buf.Bytes())
+	}
+	if cw.Written() != int64(len(want)) {
+		t.Fatalf("Written() = %d, want %d", cw.Written(), len(want))
+	}
+}
+
+// TestCrashPlanFor: plans are deterministic per seed, land inside the
+// stream, and cover every mode across a seed sweep.
+func TestCrashPlanFor(t *testing.T) {
+	const total = 1000
+	modes := map[CrashMode]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		p1 := CrashPlanFor(seed, total)
+		p2 := CrashPlanFor(seed, total)
+		if p1 != p2 {
+			t.Fatalf("seed %d: plan not deterministic: %+v vs %+v", seed, p1, p2)
+		}
+		if p1.AfterBytes < 1 || p1.AfterBytes > total {
+			t.Fatalf("seed %d: offset %d outside [1, %d]", seed, p1.AfterBytes, total)
+		}
+		modes[p1.Mode] = true
+	}
+	for _, m := range CrashModes() {
+		if !modes[m] {
+			t.Fatalf("mode %v never chosen across 64 seeds", m)
+		}
+	}
+}
+
+// TestCrashWriterImmediate: AfterBytes <= 0 crashes on the first write
+// with nothing landing (kill mode).
+func TestCrashWriterImmediate(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCrashWriter(&buf, CrashPlan{AfterBytes: 0, Mode: CrashKill})
+	if _, err := cw.Write([]byte("boom")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("first write error = %v, want ErrCrashed", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes landed before an immediate crash", buf.Len())
+	}
+}

@@ -20,13 +20,18 @@ import (
 // log's own mutex before the shard lock is dropped.
 type AccessEvent struct {
 	Seq    uint64 `json:"seq"`
-	Op     string `json:"op"` // grant, renew, release, expire, conflict, stale, truncate
-	Tenant string `json:"tenant"`
-	Key    string `json:"key"`
+	Op     string `json:"op"` // grant, renew, release, expire, conflict, stale, truncate, recovered, restore
+	Tenant string `json:"tenant,omitempty"`
+	Key    string `json:"key,omitempty"`
 	Owner  string `json:"owner,omitempty"`
 	Token  uint64 `json:"token,omitempty"`
-	// ExpiryUnixNS is the lease deadline for grant/renew/truncate events.
+	// ExpiryUnixNS is the lease deadline for grant/renew/truncate and
+	// restore events.
 	ExpiryUnixNS int64 `json:"expiry_unix_ns,omitempty"`
+	// Restored counts the live leases a `recovered` boot marker
+	// carried over; the marker is followed by one `restore` event per
+	// lease, in deterministic order.
+	Restored int `json:"restored,omitempty"`
 }
 
 // accessLog serializes events to w. A nil accessLog drops everything.
@@ -84,97 +89,186 @@ func (a *accessLog) Flush() error {
 // VerifyAccessLog replays a JSONL access log and checks the fencing
 // invariant the service promises:
 //
-//   - per (tenant, key), grant tokens are strictly monotonic;
+//   - per (tenant, key), grant tokens are strictly monotonic — across
+//     restarts too, because recovery carries the counters forward;
 //   - no two owners ever hold live grants on the same key: a grant is
 //     only legal when the previous grant has been closed by a release,
 //     an expire, or — when lease deadlines do the closing implicitly —
 //     when the new grant's log position proves the old lease's deadline
 //     had passed (the new grant carries a larger token);
-//   - renew and release events name the currently-live token.
+//   - renew and release events name the currently-live token;
+//   - a `recovered` boot marker resets the sequence counter (a new
+//     process, a new log segment) and clears all liveness, and the
+//     `restore` events that follow re-declare exactly the live set
+//     that survived — each with a token no smaller than the largest
+//     the log has seen for its key, so a dead token can never
+//     resurrect through a crash.
 //
 // It returns the number of events checked and the first violation.
 func VerifyAccessLog(r io.Reader) (int, error) {
-	type keyState struct {
-		liveToken uint64 // 0 = no live lease
-		liveOwner string
-		expiry    int64 // deadline of the live lease
-		maxToken  uint64
-	}
-	states := make(map[string]*keyState)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	n := 0
-	var lastSeq uint64
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var ev AccessEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return n, fmt.Errorf("event %d: bad JSON: %w", n+1, err)
-		}
-		n++
-		if ev.Seq <= lastSeq {
-			return n, fmt.Errorf("event %d: sequence went backwards (%d after %d)", n, ev.Seq, lastSeq)
-		}
-		lastSeq = ev.Seq
-		id := ev.Tenant + "\x00" + ev.Key
-		st := states[id]
-		if st == nil {
-			st = &keyState{}
-			states[id] = st
-		}
-		switch ev.Op {
-		case "grant":
-			if ev.Token <= st.maxToken {
-				return n, fmt.Errorf("seq %d: %s/%s token %d not monotonic (max %d)",
-					ev.Seq, ev.Tenant, ev.Key, ev.Token, st.maxToken)
+	return VerifyAccessLogSegments(r)
+}
+
+// keyState is the verifier's per-(tenant, key) fencing state.
+type keyState struct {
+	liveToken uint64 // 0 = no live lease
+	liveOwner string
+	expiry    int64 // deadline of the live lease
+	maxToken  uint64
+}
+
+// logVerifier carries fencing state across events and segments.
+type logVerifier struct {
+	states  map[string]*keyState
+	lastSeq uint64
+	n       int
+}
+
+// VerifyAccessLogSegments verifies a log split across several readers
+// — typically a pre-crash segment and one or more post-recovery
+// segments stitched together by the chaos driver. Fencing state
+// (token maxima, liveness) carries across segment boundaries; only
+// the per-process sequence counter resets, at each boundary and at
+// each in-band `recovered` marker. A single appended-to log file with
+// recovered markers and a pile of separate segment files verify
+// identically.
+// A SIGKILL can cut the log's buffered tail mid-record, so one
+// unparseable line is forgiven when it sits exactly at a crash
+// boundary: the next parseable event is a `recovered` marker (the
+// dead process's torn last line, stitched over by the restart).
+// Anywhere else — including at end of input — a bad line is
+// corruption and fails the audit.
+func VerifyAccessLogSegments(rs ...io.Reader) (int, error) {
+	v := &logVerifier{states: make(map[string]*keyState)}
+	var torn error // parse failure awaiting a crash boundary to justify it
+	for _, r := range rs {
+		v.lastSeq = 0
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
 			}
-			if st.liveToken != 0 {
-				// The previous lease was never explicitly closed; the
-				// grant is only legal if its deadline had passed.
-				if ev.ExpiryUnixNS != 0 && st.expiry != 0 && st.expiry > ev.ExpiryUnixNS {
-					return n, fmt.Errorf("seq %d: %s/%s granted token %d to %q while token %d (%q) was live",
-						ev.Seq, ev.Tenant, ev.Key, ev.Token, ev.Owner, st.liveToken, st.liveOwner)
+			var ev AccessEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				if torn != nil {
+					return v.n, torn // two bad lines: corruption, not a torn tail
 				}
+				torn = fmt.Errorf("event %d: bad JSON: %w", v.n+1, err)
+				continue
 			}
-			st.maxToken = ev.Token
-			st.liveToken = ev.Token
-			st.liveOwner = ev.Owner
-			st.expiry = ev.ExpiryUnixNS
-		case "renew":
-			if st.liveToken != ev.Token || st.liveOwner != ev.Owner {
-				return n, fmt.Errorf("seq %d: %s/%s renew of token %d by %q but live is token %d by %q",
-					ev.Seq, ev.Tenant, ev.Key, ev.Token, ev.Owner, st.liveToken, st.liveOwner)
+			if torn != nil {
+				if ev.Op != "recovered" {
+					return v.n, torn
+				}
+				torn = nil
 			}
-			st.expiry = ev.ExpiryUnixNS
-		case "release":
-			if st.liveToken != ev.Token || st.liveOwner != ev.Owner {
-				return n, fmt.Errorf("seq %d: %s/%s release of token %d by %q but live is token %d by %q",
-					ev.Seq, ev.Tenant, ev.Key, ev.Token, ev.Owner, st.liveToken, st.liveOwner)
+			v.n++
+			if err := v.step(ev); err != nil {
+				return v.n, err
 			}
-			st.liveToken, st.liveOwner, st.expiry = 0, "", 0
-		case "expire":
-			if st.liveToken != ev.Token {
-				return n, fmt.Errorf("seq %d: %s/%s expire of token %d but live is token %d",
-					ev.Seq, ev.Tenant, ev.Key, ev.Token, st.liveToken)
-			}
-			st.liveToken, st.liveOwner, st.expiry = 0, "", 0
-		case "truncate":
-			if st.liveToken == ev.Token {
-				st.expiry = ev.ExpiryUnixNS
-			}
-		case "conflict", "stale":
-			// Denials; no state change to verify beyond parseability.
-		default:
-			return n, fmt.Errorf("seq %d: unknown op %q", ev.Seq, ev.Op)
+		}
+		if err := sc.Err(); err != nil {
+			return v.n, err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return n, err
+	if torn != nil {
+		return v.n, torn
 	}
-	return n, nil
+	return v.n, nil
+}
+
+// step checks one event against the carried fencing state.
+func (v *logVerifier) step(ev AccessEvent) error {
+	if ev.Op == "recovered" {
+		// Boot marker: a fresh process numbers its events from 1 again,
+		// and everything live before the crash must be re-declared by
+		// the restore events that follow — liveness that is not
+		// restored did not survive.
+		if ev.Seq == 0 {
+			return fmt.Errorf("event %d: recovered marker with zero seq", v.n)
+		}
+		v.lastSeq = ev.Seq
+		for _, st := range v.states {
+			st.liveToken, st.liveOwner, st.expiry = 0, "", 0
+		}
+		return nil
+	}
+	if ev.Seq <= v.lastSeq {
+		return fmt.Errorf("event %d: sequence went backwards (%d after %d)", v.n, ev.Seq, v.lastSeq)
+	}
+	v.lastSeq = ev.Seq
+	id := ev.Tenant + "\x00" + ev.Key
+	st := v.states[id]
+	if st == nil {
+		st = &keyState{}
+		v.states[id] = st
+	}
+	switch ev.Op {
+	case "grant":
+		if ev.Token <= st.maxToken {
+			return fmt.Errorf("seq %d: %s/%s token %d not monotonic (max %d)",
+				ev.Seq, ev.Tenant, ev.Key, ev.Token, st.maxToken)
+		}
+		if st.liveToken != 0 {
+			// The previous lease was never explicitly closed; the
+			// grant is only legal if its deadline had passed.
+			if ev.ExpiryUnixNS != 0 && st.expiry != 0 && st.expiry > ev.ExpiryUnixNS {
+				return fmt.Errorf("seq %d: %s/%s granted token %d to %q while token %d (%q) was live",
+					ev.Seq, ev.Tenant, ev.Key, ev.Token, ev.Owner, st.liveToken, st.liveOwner)
+			}
+		}
+		st.maxToken = ev.Token
+		st.liveToken = ev.Token
+		st.liveOwner = ev.Owner
+		st.expiry = ev.ExpiryUnixNS
+	case "renew":
+		if st.liveToken != ev.Token || st.liveOwner != ev.Owner {
+			return fmt.Errorf("seq %d: %s/%s renew of token %d by %q but live is token %d by %q",
+				ev.Seq, ev.Tenant, ev.Key, ev.Token, ev.Owner, st.liveToken, st.liveOwner)
+		}
+		st.expiry = ev.ExpiryUnixNS
+	case "release":
+		if st.liveToken != ev.Token || st.liveOwner != ev.Owner {
+			return fmt.Errorf("seq %d: %s/%s release of token %d by %q but live is token %d by %q",
+				ev.Seq, ev.Tenant, ev.Key, ev.Token, ev.Owner, st.liveToken, st.liveOwner)
+		}
+		st.liveToken, st.liveOwner, st.expiry = 0, "", 0
+	case "expire":
+		if st.liveToken != ev.Token {
+			return fmt.Errorf("seq %d: %s/%s expire of token %d but live is token %d",
+				ev.Seq, ev.Tenant, ev.Key, ev.Token, st.liveToken)
+		}
+		st.liveToken, st.liveOwner, st.expiry = 0, "", 0
+	case "restore":
+		// Recovery re-declares a live lease. A token below the key's
+		// recorded maximum would be a dead token resurrecting through
+		// the crash — the exact failure class the WAL exists to stop.
+		// (Lost buffered tail events mean the token may legitimately
+		// exceed the maximum this log saw.)
+		if ev.Token < st.maxToken {
+			return fmt.Errorf("seq %d: %s/%s restored dead token %d (max seen %d)",
+				ev.Seq, ev.Tenant, ev.Key, ev.Token, st.maxToken)
+		}
+		if st.liveToken != 0 {
+			return fmt.Errorf("seq %d: %s/%s restored token %d over live token %d",
+				ev.Seq, ev.Tenant, ev.Key, ev.Token, st.liveToken)
+		}
+		st.maxToken = ev.Token
+		st.liveToken = ev.Token
+		st.liveOwner = ev.Owner
+		st.expiry = ev.ExpiryUnixNS
+	case "truncate":
+		if st.liveToken == ev.Token {
+			st.expiry = ev.ExpiryUnixNS
+		}
+	case "conflict", "stale":
+		// Denials; no state change to verify beyond parseability.
+	default:
+		return fmt.Errorf("seq %d: unknown op %q", ev.Seq, ev.Op)
+	}
+	return nil
 }
 
 // expiryNS renders a lease deadline for the log (0 for zero time).

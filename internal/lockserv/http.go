@@ -98,6 +98,16 @@ func writeDecision(w http.ResponseWriter, d Decision) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// RecoveringHandler answers every request with 503 recovering and a
+// Retry-After hint. The daemon serves it from the moment the listener
+// is up until WAL replay finishes, so clients arriving mid-boot get a
+// retryable backpressure signal instead of connection refused.
+func RecoveringHandler(retryAfter time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		writeDecision(w, Decision{Outcome: WireRecovering, RetryAfter: retryAfter})
+	})
+}
+
 // writeError renders a schema-stamped error body.
 func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

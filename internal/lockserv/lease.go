@@ -230,6 +230,26 @@ func (lt *leaseTable) truncate(key string, t time.Time) bool {
 	return true
 }
 
+// restore reinstates a recovered lease with its original deadline and
+// carries the fencing counter forward — the crash-recovery path. The
+// lease may already be past due on the injected clock; lazy expiry or
+// the next sweep collects it exactly as if the process had never died.
+func (lt *leaseTable) restore(key, owner string, token uint64, expiry time.Time) {
+	lt.leases[key] = &lease{owner: owner, token: token, expiry: expiry}
+	heap.Push(&lt.expires, expEntry{at: expiry, key: key, token: token})
+	if lt.tokens[key] < token {
+		lt.tokens[key] = token
+	}
+}
+
+// restoreToken carries a fencing counter across a restart for a key
+// with no live lease, so re-grants stay strictly monotonic.
+func (lt *leaseTable) restoreToken(key string, token uint64) {
+	if lt.tokens[key] < token {
+		lt.tokens[key] = token
+	}
+}
+
 // inspect returns the live lease for key after lazy expiry.
 func (lt *leaseTable) inspect(key string, now time.Time) (g Grant, owner string, held bool, dead deadLease, expired bool) {
 	dead, expired = lt.expireKey(key, now)

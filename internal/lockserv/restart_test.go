@@ -1,0 +1,176 @@
+package lockserv
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Restart-boundary edge cases (ManualClock): the moments around a
+// crash where lease time and fencing state interact most sharply.
+
+// restartService closes svc's world and brings a fresh service up on
+// the same data dir and clock, returning the new service and store.
+func restartService(t *testing.T, dir string, clock *ManualClock, accessLog *bytes.Buffer) (*Service, *Store) {
+	t.Helper()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	svc, err := New(Config{
+		Tenants:        []string{"t0"},
+		Shards:         1,
+		Nodes:          1,
+		ThreadsPerNode: 1,
+		Clock:          clock,
+		Store:          store,
+		AccessLog:      accessLog,
+		OpTimeout:      time.Second,
+	})
+	if err != nil {
+		t.Fatalf("restarting service: %v", err)
+	}
+	return svc, store
+}
+
+func startService(t *testing.T, dir string, clock *ManualClock, accessLog *bytes.Buffer) (*Service, *Store) {
+	t.Helper()
+	return restartService(t, dir, clock, accessLog)
+}
+
+// TestRestartLeaseExpiringAtCrashTime: a lease whose deadline is
+// exactly the crash instant is restored, then collected — not revived
+// into extra lifetime, and its token stays dead for renewal.
+func TestRestartLeaseExpiringAtCrashTime(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(time.Unix(500, 0))
+	svc, store := startService(t, dir, clock, nil)
+
+	d, err := svc.Acquire("t0", "k", "alice", time.Second)
+	if err != nil || d.Outcome != WireGranted {
+		t.Fatalf("acquire = %+v, %v", d, err)
+	}
+	expiry := d.Expiry
+	// Crash lands exactly when the lease falls due.
+	clock.Set(expiry)
+	store.Close()
+
+	svc2, store2 := restartService(t, dir, clock, nil)
+	defer store2.Close()
+	// The lease is restored with its original deadline — now — so the
+	// first sweep collects it immediately.
+	if n := svc2.SweepDue(); n != 1 {
+		t.Fatalf("SweepDue after replay = %d, want 1 (the at-deadline lease)", n)
+	}
+	// Its token is dead: the pre-crash holder's renew must be stale.
+	r, err := svc2.Renew("t0", "k", "alice", d.Token, time.Second)
+	if err != nil || r.Outcome != WireStale {
+		t.Fatalf("renew of expired-at-crash token = %+v, %v, want stale", r, err)
+	}
+	// And the re-grant continues the fencing sequence.
+	g, err := svc2.Acquire("t0", "k", "bob", time.Second)
+	if err != nil || g.Outcome != WireGranted {
+		t.Fatalf("re-acquire = %+v, %v", g, err)
+	}
+	if g.Token <= d.Token {
+		t.Fatalf("re-grant token %d not past crashed token %d", g.Token, d.Token)
+	}
+}
+
+// TestRestartRenewPersistedResponseLost: the renew reached the WAL but
+// its response never reached the client (the crash ate it). The client
+// retries with its old token — which must still be live, carrying the
+// persisted deadline.
+func TestRestartRenewPersistedResponseLost(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(time.Unix(500, 0))
+	svc, store := startService(t, dir, clock, nil)
+
+	d, err := svc.Acquire("t0", "k", "alice", time.Second)
+	if err != nil || d.Outcome != WireGranted {
+		t.Fatalf("acquire = %+v, %v", d, err)
+	}
+	clock.Advance(500 * time.Millisecond)
+	// The renew persists and is acked server-side; the crash happens
+	// before the client reads the response.
+	r, err := svc.Renew("t0", "k", "alice", d.Token, 2*time.Second)
+	if err != nil || r.Outcome != WireRenewed {
+		t.Fatalf("renew = %+v, %v", r, err)
+	}
+	store.Close()
+
+	clock.Advance(100 * time.Millisecond)
+	svc2, store2 := restartService(t, dir, clock, nil)
+	defer store2.Close()
+	// The restored lease carries the renewed deadline, not the grant's.
+	insp, err := svc2.Inspect("t0", "k")
+	if err != nil || insp.Outcome != WireHeld {
+		t.Fatalf("inspect = %+v, %v", insp, err)
+	}
+	if !insp.Expiry.Equal(r.Expiry) {
+		t.Fatalf("restored expiry %v, want the persisted renewal's %v", insp.Expiry, r.Expiry)
+	}
+	// The client's retry with the same token succeeds: same token, same
+	// owner, fresh deadline — an idempotent outcome, not a stale error.
+	retry, err := svc2.Renew("t0", "k", "alice", d.Token, 2*time.Second)
+	if err != nil || retry.Outcome != WireRenewed {
+		t.Fatalf("retried renew = %+v, %v, want renewed", retry, err)
+	}
+	if retry.Token != d.Token {
+		t.Fatalf("retried renew changed the token: %d → %d", d.Token, retry.Token)
+	}
+}
+
+// TestRestartSweepImmediatelyAfterReplay: replay restores a mix of
+// live and long-dead leases; SweepDue straight after boot collects
+// exactly the dead ones and the access log of the whole life — grant,
+// crash, restore, expire, re-grant — verifies.
+func TestRestartSweepImmediatelyAfterReplay(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(time.Unix(500, 0))
+	var pre bytes.Buffer
+	svc, store := startService(t, dir, clock, &pre)
+
+	short, err := svc.Acquire("t0", "dies", "alice", 100*time.Millisecond)
+	if err != nil || short.Outcome != WireGranted {
+		t.Fatalf("acquire dies = %+v, %v", short, err)
+	}
+	long, err := svc.Acquire("t0", "lives", "bob", time.Hour)
+	if err != nil || long.Outcome != WireGranted {
+		t.Fatalf("acquire lives = %+v, %v", long, err)
+	}
+	// Crash well past the short lease's deadline, long before the
+	// long one's.
+	clock.Advance(10 * time.Second)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	var post bytes.Buffer
+	svc2, store2 := restartService(t, dir, clock, &post)
+	defer store2.Close()
+	// Both leases are restored (the dead one was never collected before
+	// the crash), and the first sweep buries the dead one only.
+	if n := svc2.SweepDue(); n != 1 {
+		t.Fatalf("SweepDue after replay = %d, want 1", n)
+	}
+	insp, err := svc2.Inspect("t0", "lives")
+	if err != nil || insp.Outcome != WireHeld || insp.Token != long.Token {
+		t.Fatalf("lives = %+v, %v, want held with token %d", insp, err, long.Token)
+	}
+	if d, err := svc2.Inspect("t0", "dies"); err != nil || d.Outcome != WireFree {
+		t.Fatalf("dies = %+v, %v, want free", d, err)
+	}
+	// Fencing continues over the grave.
+	g, err := svc2.Acquire("t0", "dies", "carol", time.Second)
+	if err != nil || g.Outcome != WireGranted || g.Token <= short.Token {
+		t.Fatalf("re-grant = %+v, %v, want token > %d", g, err, short.Token)
+	}
+	if err := svc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := VerifyAccessLogSegments(bytes.NewReader(pre.Bytes()), bytes.NewReader(post.Bytes())); err != nil {
+		t.Fatalf("stitched log failed after %d events: %v", n, err)
+	}
+}

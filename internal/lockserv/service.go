@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,14 @@ type Config struct {
 	// AccessLog, when non-nil, receives the JSONL lease audit trail
 	// that VerifyAccessLog checks.
 	AccessLog io.Writer
+	// Store, when non-nil, makes the service crash-safe: every lease
+	// transition is appended to the store's WAL before the response
+	// leaves the shard, and New restores the store's recovered state —
+	// fencing counters and live leases with their original deadlines —
+	// before serving. A store that can no longer persist fails the
+	// service closed: mutations are refused as busy rather than handing
+	// out tokens the next boot would forget.
+	Store *Store
 }
 
 // withDefaults fills unset fields.
@@ -139,17 +148,18 @@ func (c Config) Validate() error {
 // Wire outcome strings: the versioned vocabulary shared by the HTTP
 // layer, the client, and the deterministic driver's tables.
 const (
-	WireGranted   = "granted"
-	WireRenewed   = "renewed"
-	WireReleased  = "released"
-	WireConflict  = "conflict"
-	WireStale     = "stale"
-	WireThrottled = "throttled"
-	WireBusy      = "busy"
-	WireDraining  = "draining"
-	WireNACK      = "nack"
-	WireFree      = "free" // inspect: no live lease
-	WireHeld      = "held" // inspect: live lease exists
+	WireGranted    = "granted"
+	WireRenewed    = "renewed"
+	WireReleased   = "released"
+	WireConflict   = "conflict"
+	WireStale      = "stale"
+	WireThrottled  = "throttled"
+	WireBusy       = "busy"
+	WireDraining   = "draining"
+	WireNACK       = "nack"
+	WireFree       = "free"       // inspect: no live lease
+	WireHeld       = "held"       // inspect: live lease exists
+	WireRecovering = "recovering" // daemon is replaying its WAL; retry shortly
 )
 
 // Decision is the service's answer to one operation. Outcome is one of
@@ -172,7 +182,7 @@ type Decision struct {
 // succeeds again).
 func (d Decision) Retryable() bool {
 	switch d.Outcome {
-	case WireThrottled, WireBusy, WireDraining, WireNACK:
+	case WireThrottled, WireBusy, WireDraining, WireNACK, WireRecovering:
 		return true
 	}
 	return false
@@ -219,7 +229,11 @@ type Service struct {
 	order    []*tenantState
 	log      *accessLog
 	faults   *fault.ServiceInjector
+	store    *Store
 	draining atomic.Bool
+	// persistFailed latches when a WAL append errors; mutations are
+	// refused from then on (fail-closed durability).
+	persistFailed atomic.Bool
 }
 
 // New builds a Service; the Config must pass Validate.
@@ -239,6 +253,7 @@ func New(cfg Config) (*Service, error) {
 		tenants: make(map[string]*tenantState, len(cfg.Tenants)),
 		log:     newAccessLog(cfg.AccessLog),
 		faults:  cfg.Faults,
+		store:   cfg.Store,
 	}
 	for n := range s.pools {
 		pool := make(chan *core.Thread, cfg.ThreadsPerNode)
@@ -273,7 +288,76 @@ func New(cfg Config) (*Service, error) {
 		s.tenants[name] = ts
 		s.order = append(s.order, ts)
 	}
+	if s.store != nil {
+		if err := s.restoreFromStore(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// restoreFromStore replays the store's recovered state into the shard
+// tables: fencing counters for every key ever granted, live leases
+// with their original deadlines on the configured Clock. It emits the
+// `recovered` boot marker and one `restore` access-log event per live
+// lease, in deterministic order, so a stitched pre/post-crash log
+// verifies end to end.
+func (s *Service) restoreFromStore() error {
+	leases, tokens := s.store.Restored()
+	for tenant := range tokens {
+		if s.tenants[tenant] == nil {
+			return fmt.Errorf("lockserv: store %s holds state for tenant %q not in config", s.store.Dir(), tenant)
+		}
+	}
+	s.log.record(AccessEvent{Op: "recovered", Restored: len(leases)})
+	// Counters first (order within a tenant does not matter for
+	// counters, but iterate deterministically anyway), then leases —
+	// restore() also carries its own token, so overlap is harmless.
+	for _, ts := range s.order {
+		tm := tokens[ts.name]
+		keys := make([]string, 0, len(tm))
+		for k := range tm {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s.shardFor(ts, k).table.restoreToken(k, tm[k])
+		}
+	}
+	for _, rl := range leases {
+		ts := s.tenants[rl.Tenant]
+		sh := s.shardFor(ts, rl.Key)
+		sh.table.restore(rl.Key, rl.Owner, rl.Token, time.Unix(0, rl.ExpiryUnixNS))
+		sh.c.keys.Add(1)
+		s.log.record(AccessEvent{
+			Op: "restore", Tenant: rl.Tenant, Key: rl.Key, Owner: rl.Owner,
+			Token: rl.Token, ExpiryUnixNS: rl.ExpiryUnixNS,
+		})
+	}
+	return nil
+}
+
+// persist appends one lease transition to the WAL. Called with the
+// shard lock held, after the in-memory transition and before the
+// response is returned. A false return means the transition did NOT
+// reach the WAL: the caller must not acknowledge it (the client gets
+// busy instead — a grant acked but forgotten by the next boot would
+// remint its token, the double-grant this whole layer exists to
+// prevent), and the fail-closed latch refuses all later mutations.
+func (s *Service) persist(op string, sh *shardState, key, owner string, token uint64, expiryNS int64) bool {
+	if s.store == nil {
+		return true
+	}
+	if err := s.store.Append(op, sh.tenant, key, owner, token, expiryNS); err != nil {
+		s.persistFailed.Store(true)
+		return false
+	}
+	return true
+}
+
+// refused is the decision handed back when persistence failed mid-op.
+func (s *Service) refused(sh *shardState) Decision {
+	return Decision{Outcome: WireBusy, Node: sh.node, RetryAfter: s.cfg.OpTimeout}
 }
 
 // LockName returns the configured shard-arbitration algorithm.
@@ -294,7 +378,17 @@ func (s *Service) Draining() bool { return s.draining.Load() }
 func (s *Service) Drain() { s.draining.Store(true) }
 
 // Close flushes the access log. Call after the transport has stopped.
+// The durable store (if any) is owned by the caller and closed
+// separately, after Close.
 func (s *Service) Close() error { return s.log.Flush() }
+
+// Store returns the durable store backing the service, or nil for an
+// in-memory service.
+func (s *Service) Store() *Store { return s.store }
+
+// PersistFailed reports whether a WAL append has failed, leaving the
+// service refusing mutations (fail-closed durability).
+func (s *Service) PersistFailed() bool { return s.persistFailed.Load() }
 
 // shardFor routes a key to its tenant shard by FNV-1a hash.
 func (s *Service) shardFor(ts *tenantState, key string) *shardState {
@@ -333,6 +427,11 @@ func (s *Service) checkout(node int, budget time.Duration) (*core.Thread, bool) 
 func (s *Service) admit(sh *shardState, now time.Time) *Decision {
 	if s.draining.Load() {
 		return &Decision{Outcome: WireDraining, Node: sh.node, RetryAfter: s.cfg.OpTimeout}
+	}
+	if s.persistFailed.Load() {
+		// Fail closed: a service that cannot persist transitions must
+		// not hand out fencing tokens a restart would forget.
+		return &Decision{Outcome: WireBusy, Node: sh.node, RetryAfter: s.cfg.OpTimeout}
 	}
 	if ra, bounced := s.faults.Bounce(); bounced {
 		sh.c.nacks.Add(1)
@@ -376,13 +475,19 @@ func (s *Service) withShard(sh *shardState, f func(now time.Time)) *Decision {
 	return nil
 }
 
-// expireOne logs and counts one lazily-collected lease.
+// expireOne logs and counts one lazily-collected lease. Unlike the
+// acked transitions, a failed expire append is tolerated (beyond the
+// fail-closed latch it trips): an expire is not a promise to any
+// client, and a lease revived by the lost frame comes back with its
+// original — already passed — deadline, so its token can never
+// validate again anyway.
 func (s *Service) expireOne(sh *shardState, dead deadLease, expired bool) {
 	if !expired {
 		return
 	}
 	sh.c.expiries.Add(1)
 	sh.c.keys.Add(-1)
+	_ = s.persist("expire", sh, dead.key, dead.owner, dead.token, 0)
 	s.log.record(AccessEvent{Op: "expire", Tenant: sh.tenant, Key: dead.key, Owner: dead.owner, Token: dead.token})
 }
 
@@ -441,11 +546,19 @@ func (s *Service) Acquire(tenant, key, owner string, ttl time.Duration) (Decisio
 		out = Decision{Token: g.Token, Expiry: g.Expiry, Holder: holder, Node: sh.node, Locality: sh.localityRatio()}
 		switch o {
 		case Granted:
+			if !s.persist("grant", sh, key, owner, g.Token, expiryNS(g.Expiry)) {
+				out = s.refused(sh)
+				return
+			}
 			sh.c.grants.Add(1)
 			sh.c.keys.Add(1)
 			out.Outcome = WireGranted
 			s.log.record(AccessEvent{Op: "grant", Tenant: sh.tenant, Key: key, Owner: owner, Token: g.Token, ExpiryUnixNS: expiryNS(g.Expiry)})
 		case Renewed:
+			if !s.persist("renew", sh, key, owner, g.Token, expiryNS(g.Expiry)) {
+				out = s.refused(sh)
+				return
+			}
 			sh.c.renews.Add(1)
 			out.Outcome = WireRenewed
 			s.log.record(AccessEvent{Op: "renew", Tenant: sh.tenant, Key: key, Owner: owner, Token: g.Token, ExpiryUnixNS: expiryNS(g.Expiry)})
@@ -487,6 +600,10 @@ func (s *Service) Renew(tenant, key, owner string, token uint64, ttl time.Durati
 		s.expireOne(sh, dead, expired)
 		out = Decision{Token: g.Token, Expiry: g.Expiry, Node: sh.node, Locality: sh.localityRatio()}
 		if o == Renewed {
+			if !s.persist("renew", sh, key, owner, token, expiryNS(g.Expiry)) {
+				out = s.refused(sh)
+				return
+			}
 			sh.c.renews.Add(1)
 			out.Outcome = WireRenewed
 			s.log.record(AccessEvent{Op: "renew", Tenant: sh.tenant, Key: key, Owner: owner, Token: token, ExpiryUnixNS: expiryNS(g.Expiry)})
@@ -524,6 +641,10 @@ func (s *Service) Release(tenant, key, owner string, token uint64) (Decision, er
 		s.expireOne(sh, dead, expired)
 		out = Decision{Node: sh.node, Locality: sh.localityRatio()}
 		if o == Released {
+			if !s.persist("release", sh, key, owner, token, 0) {
+				out = s.refused(sh)
+				return
+			}
 			sh.c.releases.Add(1)
 			sh.c.keys.Add(-1)
 			out.Outcome = WireReleased

@@ -1,0 +1,300 @@
+package lockserv
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openTestStore opens a store in dir, failing the test on error.
+func openTestStore(t *testing.T, dir string, opts StoreOptions) *Store {
+	t.Helper()
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenStore(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestStoreRoundtrip: appends recover byte-for-byte into the same
+// leases and fencing counters after a clean close.
+func TestStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	mustAppend := func(op, tenant, key, owner string, token uint64, exp int64) {
+		t.Helper()
+		if err := s.Append(op, tenant, key, owner, token, exp); err != nil {
+			t.Fatalf("Append(%s %s/%s): %v", op, tenant, key, err)
+		}
+	}
+	mustAppend("grant", "t0", "a", "alice", 1, 1000)
+	mustAppend("grant", "t0", "b", "bob", 1, 2000)
+	mustAppend("release", "t0", "a", "alice", 1, 0)
+	mustAppend("grant", "t0", "a", "carol", 2, 3000)
+	mustAppend("renew", "t0", "a", "carol", 2, 4000)
+	mustAppend("grant", "t1", "a", "dave", 1, 5000)
+	mustAppend("expire", "t1", "a", "dave", 1, 0)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openTestStore(t, dir, StoreOptions{})
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.FramesReplayed != 7 || rec.TornTail {
+		t.Fatalf("recovery = %+v, want 7 replayed and no torn tail", rec)
+	}
+	leases, tokens := r.Restored()
+	if len(leases) != 2 {
+		t.Fatalf("restored %d leases, want 2 (%+v)", len(leases), leases)
+	}
+	if l := leases[0]; l.Tenant != "t0" || l.Key != "a" || l.Owner != "carol" || l.Token != 2 || l.ExpiryUnixNS != 4000 {
+		t.Fatalf("lease[0] = %+v, want t0/a carol token 2 expiry 4000", l)
+	}
+	if l := leases[1]; l.Tenant != "t0" || l.Key != "b" || l.Owner != "bob" || l.Token != 1 {
+		t.Fatalf("lease[1] = %+v, want t0/b bob token 1", l)
+	}
+	if tokens["t1"]["a"] != 1 {
+		t.Fatalf("t1/a counter = %d, want 1 (expired lease must keep its fencing counter)", tokens["t1"]["a"])
+	}
+	if tokens["t0"]["a"] != 2 {
+		t.Fatalf("t0/a counter = %d, want 2", tokens["t0"]["a"])
+	}
+}
+
+// TestStoreCompaction: crossing SnapshotEvery snapshots and resets the
+// WAL, and recovery from snapshot + empty WAL matches recovery from
+// the records themselves.
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{SnapshotEvery: 4})
+	for i := 0; i < 10; i++ {
+		tok := uint64(i + 1)
+		if err := s.Append("grant", "t0", "k", "o", tok, int64(100*tok)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if err := s.Append("release", "t0", "k", "o", tok, 0); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	if err := s.Append("grant", "t0", "k", "o", 11, 9999); err != nil {
+		t.Fatalf("final grant: %v", err)
+	}
+	s.Close()
+
+	// 21 appends with SnapshotEvery=4 must have compacted: the WAL
+	// holds only the records since the last snapshot.
+	wal, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatalf("reading wal: %v", err)
+	}
+	recs, _, _, err := decodeFrames(wal)
+	if err != nil {
+		t.Fatalf("decoding wal: %v", err)
+	}
+	if len(recs) >= 21 {
+		t.Fatalf("WAL still holds %d records; compaction never ran", len(recs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFileName)); err != nil {
+		t.Fatalf("no snapshot after 21 appends: %v", err)
+	}
+
+	r := openTestStore(t, dir, StoreOptions{})
+	defer r.Close()
+	leases, tokens := r.Restored()
+	if len(leases) != 1 || leases[0].Token != 11 || leases[0].ExpiryUnixNS != 9999 {
+		t.Fatalf("restored %+v, want one lease with token 11 expiry 9999", leases)
+	}
+	if tokens["t0"]["k"] != 11 {
+		t.Fatalf("counter = %d, want 11", tokens["t0"]["k"])
+	}
+	if r.Seq() != 21 {
+		t.Fatalf("recovered seq = %d, want 21", r.Seq())
+	}
+}
+
+// TestStoreCrashBetweenRenameAndTruncate: a snapshot that landed while
+// the WAL still holds pre-snapshot records (the crash window between
+// rename and truncate) replays without double-applying — stale frames
+// are skipped by sequence number.
+func TestStoreCrashBetweenRenameAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	for i := 1; i <= 3; i++ {
+		if err := s.Append("grant", "t0", "k", "o", uint64(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 {
+			if err := s.Append("release", "t0", "k", "o", uint64(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Snapshot manually, then undo the WAL truncation by rewriting the
+	// full pre-snapshot WAL — the exact state a crash between rename
+	// and truncate leaves behind.
+	walBefore, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, walFileName), walBefore, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir, StoreOptions{})
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.FramesSkipped != 5 || rec.FramesReplayed != 0 {
+		t.Fatalf("recovery = %+v, want all 5 stale frames skipped", rec)
+	}
+	leases, tokens := r.Restored()
+	if len(leases) != 1 || leases[0].Token != 3 {
+		t.Fatalf("restored %+v, want the token-3 lease alone", leases)
+	}
+	if tokens["t0"]["k"] != 3 {
+		t.Fatalf("counter = %d, want 3", tokens["t0"]["k"])
+	}
+}
+
+// TestStoreTornTail: a WAL cut mid-frame recovers everything before
+// the tear, reports it, and (read-write) truncates the tail so appends
+// resume cleanly.
+func TestStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	for i := 1; i <= 3; i++ {
+		if err := s.Append("grant", "t0", string(rune('a'+i-1)), "o", 1, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	walPath := filepath.Join(dir, walFileName)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut 5 bytes into the final frame.
+	if err := os.WriteFile(walPath, full[:len(full)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir, StoreOptions{})
+	rec := r.Recovery()
+	if !rec.TornTail || rec.FramesReplayed != 2 || rec.TruncatedBytes == 0 {
+		t.Fatalf("recovery = %+v, want torn tail with 2 frames replayed", rec)
+	}
+	// Appends resume after the tear; the next recovery sees a clean log
+	// with the tail replaced by the new record.
+	if err := r.Append("grant", "t0", "c", "o", 1, 33); err != nil {
+		t.Fatalf("append after tear: %v", err)
+	}
+	r.Close()
+
+	r2 := openTestStore(t, dir, StoreOptions{})
+	defer r2.Close()
+	if rec := r2.Recovery(); rec.TornTail || rec.FramesReplayed != 3 {
+		t.Fatalf("post-repair recovery = %+v, want 3 clean frames", rec)
+	}
+	leases, _ := r2.Restored()
+	if len(leases) != 3 || leases[2].ExpiryUnixNS != 33 {
+		t.Fatalf("restored %+v, want 3 leases with the rewritten tail", leases)
+	}
+}
+
+// TestStoreReadOnlyDeterminism: read-only recovery leaves the torn
+// bytes in place, so two passes produce byte-identical reports — the
+// `hbolockd -check-data` contract CI checks with cmp.
+func TestStoreReadOnlyDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	for i := 1; i <= 4; i++ {
+		if err := s.Append("grant", "t0", "k", "o", uint64(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append("release", "t0", "k", "o", uint64(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	walPath := filepath.Join(dir, walFileName)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var reports [2]bytes.Buffer
+	for i := range reports {
+		ro := openTestStore(t, dir, StoreOptions{ReadOnly: true})
+		if err := ro.Recovery().WriteJSON(&reports[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ro.Append("grant", "t0", "x", "o", 9, 9); err == nil {
+			t.Fatal("append to read-only store succeeded")
+		}
+	}
+	if !bytes.Equal(reports[0].Bytes(), reports[1].Bytes()) {
+		t.Fatalf("read-only recovery reports differ:\n%s\nvs\n%s", reports[0].Bytes(), reports[1].Bytes())
+	}
+	after, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(full)-3 {
+		t.Fatalf("read-only recovery changed the WAL: %d bytes, want %d", len(after), len(full)-3)
+	}
+	if rec := openTestStore(t, dir, StoreOptions{ReadOnly: true}).Recovery(); !rec.TornTail {
+		t.Fatalf("recovery = %+v, want torn tail still reported", rec)
+	}
+}
+
+// TestStoreStickyFailure: a failed append latches; every later append
+// returns the same error and Close surfaces it.
+func TestStoreStickyFailure(t *testing.T) {
+	dir := t.TempDir()
+	fails := &failAfterWriter{budget: 1}
+	s := openTestStore(t, dir, StoreOptions{WrapWAL: fails.wrap})
+	if err := s.Append("grant", "t0", "a", "o", 1, 1); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := s.Append("grant", "t0", "b", "o", 1, 2); err == nil {
+		t.Fatal("append beyond the writer's budget succeeded")
+	}
+	if !s.Failed() {
+		t.Fatal("store not sticky-failed after a write error")
+	}
+	if err := s.Append("release", "t0", "a", "o", 1, 0); err == nil {
+		t.Fatal("append after sticky failure succeeded")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the sticky error")
+	}
+}
+
+// failAfterWriter fails every write after the first `budget` writes.
+type failAfterWriter struct {
+	budget int
+	inner  io.Writer
+}
+
+func (f *failAfterWriter) wrap(w io.Writer) io.Writer {
+	f.inner = w
+	return f
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, os.ErrClosed
+	}
+	f.budget--
+	return f.inner.Write(p)
+}

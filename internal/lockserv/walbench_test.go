@@ -1,0 +1,122 @@
+package lockserv
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// Durability has a price: every grant/renew/release ack now waits for
+// a WAL append. The contract is that the durable service keeps at
+// least 75% of the in-memory service's uncontended op throughput —
+// the frame encode plus one buffered write syscall, not an fsync, per
+// op. The benchmarks measure it; the guard enforces it when
+// HBO_WAL_OVERHEAD_GUARD=1 (its own CI step, like the obs guard, so
+// scheduler noise cannot flake the main test job).
+//
+// Numbers for this host live in BENCH_wal.json. Reproduce with:
+//
+//	go test -run '^$' -bench 'ServiceAcquireRelease' -count 5 ./internal/lockserv/
+//	HBO_WAL_OVERHEAD_GUARD=1 go test -run TestWALOverheadGuard -v ./internal/lockserv/
+
+func benchService(b *testing.B, durable bool) {
+	cfg := Config{
+		Tenants:    []string{"t0"},
+		Shards:     1,
+		DefaultTTL: time.Minute,
+		MaxTTL:     time.Minute,
+	}
+	if durable {
+		store, err := OpenStore(b.TempDir(), StoreOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer store.Close()
+		cfg.Store = store
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := svc.Acquire("t0", "k", "bench", time.Minute)
+		if err != nil || d.Outcome != WireGranted {
+			b.Fatalf("acquire %d = %+v, %v", i, d, err)
+		}
+		if r, err := svc.Release("t0", "k", "bench", d.Token); err != nil || r.Outcome != WireReleased {
+			b.Fatalf("release %d = %+v, %v", i, r, err)
+		}
+	}
+}
+
+func BenchmarkServiceAcquireReleaseMemory(b *testing.B)  { benchService(b, false) }
+func BenchmarkServiceAcquireReleaseDurable(b *testing.B) { benchService(b, true) }
+
+// BenchmarkStoreAppend is the isolated WAL append: encode one frame in
+// place in the mapping, fold it into the shadow state, amortized
+// snapshot compaction included.
+func BenchmarkStoreAppend(b *testing.B) {
+	store, err := OpenStore(b.TempDir(), StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := "grant"
+		if i%2 == 1 {
+			op = "release"
+		}
+		if err := store.Append(op, "t0", "k", "bench", uint64(i/2+1), 1754650000000000000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// measureServiceNsPerOp returns one round's ns/op for the given side.
+func measureServiceNsPerOp(durable bool) float64 {
+	r := testing.Benchmark(func(b *testing.B) { benchService(b, durable) })
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// TestWALOverheadGuard fails if the durable acquire/release cycle
+// drops below 75% of the in-memory throughput. Gated behind an
+// environment variable because it is a timing assertion: run it alone
+// on an otherwise idle machine.
+//
+// Measurement design: the two sides are benchmarked in back-to-back
+// (memory, durable) pairs and the ratio is taken within each pair,
+// keeping the best. Host disturbances — CPU frequency drift, a noisy
+// CI neighbor — shift both halves of an adjacent pair together, so a
+// within-pair ratio is far more stable than a ratio of minima taken
+// minutes apart; the best pair estimates the undisturbed ratio.
+func TestWALOverheadGuard(t *testing.T) {
+	if os.Getenv("HBO_WAL_OVERHEAD_GUARD") != "1" {
+		t.Skip("set HBO_WAL_OVERHEAD_GUARD=1 to run the timing guard")
+	}
+	const rounds = 5
+	// One warmup of each side before measuring.
+	measureServiceNsPerOp(false)
+	measureServiceNsPerOp(true)
+	var mem, dur, best float64
+	for i := 0; i < rounds; i++ {
+		m := measureServiceNsPerOp(false)
+		d := measureServiceNsPerOp(true)
+		t.Logf("pair %d: memory=%.0fns/op durable=%.0fns/op ratio=%.1f%%", i, m, d, m/d*100)
+		if r := m / d; r > best {
+			best, mem, dur = r, m, d
+		}
+	}
+	ratio := best * 100 // durable throughput as % of in-memory
+	t.Logf("best pair: memory=%.0fns/op durable=%.0fns/op durable throughput=%.1f%% of in-memory", mem, dur, ratio)
+	if dur*0.75 > mem {
+		t.Fatalf("durable acquire/release %.0fns/op is %.1f%% of in-memory %.0fns/op (floor 75%%)",
+			dur, ratio, mem)
+	}
+	fmt.Printf("wal-overhead-guard: memory=%.0f durable=%.0f throughput=%.1f%% floor=75%%\n", mem, dur, ratio)
+}

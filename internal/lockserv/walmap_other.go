@@ -1,0 +1,20 @@
+//go:build !linux
+
+package lockserv
+
+import "os"
+
+// walMapper is linux-only; other platforms fall back to plain write(2)
+// appends in the store (newWalMapper returning an error selects the
+// fallback path).
+type walMapper struct{}
+
+func newWalMapper(f *os.File, validLen, sizeHint int64) (*walMapper, error) {
+	return nil, os.ErrInvalid
+}
+
+func (w *walMapper) Write(p []byte) (int, error)      { return 0, os.ErrInvalid }
+func (w *walMapper) reserve(need int) ([]byte, error) { return nil, os.ErrInvalid }
+func (w *walMapper) commit(frame []byte) error        { return os.ErrInvalid }
+func (w *walMapper) reset()                           {}
+func (w *walMapper) close(exact bool) error           { return nil }

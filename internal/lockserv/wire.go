@@ -80,7 +80,7 @@ func StatusOf(outcome string) int {
 		return 410
 	case WireThrottled:
 		return 429
-	case WireBusy, WireNACK, WireDraining:
+	case WireBusy, WireNACK, WireDraining, WireRecovering:
 		return 503
 	}
 	return 500

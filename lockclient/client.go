@@ -26,10 +26,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/lockserv"
@@ -191,7 +194,11 @@ func retryAfter(r lockserv.OpResponse) (time.Duration, bool) {
 	return 0, false
 }
 
-// sleep waits for d or ctx, whichever first.
+// sleep waits for d or ctx, whichever first. Every retry loop backs
+// off through here, so a caller canceling its context abandons the
+// session promptly even mid-sleep — during a long daemon restart the
+// server's Retry-After hints can reach seconds, and a sleep that
+// ignored cancellation would pin the caller for all of it.
 func sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
@@ -204,6 +211,35 @@ func sleep(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// retryableTransport reports whether a request failed in a way that a
+// daemon restart explains: connection refused or reset (the process
+// is down or came down mid-exchange), a dropped connection mid-body,
+// or a dial timeout. Such failures are treated like a NACK with no
+// hint — retry on the backoff schedule — so sessions ride through a
+// crash/restart cycle transparently instead of surfacing a transport
+// error to the caller. Context cancellation is never retryable.
+func retryableTransport(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	// A name that does not resolve is a configuration error, not a
+	// restart in progress — do not spin on it.
+	var de *net.DNSError
+	if errors.As(err, &de) {
+		return false
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
 }
 
 // leaseOf builds the client-side lease from a grant response.
@@ -256,6 +292,9 @@ func (e *RetryError) Error() string {
 // Retry-After hints override the schedule when longer.
 func (c *Client) Acquire(ctx context.Context, tenant, key string, ttl time.Duration) (*Lease, error) {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l, err := c.AcquireOnce(ctx, tenant, key, ttl)
 		if err == nil {
 			return l, nil
@@ -272,6 +311,9 @@ func (c *Client) Acquire(ctx context.Context, tenant, key string, ttl time.Durat
 			if re.RetryAfter > d {
 				d = re.RetryAfter
 			}
+		case retryableTransport(err):
+			// The daemon is restarting (connection refused) or died
+			// mid-exchange; back off and ride it out.
 		default:
 			return nil, err
 		}
@@ -285,12 +327,21 @@ func (c *Client) Acquire(ctx context.Context, tenant, key string, ttl time.Durat
 // ErrStale means the lease is gone for good.
 func (c *Client) Renew(ctx context.Context, l *Lease, ttl time.Duration) error {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, err := c.post(ctx, "/v1/renew", lockserv.OpRequest{
 			Tenant: l.Tenant, Key: l.Key, Owner: l.Owner, Token: l.Token,
 			TTLMS: int64(ttl / time.Millisecond),
 		})
 		if err != nil {
-			return err
+			if !retryableTransport(err) {
+				return err
+			}
+			if serr := sleep(ctx, c.delay(attempt)); serr != nil {
+				return serr
+			}
+			continue
 		}
 		switch r.Outcome {
 		case lockserv.WireRenewed:
@@ -314,11 +365,20 @@ func (c *Client) Renew(ctx context.Context, l *Lease, ttl time.Duration) error {
 // expiry as suspect, which is exactly what the token protocol is for.
 func (c *Client) Release(ctx context.Context, l *Lease) error {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, err := c.post(ctx, "/v1/release", lockserv.OpRequest{
 			Tenant: l.Tenant, Key: l.Key, Owner: l.Owner, Token: l.Token,
 		})
 		if err != nil {
-			return err
+			if !retryableTransport(err) {
+				return err
+			}
+			if serr := sleep(ctx, c.delay(attempt)); serr != nil {
+				return serr
+			}
+			continue
 		}
 		switch r.Outcome {
 		case lockserv.WireReleased:

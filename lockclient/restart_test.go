@@ -1,0 +1,147 @@
+package lockclient
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/lockserv"
+)
+
+// serveOn runs a fresh service core on an existing listener, returning
+// the stopper.
+func serveOn(t *testing.T, ln net.Listener, svc *lockserv.Service) func() {
+	t.Helper()
+	srv := &http.Server{Handler: lockserv.Handler(svc)}
+	go srv.Serve(ln)
+	return func() { srv.Close() }
+}
+
+func newService(t *testing.T) *lockserv.Service {
+	t.Helper()
+	svc, err := lockserv.New(lockserv.Config{
+		Tenants:    []string{"t0"},
+		Shards:     2,
+		DefaultTTL: time.Second,
+		MaxTTL:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestClientRidesThroughRestart: the daemon goes away mid-session —
+// connections refused — and comes back on the same address. Acquire
+// and Renew retry through the outage instead of surfacing a transport
+// error, exactly as they would across a crash/restart cycle.
+func TestClientRidesThroughRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	svc := newService(t)
+	stop := serveOn(t, ln, svc)
+
+	c := New(addr, WithOwner("rider"),
+		WithBackoff(Backoff{Base: time.Millisecond, Cap: 20 * time.Millisecond}))
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	l, err := c.Acquire(ctx, "t0", "k", 8*time.Second)
+	if err != nil {
+		t.Fatalf("acquire before restart: %v", err)
+	}
+
+	// Take the daemon down. Every request now gets connection refused.
+	stop()
+	if _, err := c.AcquireOnce(ctx, "t0", "other", time.Second); err == nil {
+		t.Fatal("AcquireOnce succeeded against a dead daemon")
+	} else if !retryableTransport(err) {
+		t.Fatalf("dead-daemon error %v not classified retryable", err)
+	}
+
+	// Bring it back on the same address after a beat. The service core
+	// is the same instance — standing in for a store-recovered daemon,
+	// which restores the same leases and counters.
+	restarted := make(chan struct{})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("rebinding %s: %v", addr, err)
+			close(restarted)
+			return
+		}
+		t.Cleanup(serveOn(t, ln2, svc))
+		close(restarted)
+	}()
+
+	// Renew of the pre-outage lease rides through the refused
+	// connections and lands once the daemon is back.
+	if err := c.Renew(ctx, l, 8*time.Second); err != nil {
+		t.Fatalf("renew across restart: %v", err)
+	}
+	<-restarted
+	// The token is the original one: the restart did not remint it.
+	got, held, err := c.Inspect(ctx, "t0", "k")
+	if err != nil || !held || got.Token != l.Token {
+		t.Fatalf("inspect after restart = %+v held=%v err=%v, want token %d", got, held, err, l.Token)
+	}
+	if err := c.Release(ctx, l); err != nil {
+		t.Fatalf("release after restart: %v", err)
+	}
+}
+
+// TestClientCancelMidOutage: with the daemon down and the client deep
+// in its backoff sleep, canceling the context returns promptly — the
+// retry loops select on ctx.Done() in every sleep, so callers are
+// never pinned for a restart they no longer care about.
+func TestClientCancelMidOutage(t *testing.T) {
+	// A listener that is immediately closed: the port refuses
+	// connections for the rest of the test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	// A huge backoff cap guarantees the cancel lands mid-sleep.
+	c := New(addr, WithBackoff(Backoff{Base: 30 * time.Second, Cap: time.Minute}))
+	ctx, cancel := context.WithCancel(context.Background())
+	lease := &Lease{Tenant: "t0", Key: "k", Owner: "lockclient", Token: 1}
+
+	type result struct {
+		op  string
+		err error
+	}
+	results := make(chan result, 3)
+	go func() {
+		_, err := c.Acquire(ctx, "t0", "k", time.Second)
+		results <- result{"acquire", err}
+	}()
+	go func() { results <- result{"renew", c.Renew(ctx, lease, time.Second)} }()
+	go func() { results <- result{"release", c.Release(ctx, lease)} }()
+
+	time.Sleep(100 * time.Millisecond) // let all three enter their backoff sleep
+	start := time.Now()
+	cancel()
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-results:
+			if !errors.Is(r.err, context.Canceled) {
+				t.Fatalf("%s after cancel = %v, want context.Canceled", r.op, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("retry loop still sleeping %v after cancel", time.Since(start))
+		}
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("cancellation took %v; the backoff sleep ignored ctx", waited)
+	}
+}
